@@ -1,0 +1,151 @@
+//! Load balancers: hash-based ECMP and a HULA-style utilization-aware
+//! balancer (the paper cites HULA \[38\] among data-plane applications).
+
+use crate::build;
+use flexnet_lang::diff::ProgramBundle;
+use flexnet_types::{FlexError, Result};
+
+/// Maximum path count (the HULA argmin scan is unrolled).
+pub const MAX_PATHS: u64 = 16;
+
+/// ECMP over `n_paths` uplinks (ports `1..=n_paths`): flow-hash modulo.
+pub fn ecmp(n_paths: u64) -> Result<ProgramBundle> {
+    if n_paths == 0 || n_paths > MAX_PATHS {
+        return Err(FlexError::Compile(format!(
+            "ECMP path count must be 1..={MAX_PATHS}"
+        )));
+    }
+    build(&format!(
+        "program ecmp kind any {{
+           counter balanced;
+           handler ingress(pkt) {{
+             count(balanced);
+             let path = hash(ipv4.src, ipv4.dst, ipv4.proto) % {n_paths};
+             forward(path + 1);
+           }}
+         }}"
+    ))
+}
+
+/// A HULA-style balancer: per-path utilization lives in the `path_util`
+/// register (updated by in-band probes or the controller); each packet
+/// takes the least-utilized path. Ports are `1..=n_paths`.
+pub fn hula(n_paths: u64) -> Result<ProgramBundle> {
+    if n_paths == 0 || n_paths > MAX_PATHS {
+        return Err(FlexError::Compile(format!(
+            "HULA path count must be 1..={MAX_PATHS}"
+        )));
+    }
+    build(&format!(
+        "program hula kind any {{
+           register path_util : u64[{n_paths}];
+           counter balanced;
+           handler ingress(pkt) {{
+             let best = 0;
+             let best_util = reg_read(path_util, 0);
+             let i = 1;
+             repeat ({scan}) {{
+               let u = reg_read(path_util, i % {n_paths});
+               if (u < best_util) {{
+                 best = i % {n_paths};
+                 best_util = u;
+               }}
+               i = i + 1;
+             }}
+             count(balanced);
+             reg_write(path_util, best % {n_paths},
+                       reg_read(path_util, best % {n_paths}) + 1);
+             forward(best + 1);
+           }}
+         }}",
+        scan = n_paths.saturating_sub(1).max(1)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexnet_dataplane::{Architecture, Device, StateEncoding};
+    use flexnet_types::{NodeId, Packet, SimTime, Verdict};
+    use std::collections::BTreeMap;
+
+    fn dev(bundle: ProgramBundle) -> Device {
+        let mut d = Device::new(
+            NodeId(1),
+            Architecture::drmt_default(),
+            StateEncoding::StatefulTable,
+        );
+        d.install(bundle).unwrap();
+        d
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_and_pins_each_flow() {
+        let mut d = dev(ecmp(4).unwrap());
+        let mut ports: BTreeMap<u16, u64> = BTreeMap::new();
+        for flow in 0..200u32 {
+            let mut p = Packet::tcp(flow as u64, flow, 9, 1, 80, 0);
+            let v = d.process(&mut p, SimTime::ZERO).unwrap().verdict;
+            let Verdict::Forward(port) = v else {
+                panic!("expected forward")
+            };
+            assert!((1..=4).contains(&port));
+            *ports.entry(port).or_insert(0) += 1;
+            // The same flow always takes the same port (per-flow affinity).
+            let mut p2 = Packet::tcp(1000 + flow as u64, flow, 9, 1, 80, 0);
+            assert_eq!(
+                d.process(&mut p2, SimTime::ZERO).unwrap().verdict,
+                Verdict::Forward(port)
+            );
+        }
+        assert_eq!(ports.len(), 4, "all paths used: {ports:?}");
+        // Rough balance: no path more than 2.5x the smallest.
+        let max = ports.values().max().unwrap();
+        let min = ports.values().min().unwrap();
+        assert!(max <= &(min * 5 / 2 + 1), "imbalanced: {ports:?}");
+    }
+
+    #[test]
+    fn hula_picks_least_utilized_path() {
+        let mut d = dev(hula(4).unwrap());
+        {
+            let state = &mut d.program_mut().unwrap().state;
+            state.reg_write("path_util", 0, 100);
+            state.reg_write("path_util", 1, 100);
+            state.reg_write("path_util", 2, 3); // the winner
+            state.reg_write("path_util", 3, 100);
+        }
+        let mut p = Packet::tcp(1, 1, 2, 3, 4, 0);
+        assert_eq!(
+            d.process(&mut p, SimTime::ZERO).unwrap().verdict,
+            Verdict::Forward(3), // path index 2 -> port 3
+        );
+        // And the chosen path's utilization was bumped.
+        assert_eq!(d.program_mut().unwrap().state.reg_read("path_util", 2), 4);
+    }
+
+    #[test]
+    fn hula_self_balances_over_time() {
+        let mut d = dev(hula(3).unwrap());
+        for i in 0..300u64 {
+            let mut p = Packet::tcp(i, i as u32, 2, 3, 4, 0);
+            d.process(&mut p, SimTime::ZERO).unwrap();
+        }
+        let state = &d.program().unwrap().state;
+        let utils: Vec<u64> = (0..3).map(|i| state.reg_read("path_util", i)).collect();
+        assert_eq!(utils.iter().sum::<u64>(), 300);
+        let max = utils.iter().max().unwrap();
+        let min = utils.iter().min().unwrap();
+        assert!(max - min <= 1, "greedy argmin balances exactly: {utils:?}");
+    }
+
+    #[test]
+    fn path_count_bounds() {
+        assert!(ecmp(0).is_err());
+        assert!(ecmp(MAX_PATHS + 1).is_err());
+        assert!(hula(0).is_err());
+        assert!(hula(MAX_PATHS + 1).is_err());
+        ecmp(1).unwrap();
+        hula(1).unwrap();
+    }
+}

@@ -1,0 +1,196 @@
+//! Criterion microbenchmarks for the FlexNet hot paths: per-packet
+//! interpretation on each device architecture, table lookup, parsing, the
+//! verifier, diffing, composition, and reconfiguration planning.
+//!
+//! These complement the E1–E11 experiment binaries: the binaries measure
+//! *simulated* time under the calibrated cost models; these measure the
+//! real CPU cost of the framework itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexnet::prelude::*;
+use std::hint::black_box;
+
+fn bundle(src: &str) -> ProgramBundle {
+    let file = parse_source(src).unwrap();
+    ProgramBundle {
+        headers: file.headers,
+        program: file.programs.into_iter().next().unwrap(),
+    }
+}
+
+fn firewall_bundle() -> ProgramBundle {
+    flexnet::apps::security::firewall(256).unwrap()
+}
+
+fn bench_packet_processing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_process");
+    for (name, arch) in [
+        ("rmt", Architecture::rmt_default()),
+        ("drmt", Architecture::drmt_default()),
+        ("tiled", Architecture::tiled_default()),
+        ("smartnic", Architecture::smartnic_default()),
+        ("host", Architecture::host_default()),
+    ] {
+        let mut dev = Device::new(NodeId(1), arch, StateEncoding::StatefulTable);
+        dev.install(firewall_bundle()).unwrap();
+        group.bench_function(BenchmarkId::new("firewall", name), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let mut pkt = Packet::tcp(i, i as u32, 2, 3, 80, 0x10);
+                i += 1;
+                black_box(dev.process(&mut pkt, SimTime::ZERO).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_lookup");
+    for entries in [16usize, 256, 4096] {
+        let decl = bundle(&format!(
+            "program p kind any {{
+               table t {{ key {{ ipv4.dst : lpm; }}
+                 action out(x: u16) {{ forward(x); }} size {entries}; }}
+             }}"
+        ))
+        .program
+        .tables[0]
+            .clone();
+        let mut table = flexnet_dataplane::TableInstance::new(decl);
+        for i in 0..entries {
+            table
+                .insert(flexnet_dataplane::TableEntry {
+                    matches: vec![KeyMatch::Lpm {
+                        value: (i as u64) << 16,
+                        prefix_len: 24,
+                        width: 32,
+                    }],
+                    priority: 0,
+                    action: flexnet_lang::ast::ActionCall {
+                        action: "out".into(),
+                        args: vec![i as u64],
+                    },
+                })
+                .unwrap();
+        }
+        group.bench_function(BenchmarkId::new("lpm", entries), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x10001);
+                black_box(table.lookup(&[k & 0xffff_ffff]))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_language_pipeline(c: &mut Criterion) {
+    let src = flexnet::apps::security::firewall(256)
+        .unwrap()
+        .program
+        .to_source();
+    c.bench_function("parse_firewall", |b| {
+        b.iter(|| black_box(parse_program(&src).unwrap()))
+    });
+    let program = parse_program(&src).unwrap();
+    let headers = HeaderRegistry::builtins();
+    c.bench_function("typecheck_firewall", |b| {
+        b.iter(|| check_program(black_box(&program), &headers).unwrap())
+    });
+    c.bench_function("verify_firewall", |b| {
+        b.iter(|| verify_program(black_box(&program), &headers).unwrap())
+    });
+}
+
+fn bench_reconfig_planning(c: &mut Criterion) {
+    let old = firewall_bundle();
+    let patch = parse_patch(flexnet::apps::security::firewall_hardening_patch()).unwrap();
+    let new = apply_patch(&old, &patch).unwrap();
+    c.bench_function("apply_patch", |b| {
+        b.iter(|| black_box(apply_patch(&old, &patch).unwrap()))
+    });
+    c.bench_function("diff_bundles", |b| {
+        b.iter(|| black_box(diff_bundles(&old, &new)))
+    });
+    c.bench_function("begin_hitless_reconfig", |b| {
+        b.iter_batched(
+            || {
+                let mut dev = Device::new(
+                    NodeId(1),
+                    Architecture::drmt_default(),
+                    StateEncoding::StatefulTable,
+                );
+                dev.install(old.clone()).unwrap();
+                dev
+            },
+            |mut dev| {
+                black_box(
+                    dev.begin_runtime_reconfig(new.clone(), SimTime::ZERO)
+                        .unwrap(),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_composition(c: &mut Criterion) {
+    let infra = bundle(
+        "program infra kind switch {
+           counter total;
+           handler ingress(pkt) { count(total); forward(0); }
+         }",
+    );
+    for n in [2usize, 8, 16] {
+        let exts: Vec<TenantExtension> = (0..n)
+            .map(|i| TenantExtension {
+                tenant: TenantId(i as u32 + 1),
+                vlan: VlanId(100 + i as u16),
+                bundle: flexnet::apps::security::firewall(64).unwrap(),
+            })
+            .collect();
+        c.bench_function(&format!("compose_{n}_tenants"), |b| {
+            b.iter(|| black_box(compose(&infra, &exts).unwrap()))
+        });
+    }
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("simulate_10k_packets", |b| {
+        b.iter(|| {
+            let (topo, sw, hosts) = Topology::single_switch(2);
+            let mut sim = Simulation::new(topo);
+            sim.schedule(
+                SimTime::ZERO,
+                Command::Install {
+                    node: sw,
+                    bundle: firewall_bundle(),
+                },
+            );
+            sim.load(generate(
+                &[FlowSpec::udp_cbr(
+                    hosts[0],
+                    hosts[1],
+                    100_000,
+                    SimTime::from_millis(1),
+                    SimDuration::from_millis(100),
+                )],
+                42,
+            ));
+            sim.run_to_completion();
+            black_box(sim.metrics.delivered)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_packet_processing,
+    bench_table_lookup,
+    bench_language_pipeline,
+    bench_reconfig_planning,
+    bench_composition,
+    bench_simulation,
+);
+criterion_main!(benches);

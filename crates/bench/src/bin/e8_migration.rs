@@ -1,0 +1,102 @@
+//! E8 — Migrating per-packet-mutating state: control plane vs. data plane
+//! (paper §3.4).
+//!
+//! "Consider migrating a stateful network app (e.g., one that maintains a
+//! count-min sketch). As the sketch state is updated for each packet,
+//! copying state via control plane software is impossible."
+//!
+//! A count-min sketch absorbs updates at 0.1–10 Mpps while its state
+//! migrates to another device. For each rate and strategy we report the
+//! migration duration, the updates lost in the blackout window, and the
+//! destination's estimate error for a tracked flow.
+
+use flexnet::apps::telemetry::{cms_estimate, count_min_sketch};
+use flexnet::prelude::*;
+use flexnet_bench::{header, row, sep};
+
+const DEPTH: usize = 4;
+const WIDTH: u64 = 4096;
+
+fn sketch_device(id: u32) -> Device {
+    let mut d = Device::new(
+        NodeId(id),
+        Architecture::drmt_default(),
+        StateEncoding::StatefulTable,
+    );
+    d.install(count_min_sketch(DEPTH, WIDTH).unwrap()).unwrap();
+    d
+}
+
+fn run(rate_pps: u64, strategy: MigrationStrategy) -> (SimDuration, u64, u64, u64) {
+    let mut src = sketch_device(1);
+    let mut dst = sketch_device(2);
+
+    // Warm up: 20k updates of the tracked flow.
+    let warm = 20_000u64;
+    for i in 0..warm {
+        let mut p = Packet::tcp(i, 10, 20, 1, 2, 0);
+        src.process(&mut p, SimTime::ZERO).unwrap();
+    }
+
+    // Begin migration at t0; apply updates at `rate_pps` until it commits.
+    let t0 = SimTime::from_secs(1);
+    let m = Migration::begin(&src, strategy, t0).unwrap();
+    let window = m.completes_at().saturating_since(t0);
+    let gap_ns = 1_000_000_000 / rate_pps.max(1);
+    let in_flight = window.as_nanos() / gap_ns.max(1);
+    for i in 0..in_flight {
+        let mut p = Packet::tcp(warm + i, 10, 20, 1, 2, 0);
+        src.process(&mut p, t0 + SimDuration::from_nanos(i * gap_ns))
+            .unwrap();
+    }
+    let done = m.completes_at();
+    let report = m.finish(&src, &mut dst, done).unwrap();
+
+    let truth = warm + in_flight;
+    let est = cms_estimate(&dst.program().unwrap().state, DEPTH, WIDTH, 10, 20, 6);
+    let lost = truth.saturating_sub(est);
+    (report.completed.saturating_since(report.started), truth, est, lost)
+}
+
+fn main() {
+    header(
+        "E8",
+        "state migration under per-packet updates",
+        "control-plane copy loses in-flight updates; in-data-plane migration is \
+         lossless (paper \u{a7}3.4, Swing-State)",
+    );
+    println!("\nsketch: depth {DEPTH} x width {WIDTH}, tracked flow warmed to 20k updates\n");
+    row(&[
+        "update-rate",
+        "strategy",
+        "migration-time",
+        "true-count",
+        "dst-estimate",
+        "lost-updates",
+    ]);
+    sep(6);
+
+    for rate in [100_000u64, 1_000_000, 10_000_000] {
+        for (name, strategy) in [
+            ("control-plane", MigrationStrategy::ControlPlane),
+            ("data-plane", MigrationStrategy::DataPlane),
+        ] {
+            let (dur, truth, est, lost) = run(rate, strategy);
+            row(&[
+                &format!("{} pps", rate),
+                name,
+                &dur.to_string(),
+                &truth.to_string(),
+                &est.to_string(),
+                &lost.to_string(),
+            ]);
+        }
+        sep(6);
+    }
+    println!(
+        "shape check: control-plane losses grow linearly with the update rate \
+         (its copy window is ~fixed while updates keep landing); data-plane \
+         migration commits atomically with zero lost updates at every rate — \
+         and finishes orders of magnitude faster."
+    );
+}

@@ -1,0 +1,91 @@
+//! Shared harness utilities for the FlexNet experiment binaries (E1–E11).
+//!
+//! Each `src/bin/eN_*.rs` binary regenerates one experiment from
+//! EXPERIMENTS.md, printing the rows recorded there. This library holds the
+//! table-printing helpers and a few shared scenario builders so the
+//! binaries stay focused on their experiment logic.
+
+use flexnet::prelude::*;
+
+/// Prints an experiment header.
+pub fn header(id: &str, title: &str, claim: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("paper claim: {claim}");
+    println!("==================================================================");
+}
+
+/// Prints a table row of fixed-width columns.
+pub fn row(cols: &[&str]) {
+    let line = cols
+        .iter()
+        .map(|c| format!("{c:<18}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{}", line.trim_end());
+}
+
+/// Prints a separator sized for `n` columns.
+pub fn sep(n: usize) {
+    println!("{}", "-".repeat((18 + 1) * n));
+}
+
+/// Parses FlexBPF source into a bundle (panics on error; harness inputs are
+/// static).
+pub fn bundle(src: &str) -> ProgramBundle {
+    let file = parse_source(src).expect("harness program parses");
+    ProgramBundle {
+        headers: file.headers,
+        program: file.programs.into_iter().next().expect("one program"),
+    }
+}
+
+/// The standard single-switch scenario: two hosts, CBR traffic.
+pub fn switch_scenario(pps: u64, secs: u64, initial: ProgramBundle) -> (Simulation, NodeId) {
+    let (topo, sw, hosts) = Topology::single_switch(2);
+    let mut sim = Simulation::new(topo);
+    sim.schedule(
+        SimTime::ZERO,
+        Command::Install {
+            node: sw,
+            bundle: initial,
+        },
+    );
+    sim.load(generate(
+        &[FlowSpec::udp_cbr(
+            hosts[0],
+            hosts[1],
+            pps,
+            SimTime::from_millis(1),
+            SimDuration::from_secs(secs),
+        )],
+        42,
+    ));
+    (sim, sw)
+}
+
+/// Formats a ratio as `x.yz×`.
+pub fn times(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        return "inf".into();
+    }
+    format!("{:.1}x", a / b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_do_not_panic() {
+        header("E0", "smoke", "none");
+        row(&["a", "b"]);
+        sep(2);
+        assert_eq!(times(10.0, 2.0), "5.0x");
+        assert_eq!(times(1.0, 0.0), "inf");
+        let b = bundle("program p kind any { handler ingress(pkt) { forward(0); } }");
+        assert_eq!(b.program.name, "p");
+        let (sim, _) = switch_scenario(10, 1, b);
+        assert_eq!(sim.metrics.sent, 0, "nothing run yet");
+    }
+}

@@ -1,0 +1,33 @@
+//! # flexnet-compiler — compiling fungible programs
+//!
+//! The compiler layer of the FlexNet reproduction (paper §3.3). It plans
+//! against snapshots of device capacity and emits placements the controller
+//! effects via runtime reconfiguration:
+//!
+//! - [`target`] — components, target views, placements.
+//! - [`binpack`] — the classical layer: FFD/best-fit/worst-fit packing.
+//! - [`fungible`] — the fungible retry loop: GC unused programs, reallocate,
+//!   recompile (the new operating point runtime programmability enables).
+//! - [`split`] — the "fungible datapath" abstraction and the vertical/
+//!   horizontal splitter over a physical path (paper §3.1).
+//! - [`incremental`] — maximally-adjacent incremental recompilation with
+//!   SLA re-certification.
+//! - [`optimize`] — table merging (cross-product memory for one fewer
+//!   lookup) and energy/latency-aware target selection.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binpack;
+pub mod fungible;
+pub mod incremental;
+pub mod optimize;
+pub mod split;
+pub mod target;
+
+pub use binpack::{pack, PackStrategy};
+pub use fungible::{compile_fungible, FungibleOptions, FungibleOutcome, Reclaimable};
+pub use incremental::{recompile_full, recompile_incremental, IncrementalResult};
+pub use optimize::{choose_target, component_power_w, merge_tables, MergePrediction, Objective};
+pub use split::{split_datapath, LogicalDatapath, SplitResult};
+pub use target::{Component, Placement, TargetView};

@@ -1,0 +1,251 @@
+//! The FlexNet controller facade.
+//!
+//! "End-to-end, the network is piloted by a central controller that
+//! maintains a global view of the topology and traffic patterns, as well as
+//! the locations and resource requirements of the network apps" (paper §1).
+//! The [`Controller`] ties the management subsystems together: the URI-keyed
+//! app registry, the tenant manager (composition + VLANs), and the dRPC
+//! service registry. It *plans* — producing program bundles and placements —
+//! and leaves effecting those plans to runtime reconfiguration commands, so
+//! it can drive either live simulations or unit tests.
+
+use crate::apps::{AppRegistry, AppStatus};
+use crate::drpc::{ExecutionSite, ServiceRegistry};
+use crate::tenant::TenantManager;
+use flexnet_compiler::{split_datapath, LogicalDatapath, SplitResult, TargetView};
+use flexnet_lang::compose::tenant_prefix;
+use flexnet_lang::diff::ProgramBundle;
+use flexnet_types::{AppId, AppUri, NodeId, Result, SimTime, TenantId, VlanId};
+
+/// The central controller.
+#[derive(Debug)]
+pub struct Controller {
+    /// URI-named app registry (paper §3.4).
+    pub apps: AppRegistry,
+    /// Tenant lifecycle and composition (paper §3 scenario).
+    pub tenants: TenantManager,
+    /// dRPC registry and discovery (paper §3.4).
+    pub services: ServiceRegistry,
+    infra_node: NodeId,
+}
+
+impl Controller {
+    /// Builds a controller over an infrastructure program hosted at
+    /// `infra_node`, registering the infra app and its provided dRPC
+    /// services.
+    pub fn new(infra: ProgramBundle, infra_node: NodeId, now: SimTime) -> Result<Controller> {
+        let mut apps = AppRegistry::new();
+        let mut services = ServiceRegistry::new();
+        let uri = AppUri::infra(&infra.program.name);
+        let mut placement = flexnet_compiler::Placement::default();
+        placement
+            .assignments
+            .insert(infra.program.name.clone(), infra_node);
+        apps.register(uri, None, placement, now)?;
+        for svc in infra.program.services.iter().filter(|s| s.provided) {
+            services.register(
+                &svc.name,
+                infra_node,
+                svc.params.len(),
+                ExecutionSite::DataPlane,
+            )?;
+        }
+        Ok(Controller {
+            apps,
+            tenants: TenantManager::new(infra),
+            services,
+            infra_node,
+        })
+    }
+
+    /// The node hosting the composed infrastructure program.
+    pub fn infra_node(&self) -> NodeId {
+        self.infra_node
+    }
+
+    /// Admits a tenant extension. Returns the assigned VLAN and the new
+    /// composed bundle to push to the infrastructure device (via
+    /// `Command::RuntimeReconfig`).
+    pub fn tenant_arrive(
+        &mut self,
+        tenant: TenantId,
+        extension: ProgramBundle,
+        now: SimTime,
+    ) -> Result<(VlanId, ProgramBundle)> {
+        let app_name = extension.program.name.clone();
+        let provided: Vec<(String, usize)> = extension
+            .program
+            .services
+            .iter()
+            .filter(|s| s.provided)
+            .map(|s| (s.name.clone(), s.params.len()))
+            .collect();
+
+        let vlan = self.tenants.arrive(tenant, extension)?;
+        let (composed, _report) = self.tenants.composed()?;
+
+        // Register the tenant's app under its URI.
+        let uri = AppUri::new(&tenant.to_string(), &app_name)
+            .unwrap_or_else(|| AppUri::infra(&app_name));
+        let mut placement = flexnet_compiler::Placement::default();
+        placement.assignments.insert(app_name, self.infra_node);
+        self.apps.register(uri, Some(tenant), placement, now)?;
+
+        // Register namespaced tenant-provided services.
+        for (name, arity) in provided {
+            let namespaced = format!("{}{}", tenant_prefix(tenant), name);
+            self.services.register(
+                &namespaced,
+                self.infra_node,
+                arity,
+                ExecutionSite::DataPlane,
+            )?;
+        }
+        Ok((vlan, composed))
+    }
+
+    /// Removes a tenant. Returns the composed bundle without it (push via
+    /// runtime reconfiguration; its resources are reclaimed by the diff's
+    /// remove ops).
+    pub fn tenant_depart(&mut self, tenant: TenantId) -> Result<ProgramBundle> {
+        self.tenants.depart(tenant)?;
+        let (composed, _) = self.tenants.composed()?;
+        // Retire the tenant's apps and services.
+        let uris: Vec<AppUri> = self
+            .apps
+            .apps_of_tenant(tenant)
+            .iter()
+            .map(|r| r.uri.clone())
+            .collect();
+        for uri in uris {
+            self.apps.set_status(&uri, AppStatus::Retired)?;
+        }
+        let prefix = tenant_prefix(tenant);
+        let stale: Vec<String> = self
+            .services
+            .services()
+            .filter(|s| s.name.starts_with(&prefix))
+            .map(|s| s.name.clone())
+            .collect();
+        for name in stale {
+            self.services.unregister(&name)?;
+        }
+        Ok(composed)
+    }
+
+    /// Deploys a whole-stack logical datapath across `path`, registering it
+    /// as an app named by `uri`.
+    pub fn deploy_datapath(
+        &mut self,
+        uri: AppUri,
+        datapath: &LogicalDatapath,
+        path: &mut [TargetView],
+        now: SimTime,
+    ) -> Result<(AppId, SplitResult)> {
+        let split = split_datapath(datapath, path)?;
+        let id = self
+            .apps
+            .register(uri, None, split.placement.clone(), now)?;
+        Ok((id, split))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexnet_compiler::Component;
+    use flexnet_dataplane::Architecture;
+    use flexnet_lang::parser::parse_source;
+
+    fn bundle(src: &str) -> ProgramBundle {
+        let file = parse_source(src).unwrap();
+        ProgramBundle {
+            headers: file.headers,
+            program: file.programs.into_iter().next().unwrap(),
+        }
+    }
+
+    fn infra() -> ProgramBundle {
+        bundle(
+            "program infra kind switch {
+               counter total;
+               service provide migrate_state(dst: u32);
+               handler ingress(pkt) { count(total); forward(0); }
+             }",
+        )
+    }
+
+    fn controller() -> Controller {
+        Controller::new(infra(), NodeId(0), SimTime::ZERO).unwrap()
+    }
+
+    #[test]
+    fn new_registers_infra_app_and_services() {
+        let c = controller();
+        assert!(c.apps.lookup(&AppUri::infra("infra")).is_some());
+        assert!(c.services.discover("migrate_state").is_some());
+        assert_eq!(c.infra_node(), NodeId(0));
+    }
+
+    #[test]
+    fn tenant_lifecycle_updates_all_registries() {
+        let mut c = controller();
+        let ext = bundle(
+            "program scrubber kind any {
+               counter seen;
+               service provide scrub(level: u8);
+               handler ingress(pkt) { count(seen); }
+             }",
+        );
+        let (vlan, composed) = c.tenant_arrive(TenantId(7), ext, SimTime::ZERO).unwrap();
+        assert!(vlan.is_valid());
+        assert!(composed.program.state("t7_seen").is_some());
+        let uri = AppUri::new("tenant7", "scrubber").unwrap();
+        assert!(c.apps.lookup(&uri).is_some());
+        assert!(c.services.discover("t7_scrub").is_some());
+
+        let composed = c.tenant_depart(TenantId(7)).unwrap();
+        assert!(composed.program.state("t7_seen").is_none());
+        assert_eq!(c.apps.lookup(&uri).unwrap().status, AppStatus::Retired);
+        assert!(c.services.discover("t7_scrub").is_none());
+    }
+
+    #[test]
+    fn depart_unknown_tenant_fails() {
+        let mut c = controller();
+        assert!(c.tenant_depart(TenantId(42)).is_err());
+    }
+
+    #[test]
+    fn deploy_datapath_registers_app_with_placement() {
+        let mut c = controller();
+        let dp = LogicalDatapath::new(
+            "lb",
+            vec![Component::new(
+                "spread",
+                bundle("program spread kind switch { handler ingress(pkt) { forward(0); } }"),
+            )],
+        );
+        let mut path = vec![
+            TargetView::fresh(NodeId(1), Architecture::host_default()),
+            TargetView::fresh(NodeId(2), Architecture::drmt_default()),
+        ];
+        let (id, split) = c
+            .deploy_datapath(AppUri::infra("lb"), &dp, &mut path, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(split.placement.node_of("spread"), Some(NodeId(2)));
+        let rec = c.apps.lookup(&AppUri::infra("lb")).unwrap();
+        assert_eq!(rec.id, id);
+        assert_eq!(rec.placement.node_of("spread"), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn malicious_tenant_rejected_cleanly() {
+        let mut c = controller();
+        let evil = bundle("program evil { handler ingress(pkt) { count(total); } }");
+        assert!(c.tenant_arrive(TenantId(3), evil, SimTime::ZERO).is_err());
+        // Nothing was registered.
+        assert!(c.apps.apps_of_tenant(TenantId(3)).is_empty());
+        assert_eq!(c.tenants.tenants().len(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # flexnet-controller — real-time network control (paper §3.4)
+//!
+//! The control plane of the FlexNet reproduction:
+//!
+//! - [`core`] — the [`core::Controller`] facade: plans program bundles and
+//!   placements, delegates effecting them to runtime reconfiguration.
+//! - [`apps`] — URI-named app registry ("application-centric abstractions
+//!   … as first-class primitives").
+//! - [`tenant`] — tenant arrival/departure with VLAN allocation and
+//!   composition-based access control.
+//! - [`migrate`] — control-plane vs. in-data-plane state migration (the
+//!   count-min-sketch argument of §3.4).
+//! - [`scale`] — elastic scaling with hysteresis and cooldown.
+//! - [`drpc`] — data-plane RPC registry, discovery, and latency model.
+//! - [`replicate`] — replicated state groups with epoch-based failover.
+//! - [`raft`] — simulated Raft for physically distributed controllers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apps;
+pub mod core;
+pub mod drpc;
+pub mod migrate;
+pub mod raft;
+pub mod replicate;
+pub mod scale;
+pub mod tenant;
+
+pub use crate::core::Controller;
+pub use apps::{AppRecord, AppRegistry, AppStatus};
+pub use drpc::{ExecutionSite, Invocation, ServiceRegistry};
+pub use migrate::{Migration, MigrationReport, MigrationStrategy};
+pub use raft::{RaftCluster, Role};
+pub use replicate::{FailoverReport, ReplicationGroup};
+pub use scale::{ElasticScaler, ScaleDecision, ScalingPolicy};
+pub use tenant::TenantManager;

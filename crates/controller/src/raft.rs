@@ -1,0 +1,647 @@
+//! Distributed controller consensus.
+//!
+//! Paper §3.4: "For large networks, logically centralized controllers are
+//! realized in physically distributed nodes, which brings classic
+//! distributed systems concerns on consensus and availability."
+//!
+//! This module is a self-contained, simulated-time Raft implementation:
+//! leader election with randomized timeouts, log replication with the
+//! prev-index/term consistency check, majority commit (current-term only),
+//! and a lossy message fabric. Controller commands (app deployments, tenant
+//! changes) are replicated as log entries so any controller node can take
+//! over piloting the network after a failure (experiment E10).
+
+use flexnet_types::{FlexError, Result, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Election timeouts are drawn uniformly from this range.
+pub const ELECTION_TIMEOUT_MIN: SimDuration = SimDuration::from_millis(150);
+/// Upper bound of the election timeout range.
+pub const ELECTION_TIMEOUT_MAX: SimDuration = SimDuration::from_millis(300);
+/// Leader heartbeat (empty AppendEntries) interval.
+pub const HEARTBEAT_INTERVAL: SimDuration = SimDuration::from_millis(50);
+/// One-way message delay on the controller fabric.
+pub const NET_DELAY: SimDuration = SimDuration::from_millis(5);
+
+/// A Raft term.
+pub type Term = u64;
+
+/// One replicated controller command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The term in which the entry was created.
+    pub term: Term,
+    /// The controller command (opaque to Raft).
+    pub command: String,
+}
+
+/// A node's current role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica.
+    Follower,
+    /// Campaigning for leadership.
+    Candidate,
+    /// The (at most one per term) leader.
+    Leader,
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    RequestVote {
+        term: Term,
+        candidate: usize,
+        last_log_index: usize,
+        last_log_term: Term,
+    },
+    Vote {
+        term: Term,
+        from: usize,
+        granted: bool,
+    },
+    AppendEntries {
+        term: Term,
+        leader: usize,
+        prev_index: usize,
+        prev_term: Term,
+        entries: Vec<LogEntry>,
+        leader_commit: usize,
+    },
+    AppendResp {
+        term: Term,
+        from: usize,
+        success: bool,
+        match_index: usize,
+    },
+}
+
+#[derive(Debug)]
+struct RaftNode {
+    term: Term,
+    voted_for: Option<usize>,
+    log: Vec<LogEntry>,
+    /// Number of committed entries.
+    commit: usize,
+    role: Role,
+    election_deadline: SimTime,
+    last_heartbeat: SimTime,
+    votes: BTreeSet<usize>,
+    next_index: Vec<usize>,
+    match_index: Vec<usize>,
+    alive: bool,
+}
+
+/// A simulated cluster of Raft controller nodes.
+#[derive(Debug)]
+pub struct RaftCluster {
+    nodes: Vec<RaftNode>,
+    now: SimTime,
+    rng: StdRng,
+    /// Probability each message is dropped by the fabric.
+    pub drop_prob: f64,
+    inflight: Vec<(SimTime, usize, Msg)>,
+}
+
+impl RaftCluster {
+    /// A cluster of `n` nodes with a deterministic seed.
+    pub fn new(n: usize, seed: u64) -> RaftCluster {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let now = SimTime::ZERO;
+        let nodes = (0..n)
+            .map(|_| RaftNode {
+                term: 0,
+                voted_for: None,
+                log: Vec::new(),
+                commit: 0,
+                role: Role::Follower,
+                election_deadline: now + random_timeout(&mut rng),
+                last_heartbeat: now,
+                votes: BTreeSet::new(),
+                next_index: vec![0; n],
+                match_index: vec![0; n],
+                alive: true,
+            })
+            .collect();
+        RaftCluster {
+            nodes,
+            now,
+            rng,
+            drop_prob: 0.0,
+            inflight: Vec::new(),
+        }
+    }
+
+    /// Cluster size.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The alive leader with the highest term, if any.
+    pub fn leader(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive && n.role == Role::Leader)
+            .max_by_key(|(_, n)| n.term)
+            .map(|(i, _)| i)
+    }
+
+    /// A node's role.
+    pub fn role(&self, i: usize) -> Role {
+        self.nodes[i].role
+    }
+
+    /// A node's term.
+    pub fn term(&self, i: usize) -> Term {
+        self.nodes[i].term
+    }
+
+    /// The committed prefix of a node's log.
+    pub fn committed(&self, i: usize) -> Vec<String> {
+        self.nodes[i].log[..self.nodes[i].commit]
+            .iter()
+            .map(|e| e.command.clone())
+            .collect()
+    }
+
+    /// Kills a node (it stops sending and receiving).
+    pub fn kill(&mut self, i: usize) {
+        self.nodes[i].alive = false;
+    }
+
+    /// Revives a node as a follower.
+    pub fn revive(&mut self, i: usize) {
+        let deadline = self.now + random_timeout(&mut self.rng);
+        let n = &mut self.nodes[i];
+        n.alive = true;
+        n.role = Role::Follower;
+        n.election_deadline = deadline;
+    }
+
+    /// Number of alive nodes.
+    pub fn alive(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Whether node `i` is alive.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.nodes[i].alive
+    }
+
+    /// Proposes a command to the current leader.
+    pub fn propose(&mut self, command: &str) -> Result<()> {
+        let Some(leader) = self.leader() else {
+            return Err(FlexError::Consensus("no leader".into()));
+        };
+        let term = self.nodes[leader].term;
+        self.nodes[leader].log.push(LogEntry {
+            term,
+            command: command.to_string(),
+        });
+        let last = self.nodes[leader].log.len();
+        self.nodes[leader].match_index[leader] = last;
+        Ok(())
+    }
+
+    /// Advances simulated time by `dt`, delivering messages and firing
+    /// timeouts.
+    pub fn step(&mut self, dt: SimDuration) {
+        self.now += dt;
+        // Deliver due messages.
+        let mut due = Vec::new();
+        self.inflight.retain(|(at, to, msg)| {
+            if *at <= self.now {
+                due.push((*to, msg.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|(to, _)| *to);
+        for (to, msg) in due {
+            if self.nodes[to].alive {
+                self.handle(to, msg);
+            }
+        }
+        // Timers.
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive {
+                continue;
+            }
+            match self.nodes[i].role {
+                Role::Leader => {
+                    if self.now.saturating_since(self.nodes[i].last_heartbeat)
+                        >= HEARTBEAT_INTERVAL
+                    {
+                        self.nodes[i].last_heartbeat = self.now;
+                        self.send_appends(i);
+                    }
+                }
+                Role::Follower | Role::Candidate => {
+                    if self.now >= self.nodes[i].election_deadline {
+                        self.start_election(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the cluster for `duration` in `tick`-sized steps.
+    pub fn run_for(&mut self, duration: SimDuration, tick: SimDuration) {
+        let end = self.now + duration;
+        while self.now < end {
+            self.step(tick);
+        }
+    }
+
+    /// Runs until a leader exists or `max` elapses; returns the leader.
+    pub fn run_until_leader(&mut self, max: SimDuration) -> Option<usize> {
+        let end = self.now + max;
+        while self.now < end {
+            if let Some(l) = self.leader() {
+                return Some(l);
+            }
+            self.step(SimDuration::from_millis(10));
+        }
+        self.leader()
+    }
+
+    fn send(&mut self, to: usize, msg: Msg) {
+        if self.rng.gen_bool(self.drop_prob.clamp(0.0, 1.0)) {
+            return;
+        }
+        // Small jitter keeps elections from livelocking in lockstep.
+        let jitter = SimDuration::from_micros(self.rng.gen_range(0..1000));
+        self.inflight.push((self.now + NET_DELAY + jitter, to, msg));
+    }
+
+    fn start_election(&mut self, i: usize) {
+        let deadline = self.now + random_timeout(&mut self.rng);
+        let (term, last_log_index, last_log_term) = {
+            let n = &mut self.nodes[i];
+            n.role = Role::Candidate;
+            n.term += 1;
+            n.voted_for = Some(i);
+            n.votes = BTreeSet::from([i]);
+            n.election_deadline = deadline;
+            (
+                n.term,
+                n.log.len(),
+                n.log.last().map(|e| e.term).unwrap_or(0),
+            )
+        };
+        for peer in 0..self.nodes.len() {
+            if peer != i {
+                self.send(
+                    peer,
+                    Msg::RequestVote {
+                        term,
+                        candidate: i,
+                        last_log_index,
+                        last_log_term,
+                    },
+                );
+            }
+        }
+        self.maybe_win(i);
+    }
+
+    fn maybe_win(&mut self, i: usize) {
+        let majority = self.nodes.len() / 2 + 1;
+        if self.nodes[i].role == Role::Candidate && self.nodes[i].votes.len() >= majority {
+            let last = self.nodes[i].log.len();
+            let n_nodes = self.nodes.len();
+            let n = &mut self.nodes[i];
+            n.role = Role::Leader;
+            n.next_index = vec![last; n_nodes];
+            n.match_index = vec![0; n_nodes];
+            n.match_index[i] = last;
+            n.last_heartbeat = self.now;
+            self.send_appends(i);
+        }
+    }
+
+    fn send_appends(&mut self, leader: usize) {
+        for peer in 0..self.nodes.len() {
+            if peer == leader {
+                continue;
+            }
+            let (term, prev_index, prev_term, entries, leader_commit) = {
+                let n = &self.nodes[leader];
+                let next = n.next_index[peer].min(n.log.len());
+                let prev_index = next;
+                let prev_term = if next == 0 { 0 } else { n.log[next - 1].term };
+                (
+                    n.term,
+                    prev_index,
+                    prev_term,
+                    n.log[next..].to_vec(),
+                    n.commit,
+                )
+            };
+            self.send(
+                peer,
+                Msg::AppendEntries {
+                    term,
+                    leader,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit,
+                },
+            );
+        }
+    }
+
+    fn become_follower(&mut self, i: usize, term: Term) {
+        let deadline = self.now + random_timeout(&mut self.rng);
+        let n = &mut self.nodes[i];
+        n.term = term;
+        n.role = Role::Follower;
+        n.voted_for = None;
+        n.votes.clear();
+        n.election_deadline = deadline;
+    }
+
+    fn handle(&mut self, me: usize, msg: Msg) {
+        match msg {
+            Msg::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
+                if term > self.nodes[me].term {
+                    self.become_follower(me, term);
+                }
+                let n = &mut self.nodes[me];
+                let up_to_date = {
+                    let my_last_term = n.log.last().map(|e| e.term).unwrap_or(0);
+                    last_log_term > my_last_term
+                        || (last_log_term == my_last_term && last_log_index >= n.log.len())
+                };
+                let granted = term >= n.term
+                    && up_to_date
+                    && (n.voted_for.is_none() || n.voted_for == Some(candidate));
+                if granted {
+                    n.voted_for = Some(candidate);
+                    n.election_deadline = self.now + random_timeout(&mut self.rng);
+                }
+                let my_term = self.nodes[me].term;
+                self.send(
+                    candidate,
+                    Msg::Vote {
+                        term: my_term,
+                        from: me,
+                        granted,
+                    },
+                );
+            }
+            Msg::Vote { term, from, granted } => {
+                if term > self.nodes[me].term {
+                    self.become_follower(me, term);
+                    return;
+                }
+                if granted && self.nodes[me].role == Role::Candidate {
+                    self.nodes[me].votes.insert(from);
+                    self.maybe_win(me);
+                }
+            }
+            Msg::AppendEntries {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            } => {
+                if term > self.nodes[me].term
+                    || (term == self.nodes[me].term && self.nodes[me].role != Role::Follower)
+                {
+                    self.become_follower(me, term);
+                }
+                if term < self.nodes[me].term {
+                    let my_term = self.nodes[me].term;
+                    self.send(
+                        leader,
+                        Msg::AppendResp {
+                            term: my_term,
+                            from: me,
+                            success: false,
+                            match_index: 0,
+                        },
+                    );
+                    return;
+                }
+                // Valid leader contact: reset election timer.
+                self.nodes[me].election_deadline = self.now + random_timeout(&mut self.rng);
+                let ok = {
+                    let n = &self.nodes[me];
+                    prev_index <= n.log.len()
+                        && (prev_index == 0 || n.log[prev_index - 1].term == prev_term)
+                };
+                let (success, match_index) = if ok {
+                    let n = &mut self.nodes[me];
+                    n.log.truncate(prev_index);
+                    n.log.extend(entries);
+                    let new_commit = leader_commit.min(n.log.len());
+                    n.commit = n.commit.max(new_commit);
+                    (true, n.log.len())
+                } else {
+                    (false, 0)
+                };
+                let my_term = self.nodes[me].term;
+                self.send(
+                    leader,
+                    Msg::AppendResp {
+                        term: my_term,
+                        from: me,
+                        success,
+                        match_index,
+                    },
+                );
+            }
+            Msg::AppendResp {
+                term,
+                from,
+                success,
+                match_index,
+            } => {
+                if term > self.nodes[me].term {
+                    self.become_follower(me, term);
+                    return;
+                }
+                if self.nodes[me].role != Role::Leader {
+                    return;
+                }
+                if success {
+                    self.nodes[me].match_index[from] =
+                        self.nodes[me].match_index[from].max(match_index);
+                    self.nodes[me].next_index[from] = match_index;
+                    self.advance_commit(me);
+                } else {
+                    // Back off and retry on next heartbeat.
+                    let ni = &mut self.nodes[me].next_index[from];
+                    *ni = ni.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Leader commit rule: the largest index replicated on a majority whose
+    /// entry is from the current term.
+    fn advance_commit(&mut self, leader: usize) {
+        let majority = self.nodes.len() / 2 + 1;
+        let n = &self.nodes[leader];
+        let mut candidate = n.commit;
+        for idx in (n.commit + 1)..=n.log.len() {
+            let replicas = n.match_index.iter().filter(|m| **m >= idx).count();
+            if replicas >= majority && n.log[idx - 1].term == n.term {
+                candidate = idx;
+            }
+        }
+        self.nodes[leader].commit = candidate;
+    }
+}
+
+fn random_timeout(rng: &mut StdRng) -> SimDuration {
+    let span = ELECTION_TIMEOUT_MAX.as_nanos() - ELECTION_TIMEOUT_MIN.as_nanos();
+    SimDuration::from_nanos(ELECTION_TIMEOUT_MIN.as_nanos() + rng.gen_range(0..=span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle(c: &mut RaftCluster) -> usize {
+        c.run_until_leader(SimDuration::from_secs(5))
+            .expect("a leader must emerge")
+    }
+
+    #[test]
+    fn elects_exactly_one_leader() {
+        let mut c = RaftCluster::new(5, 42);
+        let leader = settle(&mut c);
+        c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
+        let leaders: Vec<usize> = (0..c.len())
+            .filter(|&i| c.role(i) == Role::Leader)
+            .collect();
+        assert_eq!(leaders.len(), 1);
+        assert_eq!(leaders[0], c.leader().unwrap());
+        let _ = leader;
+    }
+
+    #[test]
+    fn proposals_commit_on_majority() {
+        let mut c = RaftCluster::new(3, 7);
+        settle(&mut c);
+        c.propose("deploy app1").unwrap();
+        c.propose("tenant 5 arrive").unwrap();
+        c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
+        let leader = c.leader().unwrap();
+        assert_eq!(
+            c.committed(leader),
+            vec!["deploy app1".to_string(), "tenant 5 arrive".to_string()]
+        );
+        // Followers converge too.
+        for i in 0..c.len() {
+            assert_eq!(c.committed(i).len(), 2, "node {i} lagging");
+        }
+    }
+
+    #[test]
+    fn leader_failure_triggers_reelection_preserving_log() {
+        let mut c = RaftCluster::new(5, 11);
+        let l1 = settle(&mut c);
+        c.propose("before failover").unwrap();
+        c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
+        c.kill(l1);
+        c.run_for(SimDuration::from_secs(2), SimDuration::from_millis(10));
+        let l2 = c.leader().expect("new leader after failover");
+        assert_ne!(l1, l2);
+        assert!(c.term(l2) > 0);
+        // The committed entry survived the failover.
+        assert_eq!(c.committed(l2), vec!["before failover".to_string()]);
+        // And the new leader accepts new commands.
+        c.propose("after failover").unwrap();
+        c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
+        assert_eq!(c.committed(l2).len(), 2);
+    }
+
+    #[test]
+    fn no_commits_without_majority() {
+        let mut c = RaftCluster::new(5, 13);
+        let leader = settle(&mut c);
+        // Kill 3 of 5 (leaving leader + 1).
+        let mut killed = 0;
+        for i in 0..c.len() {
+            if i != leader && killed < 3 {
+                c.kill(i);
+                killed += 1;
+            }
+        }
+        c.propose("doomed").unwrap();
+        c.run_for(SimDuration::from_secs(2), SimDuration::from_millis(10));
+        assert!(
+            !c.committed(leader).contains(&"doomed".to_string()),
+            "a minority must not commit"
+        );
+    }
+
+    #[test]
+    fn survives_lossy_fabric() {
+        let mut c = RaftCluster::new(3, 17);
+        c.drop_prob = 0.2;
+        settle(&mut c);
+        c.propose("lossy world").unwrap();
+        c.run_for(SimDuration::from_secs(5), SimDuration::from_millis(10));
+        let leader = c.leader().unwrap();
+        assert_eq!(c.committed(leader), vec!["lossy world".to_string()]);
+    }
+
+    #[test]
+    fn revived_node_catches_up() {
+        let mut c = RaftCluster::new(3, 23);
+        settle(&mut c);
+        // Kill a follower, commit entries, revive it.
+        let leader = c.leader().unwrap();
+        let follower = (0..c.len()).find(|&i| i != leader).unwrap();
+        c.kill(follower);
+        c.propose("while you were gone").unwrap();
+        c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
+        c.revive(follower);
+        c.run_for(SimDuration::from_secs(2), SimDuration::from_millis(10));
+        assert_eq!(
+            c.committed(follower),
+            vec!["while you were gone".to_string()]
+        );
+    }
+
+    #[test]
+    fn propose_without_leader_fails() {
+        let mut c = RaftCluster::new(3, 29);
+        assert!(c.propose("too early").is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut c = RaftCluster::new(5, seed);
+            let l = settle(&mut c);
+            (l, c.term(l))
+        };
+        assert_eq!(run(99), run(99));
+    }
+}

@@ -1,0 +1,220 @@
+//! Tenant lifecycle management.
+//!
+//! Paper §3 (scenario): "individual tenants dynamically arrive and depart
+//! … Tenants provide 'extension' programs that are dynamically injected
+//! into and removed from the network. … the extensions are admitted by the
+//! network owner after access control validation. Extension programs are
+//! isolated … via, e.g., VLAN-based isolation mechanisms. Tenant arrivals
+//! trigger the generation of new VLAN configurations from the control
+//! plane, as well as infrastructure program changes to accommodate the new
+//! extensions. Departures achieve opposite effects."
+
+use flexnet_lang::compose::{compose, CompositionReport, TenantExtension};
+use flexnet_lang::diff::ProgramBundle;
+use flexnet_types::{FlexError, Result, TenantId, VlanId};
+use std::collections::BTreeMap;
+
+/// Manages tenant extensions and VLAN assignments over one infrastructure
+/// program.
+#[derive(Debug)]
+pub struct TenantManager {
+    infra: ProgramBundle,
+    extensions: BTreeMap<TenantId, TenantExtension>,
+    next_vlan: u16,
+    free_vlans: Vec<VlanId>,
+}
+
+impl TenantManager {
+    /// A manager over `infra`.
+    pub fn new(infra: ProgramBundle) -> TenantManager {
+        TenantManager {
+            infra,
+            extensions: BTreeMap::new(),
+            next_vlan: VlanId::MIN.0 + 99, // leave low VLANs to the operator
+            free_vlans: Vec::new(),
+        }
+    }
+
+    /// The infrastructure bundle.
+    pub fn infra(&self) -> &ProgramBundle {
+        &self.infra
+    }
+
+    /// Replaces the infrastructure program (an operator-initiated update);
+    /// callers then [`TenantManager::composed`] and push the result.
+    pub fn update_infra(&mut self, infra: ProgramBundle) {
+        self.infra = infra;
+    }
+
+    /// Active tenants.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        self.extensions.keys().copied().collect()
+    }
+
+    /// The VLAN assigned to `tenant`.
+    pub fn vlan_of(&self, tenant: TenantId) -> Option<VlanId> {
+        self.extensions.get(&tenant).map(|e| e.vlan)
+    }
+
+    fn allocate_vlan(&mut self) -> Result<VlanId> {
+        if let Some(v) = self.free_vlans.pop() {
+            return Ok(v);
+        }
+        let v = VlanId(self.next_vlan);
+        if !v.is_valid() {
+            return Err(FlexError::Compile("VLAN space exhausted".into()));
+        }
+        self.next_vlan += 1;
+        Ok(v)
+    }
+
+    /// Admits a tenant extension: allocates a VLAN and validates the
+    /// extension by test-composing it with the current set (access control
+    /// happens inside composition). Returns the assigned VLAN.
+    pub fn arrive(&mut self, tenant: TenantId, bundle: ProgramBundle) -> Result<VlanId> {
+        if self.extensions.contains_key(&tenant) {
+            return Err(FlexError::Conflict(format!(
+                "{tenant} already has an extension installed"
+            )));
+        }
+        let vlan = self.allocate_vlan()?;
+        let ext = TenantExtension {
+            tenant,
+            vlan,
+            bundle,
+        };
+        // Validate by composing with the would-be extension set.
+        let mut all: Vec<TenantExtension> = self.extensions.values().cloned().collect();
+        all.push(ext.clone());
+        compose(&self.infra, &all).inspect_err(|_| {
+            // Roll the VLAN back on rejection.
+            self.free_vlans.push(vlan);
+        })?;
+        self.extensions.insert(tenant, ext);
+        Ok(vlan)
+    }
+
+    /// Removes a tenant's extension, releasing its VLAN.
+    pub fn depart(&mut self, tenant: TenantId) -> Result<()> {
+        let ext = self
+            .extensions
+            .remove(&tenant)
+            .ok_or_else(|| FlexError::NotFound(format!("{tenant}")))?;
+        self.free_vlans.push(ext.vlan);
+        Ok(())
+    }
+
+    /// The current composed program (infra + all admitted extensions) —
+    /// what the data plane should be running.
+    pub fn composed(&self) -> Result<(ProgramBundle, CompositionReport)> {
+        let all: Vec<TenantExtension> = self.extensions.values().cloned().collect();
+        let c = compose(&self.infra, &all)?;
+        Ok((c.bundle, c.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexnet_lang::parser::parse_source;
+
+    fn bundle(src: &str) -> ProgramBundle {
+        let file = parse_source(src).unwrap();
+        ProgramBundle {
+            headers: file.headers,
+            program: file.programs.into_iter().next().unwrap(),
+        }
+    }
+
+    fn infra() -> ProgramBundle {
+        bundle(
+            "program infra kind switch {
+               counter total;
+               handler ingress(pkt) { count(total); forward(0); }
+             }",
+        )
+    }
+
+    fn ext(name: &str) -> ProgramBundle {
+        bundle(&format!(
+            "program {name} kind any {{
+               counter hits;
+               handler ingress(pkt) {{ count(hits); }}
+             }}"
+        ))
+    }
+
+    #[test]
+    fn arrive_assigns_distinct_vlans() {
+        let mut tm = TenantManager::new(infra());
+        let v1 = tm.arrive(TenantId(1), ext("a")).unwrap();
+        let v2 = tm.arrive(TenantId(2), ext("b")).unwrap();
+        assert_ne!(v1, v2);
+        assert!(v1.is_valid() && v2.is_valid());
+        assert_eq!(tm.tenants().len(), 2);
+        assert_eq!(tm.vlan_of(TenantId(1)), Some(v1));
+    }
+
+    #[test]
+    fn composed_grows_and_shrinks_with_churn() {
+        let mut tm = TenantManager::new(infra());
+        let (base, _) = tm.composed().unwrap();
+        let base_states = base.program.states.len();
+
+        tm.arrive(TenantId(1), ext("a")).unwrap();
+        tm.arrive(TenantId(2), ext("b")).unwrap();
+        let (grown, report) = tm.composed().unwrap();
+        assert_eq!(report.tenants, 2);
+        assert_eq!(grown.program.states.len(), base_states + 2);
+
+        tm.depart(TenantId(1)).unwrap();
+        let (shrunk, _) = tm.composed().unwrap();
+        assert_eq!(shrunk.program.states.len(), base_states + 1);
+        assert!(shrunk.program.state("t2_hits").is_some());
+        assert!(shrunk.program.state("t1_hits").is_none());
+    }
+
+    #[test]
+    fn duplicate_arrival_rejected() {
+        let mut tm = TenantManager::new(infra());
+        tm.arrive(TenantId(1), ext("a")).unwrap();
+        assert!(tm.arrive(TenantId(1), ext("b")).is_err());
+    }
+
+    #[test]
+    fn depart_unknown_rejected_and_vlan_reused() {
+        let mut tm = TenantManager::new(infra());
+        assert!(tm.depart(TenantId(9)).is_err());
+        let v1 = tm.arrive(TenantId(1), ext("a")).unwrap();
+        tm.depart(TenantId(1)).unwrap();
+        let v2 = tm.arrive(TenantId(2), ext("b")).unwrap();
+        assert_eq!(v1, v2, "released VLAN is recycled");
+    }
+
+    #[test]
+    fn malicious_extension_rejected_and_vlan_released() {
+        let mut tm = TenantManager::new(infra());
+        // References infra state `total` -> denied by composition.
+        let evil = bundle("program evil { handler ingress(pkt) { count(total); } }");
+        let before = tm.tenants().len();
+        assert!(tm.arrive(TenantId(3), evil).is_err());
+        assert_eq!(tm.tenants().len(), before);
+        // The VLAN that was tentatively allocated is reused next.
+        let v = tm.arrive(TenantId(4), ext("ok")).unwrap();
+        assert_eq!(v, VlanId(100));
+    }
+
+    #[test]
+    fn composed_still_verifies_under_churn() {
+        let mut tm = TenantManager::new(infra());
+        for t in 1..=5u32 {
+            tm.arrive(TenantId(t), ext(&format!("x{t}"))).unwrap();
+        }
+        tm.depart(TenantId(3)).unwrap();
+        let (bundle, _) = tm.composed().unwrap();
+        let reg =
+            flexnet_lang::headers::HeaderRegistry::with_user_headers(&bundle.headers).unwrap();
+        flexnet_lang::typecheck::check_program(&bundle.program, &reg).unwrap();
+        flexnet_lang::verifier::verify_program(&bundle.program, &reg).unwrap();
+    }
+}

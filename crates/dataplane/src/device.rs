@@ -1,0 +1,854 @@
+//! The runtime-programmable device model.
+//!
+//! A [`Device`] is one node of the data plane: an architecture-specific
+//! resource allocator, a parser graph, a cost model, and (at most) one
+//! installed FlexBPF program with its tables and state. Devices process
+//! packets by interpreting the installed program's `ingress` handler and
+//! are reprogrammed either *hitlessly at runtime* (see `reconfig.rs`) or by
+//! the compile-time drain/reflash baseline.
+
+use crate::arch::{ArchClass, Architecture, ArchAllocator};
+use crate::cost::CostModel;
+use crate::parser::ParserGraph;
+use crate::state::{DeviceState, LogicalState, StateEncoding};
+use crate::table::{TableEntry, TableSet};
+use flexnet_lang::ast::ActionCall;
+use flexnet_lang::diff::{ProgramBundle, ReconfigOp};
+use flexnet_lang::headers::HeaderRegistry;
+use flexnet_lang::interp::{execute, ExecEnv};
+use flexnet_lang::ir::program_elements;
+use flexnet_lang::typecheck::check_program;
+use flexnet_lang::verifier::verify_program;
+use flexnet_types::{
+    FlexError, NodeId, Packet, ProgramVersion, ResourceVec, Result, SimDuration, SimTime, Verdict,
+};
+
+/// Maximum recirculation passes before a packet is dropped (hardware bounds
+/// recirculation to protect the pipeline).
+pub const MAX_RECIRCULATIONS: u32 = 4;
+
+/// One program installed on a device: AST bundle + registry + tables + state.
+#[derive(Debug, Clone)]
+pub struct InstalledProgram {
+    /// The installed bundle (headers + program).
+    pub bundle: ProgramBundle,
+    /// Header registry (builtins + bundle headers).
+    pub registry: HeaderRegistry,
+    /// Match/action tables with entries.
+    pub tables: TableSet,
+    /// Stateful storage.
+    pub state: DeviceState,
+}
+
+impl InstalledProgram {
+    /// Checks, verifies, and materializes a bundle.
+    pub fn new(bundle: ProgramBundle, encoding: StateEncoding) -> Result<InstalledProgram> {
+        let registry = HeaderRegistry::with_user_headers(&bundle.headers)?;
+        check_program(&bundle.program, &registry)?;
+        verify_program(&bundle.program, &registry)?;
+        let tables = TableSet::from_decls(&bundle.program.tables);
+        let state = DeviceState::from_decls(&bundle.program.states, encoding);
+        Ok(InstalledProgram {
+            bundle,
+            registry,
+            tables,
+            state,
+        })
+    }
+
+    /// Applies one reconfiguration op to this instance's structures.
+    pub fn apply_op(&mut self, op: &ReconfigOp) -> Result<()> {
+        match op {
+            ReconfigOp::AddTable(t) => {
+                self.tables.add_table(t.clone())?;
+                self.bundle.program.tables.push(t.clone());
+            }
+            ReconfigOp::RemoveTable(n) => {
+                self.tables.remove_table(n)?;
+                self.bundle.program.tables.retain(|t| &t.name != n);
+            }
+            ReconfigOp::ModifyTable(t) => {
+                self.tables.modify_table(t.clone())?;
+                if let Some(slot) = self
+                    .bundle
+                    .program
+                    .tables
+                    .iter_mut()
+                    .find(|x| x.name == t.name)
+                {
+                    *slot = t.clone();
+                }
+            }
+            ReconfigOp::AddState(s) => {
+                self.state.add_state(s.clone())?;
+                self.bundle.program.states.push(s.clone());
+            }
+            ReconfigOp::RemoveState(n) => {
+                self.state.remove_state(n)?;
+                self.bundle.program.states.retain(|s| &s.name != n);
+            }
+            ReconfigOp::ModifyState(s) => {
+                self.state.modify_state(s.clone())?;
+                if let Some(slot) = self
+                    .bundle
+                    .program
+                    .states
+                    .iter_mut()
+                    .find(|x| x.name == s.name)
+                {
+                    *slot = s.clone();
+                }
+            }
+            ReconfigOp::AddParserState(h) => {
+                self.registry.register(h)?;
+                self.bundle.headers.push(h.clone());
+            }
+            ReconfigOp::RemoveParserState(n) => {
+                self.bundle.headers.retain(|h| &h.name != n);
+                self.registry = HeaderRegistry::with_user_headers(&self.bundle.headers)?;
+            }
+            ReconfigOp::SetHandler(h) => {
+                match self
+                    .bundle
+                    .program
+                    .handlers
+                    .iter_mut()
+                    .find(|x| x.name == h.name)
+                {
+                    Some(slot) => *slot = h.clone(),
+                    None => self.bundle.program.handlers.push(h.clone()),
+                }
+            }
+            ReconfigOp::RemoveHandler(n) => {
+                self.bundle.program.handlers.retain(|h| &h.name != n);
+            }
+            ReconfigOp::AddService(s) => {
+                self.bundle.program.services.push(s.clone());
+            }
+            ReconfigOp::RemoveService(n) => {
+                self.bundle.program.services.retain(|s| &s.name != n);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// ExecEnv adapter joining a program's tables and state.
+struct DeviceEnv<'a> {
+    tables: &'a TableSet,
+    state: &'a mut DeviceState,
+    invocations: &'a mut Vec<(String, Vec<u64>)>,
+}
+
+impl ExecEnv for DeviceEnv<'_> {
+    fn table_lookup(&mut self, table: &str, keys: &[u64]) -> Option<ActionCall> {
+        self.tables
+            .get(table)?
+            .lookup(keys)
+            .map(|e| e.action.clone())
+    }
+
+    fn map_get(&mut self, map: &str, key: u64) -> Option<u64> {
+        self.state.map_get(map, key)
+    }
+
+    fn map_put(&mut self, map: &str, key: u64, value: u64) -> Result<()> {
+        self.state.map_put(map, key, value)
+    }
+
+    fn map_del(&mut self, map: &str, key: u64) {
+        self.state.map_del(map, key);
+    }
+
+    fn reg_read(&mut self, reg: &str, idx: u64) -> u64 {
+        self.state.reg_read(reg, idx)
+    }
+
+    fn reg_write(&mut self, reg: &str, idx: u64, val: u64) {
+        self.state.reg_write(reg, idx, val);
+    }
+
+    fn counter_add(&mut self, counter: &str, pkts: u64, bytes: u64) {
+        self.state.counter_add(counter, pkts, bytes);
+    }
+
+    fn counter_read(&mut self, counter: &str) -> u64 {
+        self.state.counter_read(counter)
+    }
+
+    fn meter_check(&mut self, meter: &str, key: u64) -> bool {
+        self.state.meter_check(meter, key)
+    }
+
+    fn invoke_service(&mut self, service: &str, args: &[u64]) {
+        self.invocations.push((service.to_string(), args.to_vec()));
+    }
+}
+
+/// What happened to one packet at one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessResult {
+    /// The final verdict.
+    pub verdict: Verdict,
+    /// Simulated processing latency at this device.
+    pub latency: SimDuration,
+    /// The program version that processed the packet.
+    pub version: ProgramVersion,
+    /// Interpreter ops executed.
+    pub ops: u64,
+    /// `true` when the device refused the packet (drained for a
+    /// compile-time reflash) — the packet was lost, not processed.
+    pub refused: bool,
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Packets processed to a verdict.
+    pub processed: u64,
+    /// Packets refused while drained (compile-time baseline loss).
+    pub refused: u64,
+    /// Packets punted to the controller.
+    pub punted: u64,
+    /// Packets dropped because recirculation exceeded the bound.
+    pub recirc_dropped: u64,
+}
+
+/// A runtime-programmable network device.
+#[derive(Debug)]
+pub struct Device {
+    id: NodeId,
+    allocator: ArchAllocator,
+    cost: CostModel,
+    encoding: StateEncoding,
+    parser: ParserGraph,
+    active: Option<InstalledProgram>,
+    version: ProgramVersion,
+    /// In-flight runtime reconfiguration (managed by `reconfig.rs`).
+    pub(crate) pending: Option<crate::reconfig::PendingReconfig>,
+    /// When non-`None`, the device refuses traffic until this instant
+    /// (compile-time drain/reflash baseline).
+    pub(crate) drained_until: Option<SimTime>,
+    stats: DeviceStats,
+    invocations: Vec<(String, Vec<u64>)>,
+    default_port: u16,
+}
+
+impl Device {
+    /// Creates an empty device.
+    pub fn new(id: NodeId, arch: Architecture, encoding: StateEncoding) -> Device {
+        let cost = CostModel::for_arch(arch.class());
+        Device {
+            id,
+            allocator: ArchAllocator::new(arch),
+            cost,
+            encoding,
+            parser: ParserGraph::new(),
+            active: None,
+            version: ProgramVersion::INITIAL,
+            pending: None,
+            drained_until: None,
+            stats: DeviceStats::default(),
+            invocations: Vec::new(),
+            default_port: 0,
+        }
+    }
+
+    /// Overrides the cost model (tests and what-if studies).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Sets the port used when a handler yields no verdict.
+    pub fn set_default_port(&mut self, port: u16) {
+        self.default_port = port;
+    }
+
+    /// The device id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The architecture class.
+    pub fn arch_class(&self) -> ArchClass {
+        self.allocator.arch().class()
+    }
+
+    /// The architecture instance.
+    pub fn architecture(&self) -> &Architecture {
+        self.allocator.arch()
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The state encoding this device uses.
+    pub fn encoding(&self) -> StateEncoding {
+        self.encoding
+    }
+
+    /// The allocator (placement state).
+    pub fn allocator(&self) -> &ArchAllocator {
+        &self.allocator
+    }
+
+    /// Mutable allocator access (used by the fungible compiler to
+    /// tentatively reshuffle placements).
+    pub fn allocator_mut(&mut self) -> &mut ArchAllocator {
+        &mut self.allocator
+    }
+
+    /// The current program version.
+    pub fn version(&self) -> ProgramVersion {
+        self.version
+    }
+
+    pub(crate) fn bump_version(&mut self) {
+        self.version = self.version.next();
+    }
+
+    /// The installed program, if any.
+    pub fn program(&self) -> Option<&InstalledProgram> {
+        self.active.as_ref()
+    }
+
+    /// Mutable access to the installed program (controller-side table entry
+    /// and state manipulation).
+    pub fn program_mut(&mut self) -> Option<&mut InstalledProgram> {
+        self.active.as_mut()
+    }
+
+    pub(crate) fn take_active(&mut self) -> Option<InstalledProgram> {
+        self.active.take()
+    }
+
+    pub(crate) fn set_active(&mut self, p: InstalledProgram) {
+        self.active = Some(p);
+    }
+
+    /// The parser graph.
+    pub fn parser(&self) -> &ParserGraph {
+        &self.parser
+    }
+
+    pub(crate) fn parser_mut(&mut self) -> &mut ParserGraph {
+        &mut self.parser
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Drains recorded dRPC invocations.
+    pub fn take_invocations(&mut self) -> Vec<(String, Vec<u64>)> {
+        std::mem::take(&mut self.invocations)
+    }
+
+    /// Power draw at a utilization level.
+    pub fn power_watts(&self, utilization: f64) -> f64 {
+        self.cost.power_at(utilization)
+    }
+
+    // -- installation ---------------------------------------------------------
+
+    /// Installs a bundle from scratch (initial deployment or reflash),
+    /// allocating resources for every element.
+    pub fn install(&mut self, bundle: ProgramBundle) -> Result<()> {
+        let installed = InstalledProgram::new(bundle, self.encoding)?;
+        if !self
+            .allocator
+            .arch()
+            .supports(installed.bundle.program.kind)
+        {
+            return Err(FlexError::Compile(format!(
+                "program kind `{}` not supported on {} device {}",
+                installed.bundle.program.kind,
+                self.arch_class(),
+                self.id
+            )));
+        }
+        // Release any previous placement.
+        let old_placed: Vec<String> = self.allocator.placed().map(str::to_string).collect();
+        for name in old_placed {
+            let _ = self.allocator.free(&name);
+        }
+        self.parser = ParserGraph::new();
+
+        self.place_elements(&installed)?;
+        for h in &installed.bundle.headers {
+            self.parser.add_state(h)?;
+        }
+        self.active = Some(installed);
+        self.version = self.version.next();
+        Ok(())
+    }
+
+    /// Allocates every element of `installed`, applying monotone stage
+    /// ordering for tables on RMT (tables applied later may not sit in an
+    /// earlier stage than their predecessors).
+    fn place_elements(&mut self, installed: &InstalledProgram) -> Result<()> {
+        let elements = program_elements(
+            &installed.bundle.program,
+            &installed.bundle.headers,
+            &installed.registry,
+        );
+        // Determine table application order from handlers.
+        let mut apply_order: Vec<String> = Vec::new();
+        for h in &installed.bundle.program.handlers {
+            collect_applies(&h.body, &mut apply_order);
+        }
+        let mut last_stage = 0usize;
+        let mut placed: Vec<String> = Vec::new();
+        let result = (|| {
+            for e in &elements {
+                let min_stage = if e.kind == flexnet_lang::ir::ElementKind::Table
+                    && apply_order.contains(&e.name)
+                {
+                    last_stage
+                } else {
+                    0
+                };
+                let loc = self.allocator.alloc(&e.name, &e.demand, min_stage)?;
+                placed.push(e.name.clone());
+                if let (crate::arch::Location::Stage(s), true) = (
+                    loc,
+                    e.kind == flexnet_lang::ir::ElementKind::Table
+                        && apply_order.contains(&e.name),
+                ) {
+                    last_stage = s;
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            for name in placed {
+                let _ = self.allocator.free(&name);
+            }
+        }
+        result
+    }
+
+    /// Used resources (architecture kinds), including the parser.
+    pub fn used(&self) -> ResourceVec {
+        let mut u = self.allocator.used();
+        u += self.parser.used();
+        u
+    }
+
+    /// Total capacity (architecture kinds).
+    pub fn capacity(&self) -> ResourceVec {
+        self.allocator.arch().capacity()
+    }
+
+    /// Max-component utilization in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        self.used().utilization_of(&self.capacity())
+    }
+
+    // -- control-plane entry management ---------------------------------------
+
+    /// Installs a table entry.
+    pub fn add_entry(&mut self, table: &str, entry: TableEntry) -> Result<()> {
+        let p = self
+            .active
+            .as_mut()
+            .ok_or_else(|| FlexError::NotFound("no program installed".into()))?;
+        p.tables
+            .get_mut(table)
+            .ok_or_else(|| FlexError::NotFound(format!("table `{table}`")))?
+            .insert(entry)
+    }
+
+    /// Removes table entries matching the given key matches.
+    pub fn remove_entry(&mut self, table: &str, matches: &[crate::table::KeyMatch]) -> Result<usize> {
+        let p = self
+            .active
+            .as_mut()
+            .ok_or_else(|| FlexError::NotFound("no program installed".into()))?;
+        Ok(p.tables
+            .get_mut(table)
+            .ok_or_else(|| FlexError::NotFound(format!("table `{table}`")))?
+            .remove(matches))
+    }
+
+    /// Snapshots the installed program's logical state.
+    pub fn snapshot_state(&self) -> Option<LogicalState> {
+        self.active.as_ref().map(|p| p.state.snapshot())
+    }
+
+    /// Restores a logical state snapshot into the installed program.
+    pub fn restore_state(&mut self, state: &LogicalState) -> Result<()> {
+        let p = self
+            .active
+            .as_mut()
+            .ok_or_else(|| FlexError::NotFound("no program installed".into()))?;
+        p.state.restore(state);
+        Ok(())
+    }
+
+    // -- packet processing ------------------------------------------------------
+
+    /// Processes one packet at simulated time `now`.
+    pub fn process(&mut self, pkt: &mut Packet, now: SimTime) -> Result<ProcessResult> {
+        // Commit any reconfiguration whose transition completed.
+        self.commit_if_ready(now);
+
+        if let Some(until) = self.drained_until {
+            if now < until {
+                self.stats.refused += 1;
+                return Ok(ProcessResult {
+                    verdict: Verdict::Drop,
+                    latency: SimDuration::ZERO,
+                    version: self.version,
+                    ops: 0,
+                    refused: true,
+                });
+            }
+            self.drained_until = None;
+        }
+
+        let version = self.version;
+        let Some(active) = self.active.as_mut() else {
+            // No program: transparent default forwarding.
+            self.stats.processed += 1;
+            pkt.record_processing(self.id, version);
+            return Ok(ProcessResult {
+                verdict: Verdict::Forward(self.default_port),
+                latency: self.cost.base_latency,
+                version,
+                ops: 0,
+                refused: false,
+            });
+        };
+
+        active.state.now = now;
+        let hidden = self.parser.strip_invisible(pkt);
+
+        let mut total_ops = 0u64;
+        let mut verdict;
+        let mut passes = 0u32;
+        loop {
+            let outcome = {
+                let mut env = DeviceEnv {
+                    tables: &active.tables,
+                    state: &mut active.state,
+                    invocations: &mut self.invocations,
+                };
+                execute(
+                    &active.bundle.program,
+                    "ingress",
+                    pkt,
+                    &mut env,
+                    &active.registry,
+                )?
+            };
+            total_ops += outcome.ops;
+            verdict = outcome.verdict.unwrap_or(Verdict::Forward(self.default_port));
+            if verdict != Verdict::Recirculate {
+                break;
+            }
+            passes += 1;
+            if passes > MAX_RECIRCULATIONS {
+                self.stats.recirc_dropped += 1;
+                verdict = Verdict::Drop;
+                break;
+            }
+        }
+
+        self.parser.reattach(pkt, hidden);
+        pkt.record_processing(self.id, version);
+        self.stats.processed += 1;
+        if verdict == Verdict::ToController {
+            self.stats.punted += 1;
+        }
+
+        Ok(ProcessResult {
+            verdict,
+            latency: self.cost.packet_latency(total_ops),
+            version,
+            ops: total_ops,
+            refused: false,
+        })
+    }
+
+    /// Internal hook from the reconfiguration engine (see `reconfig.rs`).
+    fn commit_if_ready(&mut self, now: SimTime) {
+        crate::reconfig::commit_if_ready(self, now);
+    }
+}
+
+/// Collects table names in `apply` order.
+fn collect_applies(block: &[flexnet_lang::ast::Stmt], out: &mut Vec<String>) {
+    use flexnet_lang::ast::Stmt;
+    for s in block {
+        match s {
+            Stmt::Apply(t) if !out.contains(t) => out.push(t.clone()),
+            Stmt::If(_, a, b) => {
+                collect_applies(a, out);
+                collect_applies(b, out);
+            }
+            Stmt::Repeat(_, b) => collect_applies(b, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexnet_lang::parser::parse_source;
+
+    pub(crate) fn bundle(src: &str) -> ProgramBundle {
+        let file = parse_source(src).unwrap();
+        ProgramBundle {
+            headers: file.headers,
+            program: file.programs.into_iter().next().unwrap(),
+        }
+    }
+
+    fn fw_bundle() -> ProgramBundle {
+        bundle(
+            "program fw kind any {
+               map blocked : map<u32, u8>[64];
+               counter hits;
+               table acl {
+                 key { ipv4.src : exact; }
+                 action deny() { count(hits); drop(); }
+                 action allow(port: u16) { forward(port); }
+                 default allow(1);
+                 size 16;
+               }
+               handler ingress(pkt) {
+                 if (map_get(blocked, ipv4.src) == 1) { drop(); }
+                 apply acl;
+                 forward(1);
+               }
+             }",
+        )
+    }
+
+    fn new_dev() -> Device {
+        Device::new(
+            NodeId(1),
+            Architecture::drmt_default(),
+            StateEncoding::StatefulTable,
+        )
+    }
+
+    #[test]
+    fn install_and_process_default_allow() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        let mut pkt = Packet::tcp(1, 10, 20, 1, 80, 0);
+        let r = d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(r.verdict, Verdict::Forward(1));
+        assert!(!r.refused);
+        assert!(r.latency >= d.cost_model().base_latency);
+        assert_eq!(pkt.trace.len(), 1);
+        assert_eq!(d.stats().processed, 1);
+    }
+
+    #[test]
+    fn entries_change_behavior() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        d.add_entry(
+            "acl",
+            TableEntry::exact(
+                &[99],
+                ActionCall {
+                    action: "deny".into(),
+                    args: vec![],
+                },
+            ),
+        )
+        .unwrap();
+        let mut pkt = Packet::tcp(1, 99, 20, 1, 80, 0);
+        let r = d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(r.verdict, Verdict::Drop);
+        assert_eq!(d.program().unwrap().state.counter_read("hits"), 1);
+        // Removing the entry restores the default.
+        let n = d
+            .remove_entry("acl", &[crate::table::KeyMatch::Exact(99)])
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut pkt2 = Packet::tcp(2, 99, 20, 1, 80, 0);
+        assert_eq!(
+            d.process(&mut pkt2, SimTime::ZERO).unwrap().verdict,
+            Verdict::Forward(1)
+        );
+    }
+
+    #[test]
+    fn map_state_drives_drop() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        d.program_mut()
+            .unwrap()
+            .state
+            .map_put("blocked", 77, 1)
+            .unwrap();
+        let mut pkt = Packet::tcp(1, 77, 20, 1, 80, 0);
+        assert_eq!(
+            d.process(&mut pkt, SimTime::ZERO).unwrap().verdict,
+            Verdict::Drop
+        );
+    }
+
+    #[test]
+    fn empty_device_forwards_on_default_port() {
+        let mut d = new_dev();
+        d.set_default_port(7);
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(r.verdict, Verdict::Forward(7));
+    }
+
+    #[test]
+    fn unsupported_kind_rejected() {
+        let mut d = Device::new(
+            NodeId(2),
+            Architecture::smartnic_default(),
+            StateEncoding::StatefulTable,
+        );
+        let b = bundle("program p kind switch { handler ingress(pkt) { forward(1); } }");
+        assert!(d.install(b).is_err());
+    }
+
+    #[test]
+    fn install_rolls_back_on_resource_failure() {
+        let mut d = Device::new(
+            NodeId(3),
+            Architecture::Rmt {
+                stages: 1,
+                per_stage: ResourceVec::of(flexnet_types::ResourceKind::SramKb, 1),
+            },
+            StateEncoding::StatefulTable,
+        );
+        // Demands far more than 1 KiB of SRAM.
+        let b = bundle(
+            "program p kind any {
+               table t { key { ipv4.src : exact; } size 65536; }
+               handler ingress(pkt) { apply t; forward(1); }
+             }",
+        );
+        assert!(d.install(b).is_err());
+        assert_eq!(d.allocator().placed().count(), 0, "rollback must free all");
+        assert!(d.program().is_none());
+    }
+
+    #[test]
+    fn recirculation_bounded() {
+        let mut d = new_dev();
+        d.install(bundle(
+            "program loopy kind any { handler ingress(pkt) { recirculate(); } }",
+        ))
+        .unwrap();
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(r.verdict, Verdict::Drop);
+        assert_eq!(d.stats().recirc_dropped, 1);
+        assert!(r.ops > 0);
+    }
+
+    #[test]
+    fn punt_counted() {
+        let mut d = new_dev();
+        d.install(bundle(
+            "program p kind any { handler ingress(pkt) { punt(); } }",
+        ))
+        .unwrap();
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(r.verdict, Verdict::ToController);
+        assert_eq!(d.stats().punted, 1);
+    }
+
+    #[test]
+    fn invocations_drained() {
+        let mut d = new_dev();
+        d.install(bundle(
+            "program p kind any {
+               service require mig(dst: u32);
+               handler ingress(pkt) { invoke mig(5); forward(1); }
+             }",
+        ))
+        .unwrap();
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(d.take_invocations(), vec![("mig".to_string(), vec![5])]);
+        assert!(d.take_invocations().is_empty());
+    }
+
+    #[test]
+    fn snapshot_and_restore_roundtrip() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        d.program_mut()
+            .unwrap()
+            .state
+            .map_put("blocked", 5, 1)
+            .unwrap();
+        let snap = d.snapshot_state().unwrap();
+
+        let mut d2 = new_dev();
+        d2.install(fw_bundle()).unwrap();
+        d2.restore_state(&snap).unwrap();
+        assert_eq!(d2.program_mut().unwrap().state.map_get("blocked", 5), Some(1));
+    }
+
+    #[test]
+    fn reinstall_replaces_placement() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        let used_before = d.used();
+        assert!(!used_before.is_zero());
+        d.install(bundle(
+            "program tiny kind any { handler ingress(pkt) { forward(1); } }",
+        ))
+        .unwrap();
+        assert!(
+            used_before.covers(&d.used()) && d.used() != used_before,
+            "smaller program must use fewer resources"
+        );
+        assert_eq!(d.version(), ProgramVersion(2));
+    }
+
+    #[test]
+    fn stage_ordering_for_applied_tables() {
+        // Two sequentially applied tables, each too big to share a stage:
+        // the second must land in a later stage.
+        let per_stage = ResourceVec::from_pairs([
+            (flexnet_types::ResourceKind::SramKb, 8),
+            (flexnet_types::ResourceKind::ActionSlots, 64),
+        ]);
+        let mut d = Device::new(
+            NodeId(4),
+            Architecture::Rmt {
+                stages: 4,
+                per_stage,
+            },
+            StateEncoding::StatefulTable,
+        );
+        let b = bundle(
+            "program p kind any {
+               table first { key { ipv4.src : exact; } size 1024; }
+               table second { key { ipv4.dst : exact; } size 1024; }
+               handler ingress(pkt) { apply first; apply second; forward(1); }
+             }",
+        );
+        d.install(b).unwrap();
+        let s1 = d.allocator().location("first").unwrap();
+        let s2 = d.allocator().location("second").unwrap();
+        match (s1, s2) {
+            (crate::arch::Location::Stage(a), crate::arch::Location::Stage(b)) => {
+                assert!(b >= a, "second table must not precede first (got {a} vs {b})");
+                assert_ne!(a, b, "1024-entry tables cannot share an 8KiB stage");
+            }
+            other => panic!("expected stage placements, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # flexnet-dataplane — runtime-reconfigurable device models
+//!
+//! The data-plane substrate of the FlexNet reproduction ("A Vision for
+//! Runtime Programmable Networks", HotNets '21). In place of the paper's
+//! hardware targets (Spectrum/Tofino/Trident4 ASICs, SmartNICs, host
+//! kernels) this crate provides behaviourally-faithful simulators:
+//!
+//! - [`arch`] — RMT, dRMT, tiled/elastic-pipe, SmartNIC, and host resource
+//!   models with architecture-specific fungibility (paper §3.3 i–iv).
+//! - [`table`] — the match/action engine (exact/LPM/ternary/range).
+//! - [`state`] — stateful-state encodings (registers, flow instruction
+//!   sets, stateful tables) behind a virtualized logical K/V layer (§3.1).
+//! - [`parser`] — the parser graph with runtime state add/remove (§2).
+//! - [`device`] — the device: placement, packet processing, statistics.
+//! - [`reconfig`] — hitless runtime reconfiguration (shadow program +
+//!   atomic version flip), the drain/reflash compile-time baseline, and an
+//!   unsafe in-place ablation (§2).
+//! - [`baseline`] — Mantis- and HyPer4-style approximations (§1.1).
+//! - [`cost`] — per-architecture latency/reconfiguration/energy models.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arch;
+pub mod baseline;
+pub mod cost;
+pub mod device;
+pub mod parser;
+pub mod reconfig;
+pub mod state;
+pub mod table;
+
+pub use arch::{ArchAllocator, ArchClass, Architecture, Location};
+pub use baseline::{Hyper4Device, MantisDevice};
+pub use cost::CostModel;
+pub use device::{Device, DeviceStats, InstalledProgram, ProcessResult};
+pub use parser::ParserGraph;
+pub use reconfig::{ReconfigMode, ReconfigReport};
+pub use state::{DeviceState, LogicalState, StateEncoding};
+pub use table::{KeyMatch, TableEntry, TableInstance, TableSet};

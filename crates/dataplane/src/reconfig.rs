@@ -1,0 +1,583 @@
+//! The runtime reconfiguration engine.
+//!
+//! Paper §2 (describing the authors' Spectrum prototype, which FlexNet
+//! generalizes): "While keeping the device live, match/action tables can be
+//! added and removed on-the-fly without packet loss. Parser states can be
+//! similarly manipulated … Program changes complete within a second, and
+//! during this transition, packets are either processed by the new program
+//! or old one in a consistent manner."
+//!
+//! Three reconfiguration modes are implemented:
+//!
+//! - [`ReconfigMode::RuntimeHitless`] — the FlexNet mode. A *shadow* copy of
+//!   the new program is materialized beside the active one (carrying over
+//!   shared state and table entries); packets keep flowing through the old
+//!   program during the transition; when every op has been applied
+//!   (cost-model time), one atomic version flip makes the shadow active.
+//!   Zero loss; every packet sees exactly the old or exactly the new
+//!   program.
+//! - [`ReconfigMode::DrainAndReflash`] — the compile-time baseline: the
+//!   device refuses traffic for drain + reflash + redeploy, and device state
+//!   is wiped (as a real reflash does).
+//! - [`ReconfigMode::UnsafeInPlace`] — an ablation: ops are applied one at a
+//!   time *to the live program* with no shadow. Packets processed mid-
+//!   transition can observe a program that is neither the old nor the new
+//!   one (experiment E1's consistency ablation).
+
+use crate::device::{Device, InstalledProgram};
+use flexnet_lang::diff::{diff_bundles, ProgramBundle, ReconfigOp};
+use flexnet_lang::ir::{state_demand, table_demand};
+use flexnet_types::{FlexError, Result, SimDuration, SimTime};
+
+/// How a program change is rolled out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigMode {
+    /// Shadow build + atomic flip (FlexNet).
+    RuntimeHitless,
+    /// Drain, reflash, redeploy (compile-time baseline).
+    DrainAndReflash,
+    /// In-place op-by-op mutation (consistency ablation).
+    UnsafeInPlace,
+}
+
+/// Summary returned when a reconfiguration is initiated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigReport {
+    /// The rollout mode.
+    pub mode: ReconfigMode,
+    /// Number of primitive ops in the change.
+    pub ops: usize,
+    /// Simulated duration of the transition.
+    pub duration: SimDuration,
+    /// When the new program becomes active.
+    pub ready_at: SimTime,
+}
+
+/// In-flight reconfiguration state held by a device.
+#[derive(Debug)]
+pub(crate) struct PendingReconfig {
+    mode: ReconfigMode,
+    ready_at: SimTime,
+    /// Hitless / reflash: the program that becomes active at `ready_at`.
+    shadow: Option<InstalledProgram>,
+    /// Hitless: elements to free from the allocator at commit (removals).
+    deferred_frees: Vec<String>,
+    /// Hitless: parser states to remove at commit.
+    deferred_parser_removals: Vec<String>,
+    /// Unsafe in-place: (apply-at, op) pairs not yet applied.
+    staged_ops: Vec<(SimTime, ReconfigOp)>,
+}
+
+impl Device {
+    /// Whether a reconfiguration is in flight.
+    pub fn reconfig_in_progress(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Advances reconfiguration state to time `now` without a packet.
+    pub fn tick(&mut self, now: SimTime) {
+        commit_if_ready(self, now);
+    }
+
+    /// Begins a hitless runtime reconfiguration to `target`.
+    ///
+    /// Traffic continues on the old program during the transition; at
+    /// `ready_at` the shadow becomes active atomically. State objects and
+    /// table entries shared between the two programs are carried over.
+    pub fn begin_runtime_reconfig(
+        &mut self,
+        target: ProgramBundle,
+        now: SimTime,
+    ) -> Result<ReconfigReport> {
+        if self.pending.is_some() {
+            return Err(FlexError::Reconfig(
+                "a reconfiguration is already in progress".into(),
+            ));
+        }
+        let Some(active) = self.program() else {
+            // First install: no old program to keep alive; still pay the
+            // op costs, but there is no traffic to disturb.
+            let ops = diff_bundles(
+                &ProgramBundle::new(flexnet_lang::ast::Program::empty(
+                    &target.program.name,
+                    target.program.kind,
+                )),
+                &target,
+            );
+            let duration = self.cost_model().plan_duration(&ops);
+            self.install(target)?;
+            return Ok(ReconfigReport {
+                mode: ReconfigMode::RuntimeHitless,
+                ops: ops.len(),
+                duration,
+                ready_at: now + duration,
+            });
+        };
+
+        let ops = diff_bundles(&active.bundle, &target);
+        let duration = self.cost_model().plan_duration(&ops);
+        let ready_at = now + duration;
+
+        // Materialize the shadow (checks + verifies target).
+        let mut shadow = InstalledProgram::new(target, self.encoding())?;
+        // Carry over logical state for declarations present in both.
+        shadow.state.restore(&active.state.snapshot());
+        // Carry over entries of tables whose declaration is unchanged.
+        for table in active.tables.iter() {
+            if shadow.bundle.program.table(&table.decl.name) == Some(&table.decl) {
+                if let Some(dst) = shadow.tables.get_mut(&table.decl.name) {
+                    for e in &table.entries {
+                        let _ = dst.insert(e.clone());
+                    }
+                }
+            }
+        }
+
+        // Resource accounting: make-before-break. Allocate additions now,
+        // defer frees of removals to commit. Roll back on failure.
+        let mut allocated: Vec<String> = Vec::new();
+        let mut deferred_frees: Vec<String> = Vec::new();
+        let mut deferred_parser_removals: Vec<String> = Vec::new();
+        let registry = shadow.registry.clone();
+        let alloc_result: Result<()> = (|| {
+            for op in &ops {
+                match op {
+                    ReconfigOp::AddTable(t) => {
+                        let d = table_demand(t, &registry);
+                        self.allocator_mut().alloc(&t.name, &d, 0)?;
+                        allocated.push(t.name.clone());
+                    }
+                    ReconfigOp::ModifyTable(t) => {
+                        // Break-before-make for the same-named element.
+                        let _ = self.allocator_mut().free(&t.name);
+                        let d = table_demand(t, &registry);
+                        self.allocator_mut().alloc(&t.name, &d, 0)?;
+                    }
+                    ReconfigOp::AddState(s) => {
+                        let d = state_demand(s);
+                        self.allocator_mut().alloc(&s.name, &d, 0)?;
+                        allocated.push(s.name.clone());
+                    }
+                    ReconfigOp::ModifyState(s) => {
+                        let _ = self.allocator_mut().free(&s.name);
+                        let d = state_demand(s);
+                        self.allocator_mut().alloc(&s.name, &d, 0)?;
+                    }
+                    ReconfigOp::SetHandler(h) => {
+                        let d = flexnet_lang::ir::handler_demand(h);
+                        let _ = self.allocator_mut().free(&h.name);
+                        self.allocator_mut().alloc(&h.name, &d, 0)?;
+                    }
+                    ReconfigOp::AddParserState(h) => {
+                        self.parser_mut().add_state(h)?;
+                    }
+                    ReconfigOp::RemoveTable(n)
+                    | ReconfigOp::RemoveState(n)
+                    | ReconfigOp::RemoveHandler(n) => {
+                        deferred_frees.push(n.clone());
+                    }
+                    ReconfigOp::RemoveParserState(n) => {
+                        deferred_parser_removals.push(n.clone());
+                    }
+                    ReconfigOp::AddService(_) | ReconfigOp::RemoveService(_) => {}
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = alloc_result {
+            for name in allocated {
+                let _ = self.allocator_mut().free(&name);
+            }
+            return Err(e);
+        }
+
+        self.pending = Some(PendingReconfig {
+            mode: ReconfigMode::RuntimeHitless,
+            ready_at,
+            shadow: Some(shadow),
+            deferred_frees,
+            deferred_parser_removals,
+            staged_ops: Vec::new(),
+        });
+        Ok(ReconfigReport {
+            mode: ReconfigMode::RuntimeHitless,
+            ops: ops.len(),
+            duration,
+            ready_at,
+        })
+    }
+
+    /// Begins a compile-time drain/reflash/redeploy to `target`.
+    ///
+    /// The device refuses all traffic until the reflash completes, and the
+    /// old program's state is wiped (a reflash clears device memory).
+    pub fn begin_reflash(&mut self, target: ProgramBundle, now: SimTime) -> Result<ReconfigReport> {
+        if self.pending.is_some() {
+            return Err(FlexError::Reconfig(
+                "a reconfiguration is already in progress".into(),
+            ));
+        }
+        let downtime = self.cost_model().reflash_downtime();
+        let ready_at = now + downtime;
+        // Validate the target now (a failed compile would abort the
+        // maintenance window before draining).
+        let shadow = InstalledProgram::new(target, self.encoding())?;
+        self.drained_until = Some(ready_at);
+        self.pending = Some(PendingReconfig {
+            mode: ReconfigMode::DrainAndReflash,
+            ready_at,
+            shadow: Some(shadow),
+            deferred_frees: Vec::new(),
+            deferred_parser_removals: Vec::new(),
+            staged_ops: Vec::new(),
+        });
+        Ok(ReconfigReport {
+            mode: ReconfigMode::DrainAndReflash,
+            ops: 1,
+            duration: downtime,
+            ready_at,
+        })
+    }
+
+    /// Begins the unsafe in-place ablation: each op mutates the live
+    /// program as its (cost-model) time arrives, with no shadow and no
+    /// atomic flip.
+    pub fn begin_unsafe_inplace(
+        &mut self,
+        target: ProgramBundle,
+        now: SimTime,
+    ) -> Result<ReconfigReport> {
+        if self.pending.is_some() {
+            return Err(FlexError::Reconfig(
+                "a reconfiguration is already in progress".into(),
+            ));
+        }
+        let Some(active) = self.program() else {
+            return Err(FlexError::Reconfig(
+                "no active program to mutate in place".into(),
+            ));
+        };
+        let ops = diff_bundles(&active.bundle, &target);
+        let mut staged = Vec::new();
+        let mut t = now;
+        for op in &ops {
+            t += self.cost_model().op_duration(op);
+            staged.push((t, op.clone()));
+        }
+        let ready_at = t;
+        let duration = ready_at.saturating_since(now);
+        let n = ops.len();
+        self.pending = Some(PendingReconfig {
+            mode: ReconfigMode::UnsafeInPlace,
+            ready_at,
+            shadow: None,
+            deferred_frees: Vec::new(),
+            deferred_parser_removals: Vec::new(),
+            staged_ops: staged,
+        });
+        Ok(ReconfigReport {
+            mode: ReconfigMode::UnsafeInPlace,
+            ops: n,
+            duration,
+            ready_at,
+        })
+    }
+}
+
+/// Advances/commits any pending reconfiguration on `dev` at time `now`.
+/// Called from `Device::process` and `Device::tick`.
+pub(crate) fn commit_if_ready(dev: &mut Device, now: SimTime) {
+    let Some(pending) = dev.pending.as_mut() else {
+        return;
+    };
+    match pending.mode {
+        ReconfigMode::UnsafeInPlace => {
+            // Apply every op whose time has come, directly to the live
+            // program. This is exactly the inconsistency the shadow+flip
+            // design avoids.
+            let due: Vec<ReconfigOp> = {
+                let mut due = Vec::new();
+                pending.staged_ops.retain(|(t, op)| {
+                    if *t <= now {
+                        due.push(op.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                due
+            };
+            let finished = pending.staged_ops.is_empty();
+            if let Some(active) = dev.program_mut() {
+                for op in due {
+                    let _ = active.apply_op(&op);
+                }
+            }
+            if finished {
+                dev.pending = None;
+                dev.bump_version();
+            }
+        }
+        ReconfigMode::RuntimeHitless | ReconfigMode::DrainAndReflash => {
+            if now < pending.ready_at {
+                return;
+            }
+            let pending = dev.pending.take().expect("checked above");
+            if let Some(shadow) = pending.shadow {
+                // Atomic flip: packets before this instant saw the old
+                // program, packets after see the new one.
+                let _ = dev.take_active();
+                dev.set_active(shadow);
+                dev.bump_version();
+            }
+            for name in pending.deferred_frees {
+                let _ = dev.allocator_mut().free(&name);
+            }
+            for proto in pending.deferred_parser_removals {
+                let _ = dev.parser_mut().remove_state(&proto);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::state::StateEncoding;
+    use flexnet_lang::parser::parse_source;
+    use flexnet_types::{NodeId, Packet, ProgramVersion, Verdict};
+
+    fn bundle(src: &str) -> ProgramBundle {
+        let file = parse_source(src).unwrap();
+        ProgramBundle {
+            headers: file.headers,
+            program: file.programs.into_iter().next().unwrap(),
+        }
+    }
+
+    fn v1() -> ProgramBundle {
+        bundle("program app kind any { handler ingress(pkt) { forward(1); } }")
+    }
+
+    fn v2() -> ProgramBundle {
+        bundle(
+            "program app kind any {
+               counter c;
+               handler ingress(pkt) { count(c); forward(2); }
+             }",
+        )
+    }
+
+    fn dev() -> Device {
+        let mut d = Device::new(
+            NodeId(1),
+            Architecture::drmt_default(),
+            StateEncoding::StatefulTable,
+        );
+        d.install(v1()).unwrap();
+        d
+    }
+
+    #[test]
+    fn hitless_reconfig_is_sub_second_and_lossless() {
+        let mut d = dev();
+        let t0 = SimTime::from_secs(10);
+        let report = d.begin_runtime_reconfig(v2(), t0).unwrap();
+        assert_eq!(report.mode, ReconfigMode::RuntimeHitless);
+        assert!(
+            report.duration < SimDuration::from_secs(1),
+            "paper claim: changes complete within a second (got {})",
+            report.duration
+        );
+
+        // During the transition, packets are processed (no loss) by the OLD
+        // program.
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, t0 + SimDuration::from_millis(1)).unwrap();
+        assert!(!r.refused);
+        assert_eq!(r.verdict, Verdict::Forward(1), "old program semantics");
+
+        // After ready_at, the NEW program answers.
+        let mut pkt2 = Packet::udp(2, 1, 2, 3, 4);
+        let r2 = d
+            .process(&mut pkt2, report.ready_at + SimDuration::from_nanos(1))
+            .unwrap();
+        assert_eq!(r2.verdict, Verdict::Forward(2), "new program semantics");
+        assert!(r2.version > r.version, "version flipped atomically");
+        assert_eq!(d.stats().refused, 0, "hitless = zero loss");
+    }
+
+    #[test]
+    fn hitless_carries_over_state_and_entries() {
+        let base = bundle(
+            "program app kind any {
+               counter c;
+               table t {
+                 key { ipv4.src : exact; }
+                 action deny() { drop(); }
+                 size 8;
+               }
+               handler ingress(pkt) { count(c); apply t; forward(1); }
+             }",
+        );
+        // v2 keeps c and t, adds a map.
+        let next = bundle(
+            "program app kind any {
+               counter c;
+               map m : map<u32, u8>[16];
+               table t {
+                 key { ipv4.src : exact; }
+                 action deny() { drop(); }
+                 size 8;
+               }
+               handler ingress(pkt) { count(c); apply t; forward(1); }
+             }",
+        );
+        let mut d = Device::new(
+            NodeId(1),
+            Architecture::drmt_default(),
+            StateEncoding::StatefulTable,
+        );
+        d.install(base).unwrap();
+        // Accumulate state + an entry.
+        let mut pkt = Packet::tcp(1, 9, 2, 3, 4, 0);
+        d.process(&mut pkt, SimTime::ZERO).unwrap();
+        d.add_entry(
+            "t",
+            crate::table::TableEntry::exact(
+                &[9],
+                flexnet_lang::ast::ActionCall {
+                    action: "deny".into(),
+                    args: vec![],
+                },
+            ),
+        )
+        .unwrap();
+
+        let report = d.begin_runtime_reconfig(next, SimTime::ZERO).unwrap();
+        d.tick(report.ready_at);
+        let p = d.program().unwrap();
+        assert_eq!(p.state.counter_read("c"), 1, "counter carried over");
+        assert_eq!(p.tables.get("t").unwrap().len(), 1, "entries carried over");
+        // And the new map is live.
+        let mut pkt2 = Packet::tcp(2, 9, 2, 3, 4, 0);
+        let r = d.process(&mut pkt2, report.ready_at).unwrap();
+        assert_eq!(r.verdict, Verdict::Drop, "entry still matches after flip");
+    }
+
+    #[test]
+    fn reflash_baseline_loses_traffic_and_state() {
+        let mut d = dev();
+        let t0 = SimTime::from_secs(5);
+        let report = d.begin_reflash(v2(), t0).unwrap();
+        assert!(
+            report.duration >= SimDuration::from_secs(10),
+            "reflash downtime is tens of seconds (got {})",
+            report.duration
+        );
+        // Mid-window: refused.
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, t0 + SimDuration::from_secs(1)).unwrap();
+        assert!(r.refused);
+        assert_eq!(d.stats().refused, 1);
+        // After the window: new program runs.
+        let mut pkt2 = Packet::udp(2, 1, 2, 3, 4);
+        let r2 = d.process(&mut pkt2, report.ready_at).unwrap();
+        assert!(!r2.refused);
+        assert_eq!(r2.verdict, Verdict::Forward(2));
+    }
+
+    #[test]
+    fn unsafe_inplace_exposes_mixed_program() {
+        // v2 changes the handler AND adds a counter. In-place, the handler
+        // flip and the counter add land at different instants.
+        let mut d = dev();
+        let t0 = SimTime::ZERO;
+        let report = d.begin_unsafe_inplace(v2(), t0).unwrap();
+        assert_eq!(report.mode, ReconfigMode::UnsafeInPlace);
+        assert!(report.ops >= 2);
+
+        // Diff order: AddState(c) first, then SetHandler. Probe between the
+        // two: state added but handler still old -> a mix.
+        let state_op = cost_model_state_op(&d);
+        let mid = t0 + state_op + SimDuration::from_nanos(1);
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, mid).unwrap();
+        // Old handler (forward(1)) but new state exists: neither old nor new
+        // program as a whole.
+        assert_eq!(r.verdict, Verdict::Forward(1));
+        assert!(d.program().unwrap().state.has("c"), "state already added");
+
+        // After completion the program is fully v2.
+        let mut pkt2 = Packet::udp(2, 1, 2, 3, 4);
+        let r2 = d.process(&mut pkt2, report.ready_at).unwrap();
+        assert_eq!(r2.verdict, Verdict::Forward(2));
+    }
+
+    fn cost_model_state_op(d: &Device) -> SimDuration {
+        d.cost_model().state_op
+    }
+
+    #[test]
+    fn concurrent_reconfigs_rejected() {
+        let mut d = dev();
+        d.begin_runtime_reconfig(v2(), SimTime::ZERO).unwrap();
+        assert!(d.begin_runtime_reconfig(v1(), SimTime::ZERO).is_err());
+        assert!(d.begin_reflash(v1(), SimTime::ZERO).is_err());
+        assert!(d.begin_unsafe_inplace(v1(), SimTime::ZERO).is_err());
+        assert!(d.reconfig_in_progress());
+        d.tick(SimTime::from_secs(100));
+        assert!(!d.reconfig_in_progress());
+        // Now a new one is accepted.
+        d.begin_runtime_reconfig(v1(), SimTime::from_secs(100)).unwrap();
+    }
+
+    #[test]
+    fn hitless_on_empty_device_installs() {
+        let mut d = Device::new(
+            NodeId(9),
+            Architecture::drmt_default(),
+            StateEncoding::StatefulTable,
+        );
+        let report = d.begin_runtime_reconfig(v1(), SimTime::ZERO).unwrap();
+        assert!(report.ops > 0);
+        assert!(d.program().is_some());
+    }
+
+    #[test]
+    fn hitless_rejects_invalid_target() {
+        let mut d = dev();
+        // Unknown table reference fails the type checker.
+        let bad = bundle("program app kind any { handler ingress(pkt) { apply nope; } }");
+        assert!(d.begin_runtime_reconfig(bad, SimTime::ZERO).is_err());
+        assert!(!d.reconfig_in_progress(), "failed begin leaves no residue");
+    }
+
+    #[test]
+    fn parser_states_added_and_removed_across_reconfig() {
+        let with_hdr = bundle(
+            "header vxlan { fields { vni: 24; } follows udp when udp.dport == 4789; }
+             program app kind any {
+               handler ingress(pkt) { if (valid(vxlan)) { drop(); } forward(1); }
+             }",
+        );
+        let mut d = dev();
+        let r = d.begin_runtime_reconfig(with_hdr, SimTime::ZERO).unwrap();
+        d.tick(r.ready_at);
+        assert!(d.parser().can_parse("vxlan"));
+        // Back to v1: parser state removed at commit.
+        let r2 = d.begin_runtime_reconfig(v1(), r.ready_at).unwrap();
+        d.tick(r2.ready_at);
+        assert!(!d.parser().can_parse("vxlan"));
+    }
+
+    #[test]
+    fn version_increments_once_per_hitless_change() {
+        let mut d = dev();
+        let v_before = d.version();
+        let r = d.begin_runtime_reconfig(v2(), SimTime::ZERO).unwrap();
+        d.tick(r.ready_at);
+        assert_eq!(d.version(), ProgramVersion(v_before.0 + 1));
+    }
+}

@@ -1,0 +1,700 @@
+//! Stateful-state encodings and the virtualized logical state layer.
+//!
+//! Paper §3.1: "Virtualizing network state is crucial, as individual devices
+//! have drastically different ways of implementing this state. … The P4
+//! language standard defines stateful *registers and counters* … PoF devices
+//! expose a different abstraction: *flow state instruction sets* …
+//! Nvidia/Mellanox devices pursue yet another route: *stateful tables* that
+//! are indexed with flow key, with flow insertions and removals performed in
+//! the data plane. If a program assumes a specific way of state encoding
+//! (e.g., registers), function migration becomes difficult."
+//!
+//! FlexBPF programs therefore see only logical key/value maps; this module
+//! provides three *encodings* of those maps with faithful behavioural
+//! differences (register arrays can collide, flow-instruction sets evict
+//! FIFO, stateful tables evict LRU), plus a [`LogicalState`] snapshot format
+//! that migration uses — "Program migration carries its state in this
+//! logical representation."
+
+use flexnet_lang::ast::{StateDecl, StateKind};
+use flexnet_types::{FlexError, Result, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How a device encodes logical key/value maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StateEncoding {
+    /// P4-style register arrays: the map is hashed into a fixed array;
+    /// colliding keys *overwrite is not possible* — a colliding insert is
+    /// dropped, and a lookup whose slot holds a different key misses.
+    RegisterArray,
+    /// PoF-style flow-state instruction set: an exact store with FIFO
+    /// eviction when full.
+    FlowInstructionSet,
+    /// Spectrum-style stateful tables: an exact store with data-plane flow
+    /// insertion/removal and LRU eviction when full.
+    StatefulTable,
+}
+
+impl StateEncoding {
+    /// Relative per-access cost (abstract ops) of this encoding.
+    pub fn access_cost(self) -> u64 {
+        match self {
+            StateEncoding::RegisterArray => 1,
+            StateEncoding::FlowInstructionSet => 2,
+            StateEncoding::StatefulTable => 2,
+        }
+    }
+}
+
+/// A serializable snapshot of a program's entire logical state — the
+/// representation that migrates between devices.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicalState {
+    /// Map contents.
+    pub maps: BTreeMap<String, BTreeMap<u64, u64>>,
+    /// Register arrays.
+    pub registers: BTreeMap<String, Vec<u64>>,
+    /// Counters: (packets, bytes).
+    pub counters: BTreeMap<String, (u64, u64)>,
+}
+
+impl LogicalState {
+    /// Total number of state items (map entries + register cells + counters)
+    /// — used to model migration transfer volume.
+    pub fn item_count(&self) -> u64 {
+        let m: usize = self.maps.values().map(|m| m.len()).sum();
+        let r: usize = self.registers.values().map(|r| r.len()).sum();
+        (m + r + self.counters.len()) as u64
+    }
+}
+
+/// One logical map under a specific encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum MapStore {
+    Registers {
+        slots: Vec<Option<(u64, u64)>>,
+    },
+    FlowIs {
+        entries: BTreeMap<u64, u64>,
+        order: VecDeque<u64>,
+        cap: usize,
+    },
+    Stateful {
+        entries: BTreeMap<u64, u64>,
+        lru: VecDeque<u64>,
+        cap: usize,
+    },
+}
+
+impl MapStore {
+    fn new(encoding: StateEncoding, cap: usize) -> MapStore {
+        match encoding {
+            StateEncoding::RegisterArray => MapStore::Registers {
+                slots: vec![None; cap.max(1)],
+            },
+            StateEncoding::FlowInstructionSet => MapStore::FlowIs {
+                entries: BTreeMap::new(),
+                order: VecDeque::new(),
+                cap: cap.max(1),
+            },
+            StateEncoding::StatefulTable => MapStore::Stateful {
+                entries: BTreeMap::new(),
+                lru: VecDeque::new(),
+                cap: cap.max(1),
+            },
+        }
+    }
+
+    fn slot_of(key: u64, len: usize) -> usize {
+        // Deterministic hash-to-slot (FNV step keeps adjacent keys apart).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in 0..8 {
+            h ^= (key >> (i * 8)) & 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % len as u64) as usize
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        match self {
+            MapStore::Registers { slots } => {
+                let idx = Self::slot_of(key, slots.len());
+                match slots[idx] {
+                    Some((k, v)) if k == key => Some(v),
+                    _ => None, // collision or empty: miss
+                }
+            }
+            MapStore::FlowIs { entries, .. } => entries.get(&key).copied(),
+            MapStore::Stateful { entries, lru, .. } => {
+                let v = entries.get(&key).copied();
+                if v.is_some() {
+                    // Touch for LRU.
+                    if let Some(pos) = lru.iter().position(|k| *k == key) {
+                        lru.remove(pos);
+                    }
+                    lru.push_back(key);
+                }
+                v
+            }
+        }
+    }
+
+    /// Inserts; returns `false` when the encoding dropped the insert
+    /// (register collision).
+    fn put(&mut self, key: u64, value: u64) -> bool {
+        match self {
+            MapStore::Registers { slots } => {
+                let idx = Self::slot_of(key, slots.len());
+                match slots[idx] {
+                    Some((k, _)) if k != key => false, // collision: dropped
+                    _ => {
+                        slots[idx] = Some((key, value));
+                        true
+                    }
+                }
+            }
+            MapStore::FlowIs {
+                entries,
+                order,
+                cap,
+            } => {
+                if !entries.contains_key(&key) {
+                    if entries.len() >= *cap {
+                        if let Some(old) = order.pop_front() {
+                            entries.remove(&old);
+                        }
+                    }
+                    order.push_back(key);
+                }
+                entries.insert(key, value);
+                true
+            }
+            MapStore::Stateful { entries, lru, cap } => {
+                if !entries.contains_key(&key) {
+                    if entries.len() >= *cap {
+                        if let Some(old) = lru.pop_front() {
+                            entries.remove(&old);
+                        }
+                    }
+                } else if let Some(pos) = lru.iter().position(|k| *k == key) {
+                    lru.remove(pos);
+                }
+                lru.push_back(key);
+                entries.insert(key, value);
+                true
+            }
+        }
+    }
+
+    fn del(&mut self, key: u64) {
+        match self {
+            MapStore::Registers { slots } => {
+                let idx = Self::slot_of(key, slots.len());
+                if matches!(slots[idx], Some((k, _)) if k == key) {
+                    slots[idx] = None;
+                }
+            }
+            MapStore::FlowIs { entries, order, .. } => {
+                entries.remove(&key);
+                order.retain(|k| *k != key);
+            }
+            MapStore::Stateful { entries, lru, .. } => {
+                entries.remove(&key);
+                lru.retain(|k| *k != key);
+            }
+        }
+    }
+
+    fn to_logical(&self) -> BTreeMap<u64, u64> {
+        match self {
+            MapStore::Registers { slots } => {
+                slots.iter().flatten().map(|(k, v)| (*k, *v)).collect()
+            }
+            MapStore::FlowIs { entries, .. } | MapStore::Stateful { entries, .. } => {
+                entries.clone()
+            }
+        }
+    }
+
+    fn restore(&mut self, logical: &BTreeMap<u64, u64>) {
+        for (k, v) in logical {
+            self.put(*k, *v);
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            MapStore::Registers { slots } => slots.iter().flatten().count(),
+            MapStore::FlowIs { entries, .. } | MapStore::Stateful { entries, .. } => {
+                entries.len()
+            }
+        }
+    }
+}
+
+/// A token-bucket meter instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct MeterInstance {
+    rate_pps: u64,
+    burst: u64,
+    /// Per-key buckets: (tokens ×1e9 for sub-pps precision, last refill).
+    buckets: BTreeMap<u64, (u64, SimTime)>,
+}
+
+impl MeterInstance {
+    fn check(&mut self, key: u64, now: SimTime) -> bool {
+        let burst_scaled = self.burst.saturating_mul(1_000_000_000);
+        let (tokens, last) = self
+            .buckets
+            .entry(key)
+            .or_insert((burst_scaled, now));
+        // Refill: rate tokens/second = rate per 1e9 ns, scaled by 1e9.
+        let dt = now.saturating_since(*last).as_nanos();
+        let refill = (dt as u128 * self.rate_pps as u128).min(u64::MAX as u128) as u64;
+        *tokens = tokens.saturating_add(refill).min(burst_scaled);
+        *last = now;
+        if *tokens >= 1_000_000_000 {
+            *tokens -= 1_000_000_000;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// All state of one installed program on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceState {
+    encoding: StateEncoding,
+    decls: BTreeMap<String, StateDecl>,
+    maps: BTreeMap<String, MapStore>,
+    registers: BTreeMap<String, Vec<u64>>,
+    counters: BTreeMap<String, (u64, u64)>,
+    meters: BTreeMap<String, MeterInstance>,
+    /// Current simulated time, set by the device before each execution
+    /// (meters refill against it).
+    pub now: SimTime,
+}
+
+impl DeviceState {
+    /// Builds storage for every declaration using the given encoding.
+    pub fn from_decls(decls: &[StateDecl], encoding: StateEncoding) -> DeviceState {
+        let mut s = DeviceState {
+            encoding,
+            decls: BTreeMap::new(),
+            maps: BTreeMap::new(),
+            registers: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            meters: BTreeMap::new(),
+            now: SimTime::ZERO,
+        };
+        for d in decls {
+            s.add_state(d.clone()).expect("fresh state cannot collide");
+        }
+        s
+    }
+
+    /// The encoding in use.
+    pub fn encoding(&self) -> StateEncoding {
+        self.encoding
+    }
+
+    /// Installs storage for a new state declaration.
+    pub fn add_state(&mut self, decl: StateDecl) -> Result<()> {
+        if self.decls.contains_key(&decl.name) {
+            return Err(FlexError::Reconfig(format!(
+                "state `{}` already installed",
+                decl.name
+            )));
+        }
+        match &decl.kind {
+            StateKind::Map { .. } => {
+                self.maps.insert(
+                    decl.name.clone(),
+                    MapStore::new(self.encoding, decl.size as usize),
+                );
+            }
+            StateKind::Counter => {
+                self.counters.insert(decl.name.clone(), (0, 0));
+            }
+            StateKind::Register { .. } => {
+                self.registers
+                    .insert(decl.name.clone(), vec![0; decl.size as usize]);
+            }
+            StateKind::Meter { rate_pps, burst } => {
+                self.meters.insert(
+                    decl.name.clone(),
+                    MeterInstance {
+                        rate_pps: *rate_pps,
+                        burst: *burst,
+                        buckets: BTreeMap::new(),
+                    },
+                );
+            }
+        }
+        self.decls.insert(decl.name.clone(), decl);
+        Ok(())
+    }
+
+    /// Removes a state object; its contents are lost.
+    pub fn remove_state(&mut self, name: &str) -> Result<()> {
+        if self.decls.remove(name).is_none() {
+            return Err(FlexError::NotFound(format!("state `{name}`")));
+        }
+        self.maps.remove(name);
+        self.registers.remove(name);
+        self.counters.remove(name);
+        self.meters.remove(name);
+        Ok(())
+    }
+
+    /// Replaces a state declaration, preserving contents when the kind is
+    /// unchanged (e.g. growing a map keeps its entries; register arrays are
+    /// resized, truncating or zero-filling).
+    pub fn modify_state(&mut self, decl: StateDecl) -> Result<()> {
+        let Some(old) = self.decls.get(&decl.name) else {
+            return Err(FlexError::NotFound(format!("state `{}`", decl.name)));
+        };
+        let same_kind = std::mem::discriminant(&old.kind) == std::mem::discriminant(&decl.kind);
+        if !same_kind {
+            self.remove_state(&decl.name)?;
+            return self.add_state(decl);
+        }
+        match &decl.kind {
+            StateKind::Map { .. } => {
+                let logical = self
+                    .maps
+                    .get(&decl.name)
+                    .map(|m| m.to_logical())
+                    .unwrap_or_default();
+                let mut store = MapStore::new(self.encoding, decl.size as usize);
+                store.restore(&logical);
+                self.maps.insert(decl.name.clone(), store);
+            }
+            StateKind::Register { .. } => {
+                if let Some(r) = self.registers.get_mut(&decl.name) {
+                    r.resize(decl.size as usize, 0);
+                }
+            }
+            StateKind::Counter => {}
+            StateKind::Meter { rate_pps, burst } => {
+                if let Some(m) = self.meters.get_mut(&decl.name) {
+                    m.rate_pps = *rate_pps;
+                    m.burst = *burst;
+                }
+            }
+        }
+        self.decls.insert(decl.name.clone(), decl);
+        Ok(())
+    }
+
+    /// Whether a state object exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.decls.contains_key(name)
+    }
+
+    // -- logical snapshot ----------------------------------------------------
+
+    /// Captures the full logical state (for migration/replication).
+    pub fn snapshot(&self) -> LogicalState {
+        LogicalState {
+            maps: self
+                .maps
+                .iter()
+                .map(|(n, m)| (n.clone(), m.to_logical()))
+                .collect(),
+            registers: self.registers.clone(),
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Restores a logical snapshot into this device's encodings. Items that
+    /// don't fit the local encoding (register collisions, capacity) degrade
+    /// exactly as live inserts would.
+    pub fn restore(&mut self, logical: &LogicalState) {
+        for (name, entries) in &logical.maps {
+            if let Some(store) = self.maps.get_mut(name) {
+                store.restore(entries);
+            }
+        }
+        for (name, cells) in &logical.registers {
+            if let Some(r) = self.registers.get_mut(name) {
+                for (i, v) in cells.iter().enumerate().take(r.len()) {
+                    r[i] = *v;
+                }
+            }
+        }
+        for (name, c) in &logical.counters {
+            if let Some(local) = self.counters.get_mut(name) {
+                local.0 += c.0;
+                local.1 += c.1;
+            }
+        }
+    }
+
+    /// Estimated time to stream this state out at data-plane rates, given a
+    /// per-item cost (used by in-data-plane migration, paper §3.4).
+    pub fn migration_duration(&self, per_item: SimDuration) -> SimDuration {
+        per_item.saturating_mul(self.snapshot().item_count().max(1))
+    }
+
+    // -- data-plane accessors (ExecEnv plumbing) ------------------------------
+
+    /// Reads a map.
+    pub fn map_get(&mut self, map: &str, key: u64) -> Option<u64> {
+        self.maps.get_mut(map)?.get(key)
+    }
+
+    /// Writes a map. Register-encoded maps may drop colliding inserts; that
+    /// is reported as `Ok(())` to programs (data planes degrade silently)
+    /// but counted in [`DeviceState::dropped_inserts`].
+    pub fn map_put(&mut self, map: &str, key: u64, value: u64) -> Result<()> {
+        let Some(store) = self.maps.get_mut(map) else {
+            return Err(FlexError::NotFound(format!("map `{map}`")));
+        };
+        if !store.put(key, value) {
+            self.counters
+                .entry("__dropped_inserts".to_string())
+                .or_insert((0, 0))
+                .0 += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of inserts silently dropped by the encoding (collisions).
+    pub fn dropped_inserts(&self) -> u64 {
+        self.counters
+            .get("__dropped_inserts")
+            .map(|c| c.0)
+            .unwrap_or(0)
+    }
+
+    /// Deletes a map entry.
+    pub fn map_del(&mut self, map: &str, key: u64) {
+        if let Some(store) = self.maps.get_mut(map) {
+            store.del(key);
+        }
+    }
+
+    /// Number of live entries in a map.
+    pub fn map_len(&self, map: &str) -> usize {
+        self.maps.get(map).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Reads a register cell.
+    pub fn reg_read(&self, reg: &str, idx: u64) -> u64 {
+        self.registers
+            .get(reg)
+            .and_then(|r| r.get(idx as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Writes a register cell (out-of-range writes are ignored; the verifier
+    /// proves indices in bounds for verified programs).
+    pub fn reg_write(&mut self, reg: &str, idx: u64, val: u64) {
+        if let Some(r) = self.registers.get_mut(reg) {
+            if let Some(cell) = r.get_mut(idx as usize) {
+                *cell = val;
+            }
+        }
+    }
+
+    /// Adds to a counter.
+    pub fn counter_add(&mut self, counter: &str, pkts: u64, bytes: u64) {
+        if let Some(c) = self.counters.get_mut(counter) {
+            c.0 += pkts;
+            c.1 += bytes;
+        }
+    }
+
+    /// Reads a counter's packet count.
+    pub fn counter_read(&self, counter: &str) -> u64 {
+        self.counters.get(counter).map(|c| c.0).unwrap_or(0)
+    }
+
+    /// Checks a meter at the current device time.
+    pub fn meter_check(&mut self, meter: &str, key: u64) -> bool {
+        let now = self.now;
+        match self.meters.get_mut(meter) {
+            Some(m) => m.check(key, now),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_decl(name: &str, size: u64) -> StateDecl {
+        StateDecl {
+            name: name.into(),
+            kind: StateKind::Map {
+                key_width: 32,
+                value_width: 32,
+            },
+            size,
+        }
+    }
+
+    fn reg_decl(name: &str, size: u64) -> StateDecl {
+        StateDecl {
+            name: name.into(),
+            kind: StateKind::Register { width: 64 },
+            size,
+        }
+    }
+
+    #[test]
+    fn exact_encodings_store_and_delete() {
+        for enc in [StateEncoding::FlowInstructionSet, StateEncoding::StatefulTable] {
+            let mut s = DeviceState::from_decls(&[map_decl("m", 4)], enc);
+            s.map_put("m", 1, 10).unwrap();
+            s.map_put("m", 2, 20).unwrap();
+            assert_eq!(s.map_get("m", 1), Some(10));
+            assert_eq!(s.map_get("m", 3), None);
+            s.map_del("m", 1);
+            assert_eq!(s.map_get("m", 1), None);
+            assert_eq!(s.map_len("m"), 1);
+        }
+    }
+
+    #[test]
+    fn register_encoding_collides() {
+        let mut s = DeviceState::from_decls(&[map_decl("m", 2)], StateEncoding::RegisterArray);
+        // With only 2 slots, inserting several keys must collide eventually.
+        for k in 0..16 {
+            s.map_put("m", k, k).unwrap();
+        }
+        assert!(s.dropped_inserts() > 0, "register encoding must drop colliding inserts");
+        assert!(s.map_len("m") <= 2);
+    }
+
+    #[test]
+    fn flow_is_evicts_fifo() {
+        let mut s =
+            DeviceState::from_decls(&[map_decl("m", 2)], StateEncoding::FlowInstructionSet);
+        s.map_put("m", 1, 1).unwrap();
+        s.map_put("m", 2, 2).unwrap();
+        s.map_put("m", 3, 3).unwrap(); // evicts key 1 (oldest)
+        assert_eq!(s.map_get("m", 1), None);
+        assert_eq!(s.map_get("m", 2), Some(2));
+        assert_eq!(s.map_get("m", 3), Some(3));
+    }
+
+    #[test]
+    fn stateful_table_evicts_lru() {
+        let mut s = DeviceState::from_decls(&[map_decl("m", 2)], StateEncoding::StatefulTable);
+        s.map_put("m", 1, 1).unwrap();
+        s.map_put("m", 2, 2).unwrap();
+        let _ = s.map_get("m", 1); // touch 1: now 2 is LRU
+        s.map_put("m", 3, 3).unwrap(); // evicts 2
+        assert_eq!(s.map_get("m", 2), None);
+        assert_eq!(s.map_get("m", 1), Some(1));
+    }
+
+    #[test]
+    fn registers_and_counters() {
+        let mut s = DeviceState::from_decls(
+            &[reg_decl("r", 4), StateDecl {
+                name: "c".into(),
+                kind: StateKind::Counter,
+                size: 1,
+            }],
+            StateEncoding::StatefulTable,
+        );
+        s.reg_write("r", 2, 99);
+        assert_eq!(s.reg_read("r", 2), 99);
+        assert_eq!(s.reg_read("r", 9), 0, "out of range reads 0");
+        s.counter_add("c", 2, 100);
+        assert_eq!(s.counter_read("c"), 2);
+    }
+
+    #[test]
+    fn meter_refills_over_time() {
+        let mut s = DeviceState::from_decls(
+            &[StateDecl {
+                name: "lim".into(),
+                kind: StateKind::Meter {
+                    rate_pps: 1000, // 1 token per ms
+                    burst: 2,
+                },
+                size: 1,
+            }],
+            StateEncoding::StatefulTable,
+        );
+        s.now = SimTime::from_millis(0);
+        assert!(s.meter_check("lim", 7));
+        assert!(s.meter_check("lim", 7));
+        assert!(!s.meter_check("lim", 7), "burst exhausted");
+        s.now = SimTime::from_millis(5);
+        assert!(s.meter_check("lim", 7), "refilled after 5ms");
+        // Other keys have their own buckets.
+        assert!(s.meter_check("lim", 8));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut a =
+            DeviceState::from_decls(&[map_decl("m", 8), reg_decl("r", 4)], StateEncoding::StatefulTable);
+        a.map_put("m", 5, 50).unwrap();
+        a.reg_write("r", 1, 11);
+        a.counter_add("c", 1, 1); // nonexistent counter ignored
+
+        let snap = a.snapshot();
+        assert_eq!(snap.item_count(), 1 + 4); // 1 map entry + 4 register cells
+
+        let mut b = DeviceState::from_decls(
+            &[map_decl("m", 8), reg_decl("r", 4)],
+            StateEncoding::FlowInstructionSet, // different encoding!
+        );
+        b.restore(&snap);
+        assert_eq!(b.map_get("m", 5), Some(50));
+        assert_eq!(b.reg_read("r", 1), 11);
+    }
+
+    #[test]
+    fn restore_merges_counters() {
+        let decl = StateDecl {
+            name: "c".into(),
+            kind: StateKind::Counter,
+            size: 1,
+        };
+        let mut a = DeviceState::from_decls(std::slice::from_ref(&decl), StateEncoding::StatefulTable);
+        a.counter_add("c", 5, 500);
+        let snap = a.snapshot();
+        let mut b = DeviceState::from_decls(&[decl], StateEncoding::StatefulTable);
+        b.counter_add("c", 2, 200);
+        b.restore(&snap);
+        assert_eq!(b.counter_read("c"), 7, "counters merge additively");
+    }
+
+    #[test]
+    fn add_remove_modify_state() {
+        let mut s = DeviceState::from_decls(&[], StateEncoding::StatefulTable);
+        s.add_state(map_decl("m", 2)).unwrap();
+        assert!(s.add_state(map_decl("m", 2)).is_err());
+        s.map_put("m", 1, 1).unwrap();
+        // Growing preserves contents.
+        s.modify_state(map_decl("m", 16)).unwrap();
+        assert_eq!(s.map_get("m", 1), Some(1));
+        // Kind change wipes contents.
+        s.modify_state(reg_decl("m", 4)).unwrap();
+        assert_eq!(s.reg_read("m", 0), 0);
+        s.remove_state("m").unwrap();
+        assert!(s.remove_state("m").is_err());
+        assert!(s.modify_state(map_decl("q", 2)).is_err());
+    }
+
+    #[test]
+    fn migration_duration_scales_with_items() {
+        let mut s = DeviceState::from_decls(&[map_decl("m", 64)], StateEncoding::StatefulTable);
+        for k in 0..10 {
+            s.map_put("m", k, k).unwrap();
+        }
+        let d = s.migration_duration(SimDuration::from_micros(1));
+        assert_eq!(d, SimDuration::from_micros(10));
+    }
+}

@@ -1,0 +1,461 @@
+//! The match/action table engine.
+//!
+//! Supports the four match kinds FlexBPF declares (exact, LPM, ternary,
+//! range) with longest-prefix and priority semantics matching real switch
+//! ASICs: exact tables behave like hash tables; LPM prefers longer prefixes;
+//! ternary/range entries are ordered by explicit priority (higher wins).
+
+use flexnet_lang::ast::{ActionCall, TableDecl};
+use flexnet_types::{FlexError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How one key of one entry matches a value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyMatch {
+    /// Matches exactly this value.
+    Exact(u64),
+    /// Matches when the top `prefix_len` bits of a `width`-bit field agree.
+    Lpm {
+        /// The prefix value (low bits beyond the prefix are ignored).
+        value: u64,
+        /// Number of significant leading bits (0 = match anything).
+        prefix_len: u8,
+        /// The field width in bits (needed to align the prefix).
+        width: u8,
+    },
+    /// Matches when `value & mask == key & mask`.
+    Ternary {
+        /// The pattern.
+        value: u64,
+        /// The care-bits mask.
+        mask: u64,
+    },
+    /// Matches when `lo <= key <= hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+}
+
+impl KeyMatch {
+    /// Whether `key` satisfies this match.
+    pub fn matches(&self, key: u64) -> bool {
+        match self {
+            KeyMatch::Exact(v) => key == *v,
+            KeyMatch::Lpm {
+                value,
+                prefix_len,
+                width,
+            } => {
+                if *prefix_len == 0 {
+                    return true;
+                }
+                let shift = width.saturating_sub(*prefix_len) as u32;
+                (key >> shift) == (value >> shift)
+            }
+            KeyMatch::Ternary { value, mask } => key & mask == value & mask,
+            KeyMatch::Range { lo, hi } => key >= *lo && key <= *hi,
+        }
+    }
+
+    /// Specificity used for tie-breaking LPM entries (longer prefix wins).
+    fn lpm_len(&self) -> u8 {
+        match self {
+            KeyMatch::Lpm { prefix_len, .. } => *prefix_len,
+            KeyMatch::Exact(_) => 64,
+            _ => 0,
+        }
+    }
+}
+
+/// One installed table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// Per-key match specifications (one per declared table key).
+    pub matches: Vec<KeyMatch>,
+    /// Explicit priority (higher wins) for ternary/range tables.
+    pub priority: i32,
+    /// The bound action.
+    pub action: ActionCall,
+}
+
+impl TableEntry {
+    /// An all-exact entry with priority 0.
+    pub fn exact(keys: &[u64], action: ActionCall) -> TableEntry {
+        TableEntry {
+            matches: keys.iter().map(|k| KeyMatch::Exact(*k)).collect(),
+            priority: 0,
+            action,
+        }
+    }
+}
+
+/// One table's installed entries plus its declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableInstance {
+    /// The declaration this instance implements.
+    pub decl: TableDecl,
+    /// Installed entries.
+    pub entries: Vec<TableEntry>,
+}
+
+impl TableInstance {
+    /// An empty instance of `decl`.
+    pub fn new(decl: TableDecl) -> TableInstance {
+        TableInstance {
+            decl,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Installs an entry, enforcing arity and capacity.
+    pub fn insert(&mut self, entry: TableEntry) -> Result<()> {
+        if entry.matches.len() != self.decl.keys.len() {
+            return Err(FlexError::Reconfig(format!(
+                "table `{}` expects {} keys, entry has {}",
+                self.decl.name,
+                self.decl.keys.len(),
+                entry.matches.len()
+            )));
+        }
+        if self.entries.len() as u64 >= self.decl.size {
+            return Err(FlexError::Reconfig(format!(
+                "table `{}` is full ({} entries)",
+                self.decl.name, self.decl.size
+            )));
+        }
+        if !self.decl.actions.iter().any(|a| a.name == entry.action.action) {
+            return Err(FlexError::Reconfig(format!(
+                "table `{}` has no action `{}`",
+                self.decl.name, entry.action.action
+            )));
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Removes entries whose matches equal `matches` exactly; returns the
+    /// number removed.
+    pub fn remove(&mut self, matches: &[KeyMatch]) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.matches.as_slice() != matches);
+        before - self.entries.len()
+    }
+
+    /// Looks up `keys` (one value per declared key), returning the winning
+    /// entry's action.
+    ///
+    /// Winner selection: among entries whose every key matches, the one with
+    /// the highest `(priority, total LPM specificity)` wins — i.e. explicit
+    /// priority dominates, then longest-prefix.
+    pub fn lookup(&self, keys: &[u64]) -> Option<&TableEntry> {
+        if keys.len() != self.decl.keys.len() {
+            return None;
+        }
+        self.entries
+            .iter()
+            .filter(|e| {
+                e.matches
+                    .iter()
+                    .zip(keys)
+                    .all(|(m, k)| m.matches(*k))
+            })
+            .max_by_key(|e| {
+                let spec: u32 = e.matches.iter().map(|m| m.lpm_len() as u32).sum();
+                (e.priority, spec)
+            })
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// All tables of one installed program.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSet {
+    tables: BTreeMap<String, TableInstance>,
+}
+
+impl TableSet {
+    /// Builds instances for every table declaration of a program.
+    pub fn from_decls(decls: &[TableDecl]) -> TableSet {
+        TableSet {
+            tables: decls
+                .iter()
+                .map(|d| (d.name.clone(), TableInstance::new(d.clone())))
+                .collect(),
+        }
+    }
+
+    /// Adds an (empty) table for `decl`.
+    pub fn add_table(&mut self, decl: TableDecl) -> Result<()> {
+        if self.tables.contains_key(&decl.name) {
+            return Err(FlexError::Reconfig(format!(
+                "table `{}` already installed",
+                decl.name
+            )));
+        }
+        self.tables
+            .insert(decl.name.clone(), TableInstance::new(decl));
+        Ok(())
+    }
+
+    /// Removes a table and its entries.
+    pub fn remove_table(&mut self, name: &str) -> Result<TableInstance> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| FlexError::NotFound(format!("table `{name}`")))
+    }
+
+    /// Replaces a table's declaration, migrating entries that still fit
+    /// (same key arity and a declared action); others are dropped.
+    pub fn modify_table(&mut self, decl: TableDecl) -> Result<usize> {
+        let old = self
+            .tables
+            .remove(&decl.name)
+            .ok_or_else(|| FlexError::NotFound(format!("table `{}`", decl.name)))?;
+        let mut inst = TableInstance::new(decl);
+        let mut migrated = 0usize;
+        for e in old.entries {
+            if inst.insert(e).is_ok() {
+                migrated += 1;
+            }
+        }
+        self.tables.insert(inst.decl.name.clone(), inst);
+        Ok(migrated)
+    }
+
+    /// Borrows a table.
+    pub fn get(&self, name: &str) -> Option<&TableInstance> {
+        self.tables.get(name)
+    }
+
+    /// Borrows a table mutably.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut TableInstance> {
+        self.tables.get_mut(name)
+    }
+
+    /// Iterates over all tables.
+    pub fn iter(&self) -> impl Iterator<Item = &TableInstance> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether there are no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexnet_lang::ast::{ActionDecl, FieldPath, MatchKind, TableKey};
+
+    fn decl(name: &str, kinds: &[MatchKind], size: u64) -> TableDecl {
+        TableDecl {
+            name: name.into(),
+            keys: kinds
+                .iter()
+                .map(|k| TableKey {
+                    field: FieldPath::Header("ipv4".into(), "src".into()),
+                    match_kind: *k,
+                })
+                .collect(),
+            actions: vec![
+                ActionDecl {
+                    name: "go".into(),
+                    params: vec![("p".into(), 16)],
+                    body: vec![],
+                },
+                ActionDecl {
+                    name: "stop".into(),
+                    params: vec![],
+                    body: vec![],
+                },
+            ],
+            default_action: None,
+            size,
+        }
+    }
+
+    fn go(p: u64) -> ActionCall {
+        ActionCall {
+            action: "go".into(),
+            args: vec![p],
+        }
+    }
+
+    #[test]
+    fn exact_match_hit_and_miss() {
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Exact], 8));
+        t.insert(TableEntry::exact(&[5], go(1))).unwrap();
+        assert_eq!(t.lookup(&[5]).unwrap().action, go(1));
+        assert!(t.lookup(&[6]).is_none());
+        assert!(t.lookup(&[5, 5]).is_none(), "arity mismatch misses");
+    }
+
+    #[test]
+    fn lpm_prefers_longest_prefix() {
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Lpm], 8));
+        let e8 = TableEntry {
+            matches: vec![KeyMatch::Lpm {
+                value: 0x0a000000,
+                prefix_len: 8,
+                width: 32,
+            }],
+            priority: 0,
+            action: go(8),
+        };
+        let e24 = TableEntry {
+            matches: vec![KeyMatch::Lpm {
+                value: 0x0a000100,
+                prefix_len: 24,
+                width: 32,
+            }],
+            priority: 0,
+            action: go(24),
+        };
+        t.insert(e8).unwrap();
+        t.insert(e24).unwrap();
+        assert_eq!(t.lookup(&[0x0a000105]).unwrap().action, go(24));
+        assert_eq!(t.lookup(&[0x0a990105]).unwrap().action, go(8));
+        assert!(t.lookup(&[0x0b000000]).is_none());
+    }
+
+    #[test]
+    fn lpm_zero_prefix_is_wildcard() {
+        let m = KeyMatch::Lpm {
+            value: 0,
+            prefix_len: 0,
+            width: 32,
+        };
+        assert!(m.matches(0xffffffff));
+        assert!(m.matches(0));
+    }
+
+    #[test]
+    fn ternary_uses_priority() {
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Ternary], 8));
+        t.insert(TableEntry {
+            matches: vec![KeyMatch::Ternary {
+                value: 0,
+                mask: 0, // match-all
+            }],
+            priority: 1,
+            action: go(1),
+        })
+        .unwrap();
+        t.insert(TableEntry {
+            matches: vec![KeyMatch::Ternary {
+                value: 0x80,
+                mask: 0x80,
+            }],
+            priority: 10,
+            action: go(2),
+        })
+        .unwrap();
+        assert_eq!(t.lookup(&[0x81]).unwrap().action, go(2), "high priority wins");
+        assert_eq!(t.lookup(&[0x01]).unwrap().action, go(1), "fallback matches");
+    }
+
+    #[test]
+    fn range_match() {
+        let m = KeyMatch::Range { lo: 10, hi: 20 };
+        assert!(m.matches(10));
+        assert!(m.matches(20));
+        assert!(!m.matches(9));
+        assert!(!m.matches(21));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Exact], 2));
+        t.insert(TableEntry::exact(&[1], go(1))).unwrap();
+        t.insert(TableEntry::exact(&[2], go(1))).unwrap();
+        let err = t.insert(TableEntry::exact(&[3], go(1))).unwrap_err();
+        assert!(err.to_string().contains("full"), "{err}");
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Exact], 8));
+        let err = t
+            .insert(TableEntry::exact(
+                &[1],
+                ActionCall {
+                    action: "nope".into(),
+                    args: vec![],
+                },
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("no action"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Exact, MatchKind::Exact], 8));
+        assert!(t.insert(TableEntry::exact(&[1], go(1))).is_err());
+        t.insert(TableEntry::exact(&[1, 2], go(1))).unwrap();
+        assert_eq!(t.lookup(&[1, 2]).unwrap().action, go(1));
+    }
+
+    #[test]
+    fn remove_entries() {
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Exact], 8));
+        t.insert(TableEntry::exact(&[1], go(1))).unwrap();
+        t.insert(TableEntry::exact(&[2], go(2))).unwrap();
+        assert_eq!(t.remove(&[KeyMatch::Exact(1)]), 1);
+        assert_eq!(t.remove(&[KeyMatch::Exact(1)]), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn table_set_lifecycle() {
+        let mut set = TableSet::from_decls(&[decl("a", &[MatchKind::Exact], 4)]);
+        assert_eq!(set.len(), 1);
+        set.add_table(decl("b", &[MatchKind::Exact], 4)).unwrap();
+        assert!(set.add_table(decl("b", &[MatchKind::Exact], 4)).is_err());
+        set.get_mut("b")
+            .unwrap()
+            .insert(TableEntry::exact(&[9], go(9)))
+            .unwrap();
+        let removed = set.remove_table("b").unwrap();
+        assert_eq!(removed.len(), 1);
+        assert!(set.remove_table("b").is_err());
+    }
+
+    #[test]
+    fn modify_table_migrates_fitting_entries() {
+        let mut set = TableSet::from_decls(&[decl("a", &[MatchKind::Exact], 4)]);
+        for i in 0..4 {
+            set.get_mut("a")
+                .unwrap()
+                .insert(TableEntry::exact(&[i], go(i)))
+                .unwrap();
+        }
+        // Shrink to 2: only 2 entries survive.
+        let migrated = set.modify_table(decl("a", &[MatchKind::Exact], 2)).unwrap();
+        assert_eq!(migrated, 2);
+        assert_eq!(set.get("a").unwrap().len(), 2);
+        // Change arity: no entries survive.
+        let migrated = set
+            .modify_table(decl("a", &[MatchKind::Exact, MatchKind::Exact], 8))
+            .unwrap();
+        assert_eq!(migrated, 0);
+    }
+}

@@ -1,0 +1,667 @@
+//! Datapath composition: laying tenant extension programs atop the
+//! infrastructure program.
+//!
+//! Paper §3 (scenario) and §3.2: the network owner maintains an
+//! "infrastructure" program; tenants inject "extension" programs, which are
+//! "admitted by the network owner after access control validation" and
+//! "isolated from each other and from the infrastructure code via, e.g.,
+//! VLAN-based isolation mechanisms". Composition must also detect
+//! "logically-sharable code that present\[s\] optimization opportunities or
+//! conflicting datapaths that need to be resolved".
+//!
+//! Concretely, [`compose`]:
+//!
+//! 1. **Access control** — rejects extensions that reference state, tables,
+//!    or handlers they did not declare (the only cross-boundary interface is
+//!    invoking an infra-`provide`d dRPC service).
+//! 2. **Namespacing** — renames every tenant element to `t<id>_<name>` and
+//!    rewrites all references, so tenants can never collide with each other
+//!    or the infrastructure.
+//! 3. **VLAN guards** — wraps each tenant handler body in
+//!    `if (valid(vlan) && vlan.vid == <tenant vlan>) { … }`, so a tenant's
+//!    code only ever sees its own traffic.
+//! 4. **Sharing** — structurally identical *stateless* tenant tables are
+//!    deduplicated into a single shared table.
+//! 5. **Conflict detection** — duplicate `provide`d services and
+//!    incompatible redeclarations of the same header type are hard errors.
+
+use crate::ast::*;
+use crate::diff::ProgramBundle;
+use flexnet_types::{FlexError, Result, TenantId, VlanId};
+use std::collections::BTreeMap;
+
+/// A tenant extension awaiting composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantExtension {
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// The VLAN isolating this tenant's traffic.
+    pub vlan: VlanId,
+    /// The extension program (plus any header types it brings).
+    pub bundle: ProgramBundle,
+}
+
+/// What composition did, for reporting and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompositionReport {
+    /// Number of tenant extensions composed.
+    pub tenants: usize,
+    /// Renames applied: (original, namespaced).
+    pub renamed: Vec<(String, String)>,
+    /// Number of tenant tables eliminated by sharing.
+    pub shared_tables: usize,
+}
+
+/// The result of composing extensions onto the infrastructure program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Composition {
+    /// The composed bundle, ready for checking/verification/compilation.
+    pub bundle: ProgramBundle,
+    /// Composition statistics.
+    pub report: CompositionReport,
+}
+
+/// The tenant namespace prefix for an element name.
+pub fn tenant_prefix(tenant: TenantId) -> String {
+    format!("t{}_", tenant.raw())
+}
+
+/// Composes the infrastructure bundle with tenant extensions.
+pub fn compose(infra: &ProgramBundle, extensions: &[TenantExtension]) -> Result<Composition> {
+    let mut out = infra.clone();
+    let mut report = CompositionReport {
+        tenants: extensions.len(),
+        ..CompositionReport::default()
+    };
+
+    // Headers: merge, rejecting incompatible redeclarations.
+    for ext in extensions {
+        for h in &ext.bundle.headers {
+            match out.headers.iter().find(|x| x.name == h.name) {
+                None => out.headers.push(h.clone()),
+                Some(existing) if existing == h => {} // identical: share
+                Some(_) => {
+                    return Err(FlexError::Conflict(format!(
+                        "tenant {} redeclares header `{}` incompatibly",
+                        ext.tenant, h.name
+                    )))
+                }
+            }
+        }
+    }
+
+    // Provided services must be unique across the composition.
+    let mut providers: BTreeMap<String, String> = out
+        .program
+        .services
+        .iter()
+        .filter(|s| s.provided)
+        .map(|s| (s.name.clone(), "infra".to_string()))
+        .collect();
+
+    let mut guarded_ingress: Vec<Stmt> = Vec::new();
+
+    for ext in extensions {
+        validate_access(&ext.bundle.program, infra)
+            .map_err(|e| prefix_err(e, ext.tenant))?;
+
+        let prefix = tenant_prefix(ext.tenant);
+        let mut renames: BTreeMap<String, String> = BTreeMap::new();
+        for s in &ext.bundle.program.states {
+            renames.insert(s.name.clone(), format!("{prefix}{}", s.name));
+        }
+        for t in &ext.bundle.program.tables {
+            renames.insert(t.name.clone(), format!("{prefix}{}", t.name));
+        }
+
+        for s in &ext.bundle.program.states {
+            let mut s = s.clone();
+            let new = renames[&s.name].clone();
+            report.renamed.push((s.name.clone(), new.clone()));
+            s.name = new;
+            out.program.states.push(s);
+        }
+        for t in &ext.bundle.program.tables {
+            let mut t = t.clone();
+            let new = renames[&t.name].clone();
+            report.renamed.push((t.name.clone(), new.clone()));
+            t.name = new;
+            for a in &mut t.actions {
+                rename_block(&mut a.body, &renames);
+            }
+            out.program.tables.push(t);
+        }
+        for svc in &ext.bundle.program.services {
+            if svc.provided {
+                let name = format!("{prefix}{}", svc.name);
+                if providers.contains_key(&svc.name) || providers.contains_key(&name) {
+                    return Err(FlexError::Conflict(format!(
+                        "tenant {} provides service `{}` which is already provided",
+                        ext.tenant, svc.name
+                    )));
+                }
+                providers.insert(name.clone(), ext.tenant.to_string());
+                out.program.services.push(ServiceDecl {
+                    name,
+                    params: svc.params.clone(),
+                    provided: true,
+                });
+            } else {
+                // Imported service: must be provided by the infrastructure.
+                let Some(infra_svc) = infra
+                    .program
+                    .services
+                    .iter()
+                    .find(|s| s.provided && s.name == svc.name)
+                else {
+                    return Err(FlexError::Denied(format!(
+                        "tenant {} requires service `{}` which the infrastructure does not provide",
+                        ext.tenant, svc.name
+                    )));
+                };
+                if infra_svc.params.len() != svc.params.len() {
+                    return Err(FlexError::Conflict(format!(
+                        "tenant {} requires service `{}` with {} params, infra provides {}",
+                        ext.tenant,
+                        svc.name,
+                        svc.params.len(),
+                        infra_svc.params.len()
+                    )));
+                }
+                // The composed program already declares it (from infra).
+            }
+        }
+
+        for h in &ext.bundle.program.handlers {
+            let mut body = h.body.clone();
+            rename_block(&mut body, &renames);
+            if h.name == "ingress" {
+                // Guard the tenant's ingress code behind its VLAN.
+                let guard = Expr::Bin(
+                    BinOp::LAnd,
+                    Box::new(Expr::Valid("vlan".to_string())),
+                    Box::new(Expr::eq(
+                        Expr::field("vlan", "vid"),
+                        Expr::Int(ext.vlan.0 as u64),
+                    )),
+                );
+                guarded_ingress.push(Stmt::If(guard, body, Vec::new()));
+            } else {
+                // Non-ingress handlers are installed namespaced.
+                out.program.handlers.push(Handler {
+                    name: format!("{prefix}{}", h.name),
+                    body,
+                });
+            }
+        }
+    }
+
+    // Tenant ingress guards run before the infrastructure ingress body, so
+    // a tenant verdict (e.g. a tenant firewall drop) takes effect first and
+    // fall-through continues into infrastructure processing.
+    if !guarded_ingress.is_empty() {
+        match out.program.handlers.iter_mut().find(|h| h.name == "ingress") {
+            Some(h) => {
+                let mut body = guarded_ingress;
+                body.append(&mut h.body);
+                h.body = body;
+            }
+            None => out.program.handlers.insert(
+                0,
+                Handler {
+                    name: "ingress".to_string(),
+                    body: guarded_ingress,
+                },
+            ),
+        }
+    }
+
+    report.shared_tables = dedup_stateless_tables(&mut out.program);
+    Ok(Composition {
+        bundle: out,
+        report,
+    })
+}
+
+fn prefix_err(e: FlexError, tenant: TenantId) -> FlexError {
+    match e {
+        FlexError::Denied(m) => FlexError::Denied(format!("{tenant}: {m}")),
+        other => other,
+    }
+}
+
+/// Rejects extension programs that reference names they did not declare.
+/// Required imports (non-provided services) are checked against the infra
+/// program separately.
+fn validate_access(ext: &Program, _infra: &ProgramBundle) -> Result<()> {
+    let mut declared: Vec<&str> = ext.states.iter().map(|s| s.name.as_str()).collect();
+    declared.extend(ext.tables.iter().map(|t| t.name.as_str()));
+
+    let mut refs = Vec::new();
+    for h in &ext.handlers {
+        collect_refs(&h.body, &mut refs);
+    }
+    for t in &ext.tables {
+        for a in &t.actions {
+            collect_refs(&a.body, &mut refs);
+        }
+    }
+    for r in refs {
+        if !declared.contains(&r.as_str()) {
+            return Err(FlexError::Denied(format!(
+                "extension references `{r}` which it does not declare \
+                 (cross-program access is only allowed via dRPC services)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Collects every state/table name referenced in a block.
+fn collect_refs(block: &Block, out: &mut Vec<String>) {
+    fn expr(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::MapGet(n, k) | Expr::MapHas(n, k) | Expr::RegRead(n, k)
+            | Expr::MeterCheck(n, k) => {
+                out.push(n.clone());
+                expr(k, out);
+            }
+            Expr::CounterRead(n) => out.push(n.clone()),
+            Expr::Hash(args) => args.iter().for_each(|a| expr(a, out)),
+            Expr::Bin(_, l, r) => {
+                expr(l, out);
+                expr(r, out);
+            }
+            Expr::Un(_, v) => expr(v, out),
+            _ => {}
+        }
+    }
+    for s in block {
+        match s {
+            Stmt::Let(_, e) | Stmt::AssignLocal(_, e) | Stmt::AssignField(_, e)
+            | Stmt::Forward(e) => expr(e, out),
+            Stmt::MapPut(n, k, v) | Stmt::RegWrite(n, k, v) => {
+                out.push(n.clone());
+                expr(k, out);
+                expr(v, out);
+            }
+            Stmt::MapDelete(n, k) => {
+                out.push(n.clone());
+                expr(k, out);
+            }
+            Stmt::Count(n) => out.push(n.clone()),
+            Stmt::If(c, t, e) => {
+                expr(c, out);
+                collect_refs(t, out);
+                collect_refs(e, out);
+            }
+            Stmt::Repeat(_, b) => collect_refs(b, out),
+            Stmt::Apply(t) => out.push(t.clone()),
+            Stmt::Invoke(_, args) => args.iter().for_each(|a| expr(a, out)),
+            _ => {}
+        }
+    }
+}
+
+/// Renames state/table references in a block according to `map`.
+pub fn rename_block(block: &mut Block, map: &BTreeMap<String, String>) {
+    fn ren(n: &mut String, map: &BTreeMap<String, String>) {
+        if let Some(new) = map.get(n) {
+            *n = new.clone();
+        }
+    }
+    fn expr(e: &mut Expr, map: &BTreeMap<String, String>) {
+        match e {
+            Expr::MapGet(n, k) | Expr::MapHas(n, k) | Expr::RegRead(n, k)
+            | Expr::MeterCheck(n, k) => {
+                ren(n, map);
+                expr(k, map);
+            }
+            Expr::CounterRead(n) => ren(n, map),
+            Expr::Hash(args) => args.iter_mut().for_each(|a| expr(a, map)),
+            Expr::Bin(_, l, r) => {
+                expr(l, map);
+                expr(r, map);
+            }
+            Expr::Un(_, v) => expr(v, map),
+            _ => {}
+        }
+    }
+    for s in block {
+        match s {
+            Stmt::Let(_, e) | Stmt::AssignLocal(_, e) | Stmt::AssignField(_, e)
+            | Stmt::Forward(e) => expr(e, map),
+            Stmt::MapPut(n, k, v) | Stmt::RegWrite(n, k, v) => {
+                ren(n, map);
+                expr(k, map);
+                expr(v, map);
+            }
+            Stmt::MapDelete(n, k) => {
+                ren(n, map);
+                expr(k, map);
+            }
+            Stmt::Count(n) => ren(n, map),
+            Stmt::If(c, t, e) => {
+                expr(c, map);
+                rename_block(t, map);
+                rename_block(e, map);
+            }
+            Stmt::Repeat(_, b) => rename_block(b, map),
+            Stmt::Apply(t) => ren(t, map),
+            Stmt::Invoke(_, args) => args.iter_mut().for_each(|a| expr(a, map)),
+            _ => {}
+        }
+    }
+}
+
+/// Whether a block touches any state (blocks that don't are shareable).
+fn block_is_stateless(block: &Block) -> bool {
+    let mut refs = Vec::new();
+    collect_refs(block, &mut refs);
+    refs.is_empty()
+}
+
+/// Deduplicates structurally identical stateless tenant tables, rewriting
+/// applies to the surviving copy. Returns the number of tables eliminated.
+fn dedup_stateless_tables(program: &mut Program) -> usize {
+    // Only tenant tables (prefixed `t<digits>_`) participate.
+    fn is_tenant_table(name: &str) -> bool {
+        let Some(rest) = name.strip_prefix('t') else {
+            return false;
+        };
+        let Some((digits, _)) = rest.split_once('_') else {
+            return false;
+        };
+        !digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit())
+    }
+
+    // Signature: the table definition with the name blanked.
+    fn signature(t: &TableDecl) -> TableDecl {
+        let mut t = t.clone();
+        t.name = String::new();
+        t
+    }
+
+    let mut keep: Vec<TableDecl> = Vec::new();
+    let mut renames: BTreeMap<String, String> = BTreeMap::new();
+    let mut eliminated = 0usize;
+
+    for t in std::mem::take(&mut program.tables) {
+        let shareable = is_tenant_table(&t.name)
+            && t.actions.iter().all(|a| block_is_stateless(&a.body));
+        if shareable {
+            if let Some(existing) = keep.iter().find(|k| {
+                is_tenant_table(&k.name)
+                    && signature(k) == signature(&t)
+                    && k.actions.iter().all(|a| block_is_stateless(&a.body))
+            }) {
+                renames.insert(t.name.clone(), existing.name.clone());
+                eliminated += 1;
+                continue;
+            }
+        }
+        keep.push(t);
+    }
+    program.tables = keep;
+
+    if !renames.is_empty() {
+        for h in &mut program.handlers {
+            rename_block(&mut h.body, &renames);
+        }
+        for t in &mut program.tables {
+            for a in &mut t.actions {
+                rename_block(&mut a.body, &renames);
+            }
+        }
+    }
+    eliminated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::HeaderRegistry;
+    use crate::parser::parse_source;
+    use crate::typecheck::check_program;
+    use crate::verifier::verify_program;
+
+    fn bundle(src: &str) -> ProgramBundle {
+        let file = parse_source(src).unwrap();
+        ProgramBundle {
+            headers: file.headers,
+            program: file.programs.into_iter().next().unwrap(),
+        }
+    }
+
+    fn infra() -> ProgramBundle {
+        bundle(
+            "program infra kind switch {
+               counter total;
+               service provide migrate_state(dst: u32);
+               table routing {
+                 key { ipv4.dst : lpm; }
+                 action out(port: u16) { forward(port); }
+                 default out(0);
+                 size 1024;
+               }
+               handler ingress(pkt) { count(total); apply routing; forward(0); }
+             }",
+        )
+    }
+
+    fn tenant_fw(tenant: u32, vlan: u16) -> TenantExtension {
+        TenantExtension {
+            tenant: TenantId(tenant),
+            vlan: VlanId(vlan),
+            bundle: bundle(
+                "program fw kind any {
+                   map blocked : map<u32, u8>[64];
+                   handler ingress(pkt) {
+                     if (map_get(blocked, ipv4.src) == 1) { drop(); }
+                   }
+                 }",
+            ),
+        }
+    }
+
+    #[test]
+    fn composes_and_still_verifies() {
+        let c = compose(&infra(), &[tenant_fw(1, 100), tenant_fw(2, 200)]).unwrap();
+        assert_eq!(c.report.tenants, 2);
+        // Namespaced state exists for both tenants.
+        assert!(c.bundle.program.state("t1_blocked").is_some());
+        assert!(c.bundle.program.state("t2_blocked").is_some());
+        // Composed program passes the checker and verifier.
+        let reg = HeaderRegistry::with_user_headers(&c.bundle.headers).unwrap();
+        check_program(&c.bundle.program, &reg).unwrap();
+        verify_program(&c.bundle.program, &reg).unwrap();
+        // Tenant guards precede infra processing.
+        let ingress = c.bundle.program.handler("ingress").unwrap();
+        assert!(matches!(&ingress.body[0], Stmt::If(..)));
+        assert!(matches!(&ingress.body[1], Stmt::If(..)));
+        assert!(matches!(&ingress.body[2], Stmt::Count(c) if c == "total"));
+    }
+
+    #[test]
+    fn vlan_guard_references_tenant_vlan() {
+        let c = compose(&infra(), &[tenant_fw(7, 777)]).unwrap();
+        let ingress = c.bundle.program.handler("ingress").unwrap();
+        let Stmt::If(guard, body, _) = &ingress.body[0] else {
+            panic!()
+        };
+        let printed = format!("{guard:?}");
+        assert!(printed.contains("777"), "guard must test the tenant vlan: {printed}");
+        // Tenant body had its state refs renamed.
+        let body_str = format!("{body:?}");
+        assert!(body_str.contains("t7_blocked"));
+    }
+
+    #[test]
+    fn extension_referencing_infra_state_denied() {
+        let evil = TenantExtension {
+            tenant: TenantId(3),
+            vlan: VlanId(300),
+            bundle: bundle(
+                "program evil { handler ingress(pkt) { count(total); } }",
+            ),
+        };
+        let err = compose(&infra(), &[evil]).unwrap_err();
+        assert!(matches!(err, FlexError::Denied(_)), "{err}");
+    }
+
+    #[test]
+    fn extension_applying_infra_table_denied() {
+        let evil = TenantExtension {
+            tenant: TenantId(3),
+            vlan: VlanId(300),
+            bundle: bundle("program evil { handler ingress(pkt) { apply routing; } }"),
+        };
+        assert!(compose(&infra(), &[evil]).is_err());
+    }
+
+    #[test]
+    fn required_service_must_be_provided_by_infra() {
+        let ok = TenantExtension {
+            tenant: TenantId(1),
+            vlan: VlanId(10),
+            bundle: bundle(
+                "program x {
+                   service require migrate_state(dst: u32);
+                   handler ingress(pkt) { invoke migrate_state(1); }
+                 }",
+            ),
+        };
+        compose(&infra(), &[ok]).unwrap();
+
+        let bad = TenantExtension {
+            tenant: TenantId(1),
+            vlan: VlanId(10),
+            bundle: bundle(
+                "program x {
+                   service require nonexistent(dst: u32);
+                   handler ingress(pkt) { invoke nonexistent(1); }
+                 }",
+            ),
+        };
+        assert!(compose(&infra(), &[bad]).is_err());
+    }
+
+    #[test]
+    fn identical_headers_shared_incompatible_rejected() {
+        let a = TenantExtension {
+            tenant: TenantId(1),
+            vlan: VlanId(10),
+            bundle: bundle(
+                "header vxlan { fields { vni: 24; } follows udp when udp.dport == 4789; }
+                 program x { handler ingress(pkt) { meta.m = 0; } }",
+            ),
+        };
+        let b_same = TenantExtension {
+            tenant: TenantId(2),
+            vlan: VlanId(20),
+            bundle: a.bundle.clone(),
+        };
+        let c = compose(&infra(), &[a.clone(), b_same]).unwrap();
+        assert_eq!(
+            c.bundle.headers.iter().filter(|h| h.name == "vxlan").count(),
+            1
+        );
+
+        let b_diff = TenantExtension {
+            tenant: TenantId(2),
+            vlan: VlanId(20),
+            bundle: bundle(
+                "header vxlan { fields { vni: 32; } }
+                 program x { handler ingress(pkt) { meta.m = 0; } }",
+            ),
+        };
+        assert!(compose(&infra(), &[a, b_diff]).is_err());
+    }
+
+    #[test]
+    fn stateless_tables_deduplicated() {
+        let mk = |tenant, vlan| TenantExtension {
+            tenant: TenantId(tenant),
+            vlan: VlanId(vlan),
+            bundle: bundle(
+                "program x {
+                   table screen {
+                     key { tcp.dport : exact; }
+                     action deny() { drop(); }
+                     size 16;
+                   }
+                   handler ingress(pkt) { apply screen; }
+                 }",
+            ),
+        };
+        let c = compose(&infra(), &[mk(1, 10), mk(2, 20)]).unwrap();
+        assert_eq!(c.report.shared_tables, 1);
+        // Only one copy survives, and both tenants' applies point at it.
+        let screens: Vec<_> = c
+            .bundle
+            .program
+            .tables
+            .iter()
+            .filter(|t| t.name.ends_with("_screen"))
+            .collect();
+        assert_eq!(screens.len(), 1);
+        let reg = HeaderRegistry::builtins();
+        check_program(&c.bundle.program, &reg).unwrap();
+    }
+
+    #[test]
+    fn stateful_tables_not_shared() {
+        let mk = |tenant, vlan| TenantExtension {
+            tenant: TenantId(tenant),
+            vlan: VlanId(vlan),
+            bundle: bundle(
+                "program x {
+                   counter hits;
+                   table screen {
+                     key { tcp.dport : exact; }
+                     action deny() { count(hits); drop(); }
+                     size 16;
+                   }
+                   handler ingress(pkt) { apply screen; }
+                 }",
+            ),
+        };
+        let c = compose(&infra(), &[mk(1, 10), mk(2, 20)]).unwrap();
+        assert_eq!(c.report.shared_tables, 0, "stateful tables must stay isolated");
+    }
+
+    #[test]
+    fn duplicate_provided_services_conflict() {
+        let mk = |tenant, vlan| TenantExtension {
+            tenant: TenantId(tenant),
+            vlan: VlanId(vlan),
+            bundle: bundle(
+                "program x {
+                   service provide scrub(level: u8);
+                   handler ingress(pkt) { meta.m = 1; }
+                 }",
+            ),
+        };
+        // Two different tenants providing `scrub` are namespaced apart: OK.
+        compose(&infra(), &[mk(1, 10), mk(2, 20)]).unwrap();
+        // But a tenant colliding with an infra-provided service conflicts.
+        let clash = TenantExtension {
+            tenant: TenantId(3),
+            vlan: VlanId(30),
+            bundle: bundle(
+                "program x {
+                   service provide migrate_state(dst: u32);
+                   handler ingress(pkt) { meta.m = 1; }
+                 }",
+            ),
+        };
+        assert!(compose(&infra(), &[clash]).is_err());
+    }
+
+    #[test]
+    fn infra_without_ingress_gets_one() {
+        let bare = bundle("program infra { counter c; }");
+        let c = compose(&bare, &[tenant_fw(1, 100)]).unwrap();
+        assert!(c.bundle.program.handler("ingress").is_some());
+    }
+}

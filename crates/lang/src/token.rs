@@ -1,0 +1,132 @@
+//! Token definitions for the FlexBPF surface language.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// The kinds of FlexBPF tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are distinguished by the parser,
+    /// so that e.g. a field may be named `size`).
+    Ident(String),
+    /// An unsigned integer literal (decimal or `0x` hex).
+    Int(u64),
+    /// A string literal (used by patch selectors, e.g. `matching "acl*"`).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AndAnd,
+    /// `|`
+    Pipe,
+    /// `||`
+    OrOr,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Eq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Tilde => write!(f, "`~`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Shl => write!(f, "`<<`"),
+            TokenKind::Shr => write!(f, "`>>`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

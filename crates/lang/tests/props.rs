@@ -1,0 +1,91 @@
+//! Property tests for the FlexBPF front end: the lexer and parser must be
+//! total (never panic, only `Err`) on arbitrary input, and serialization
+//! must round-trip programs exactly.
+
+use flexnet_lang::lexer::lex;
+use flexnet_lang::parser::{parse_program, parse_source};
+use flexnet_lang::patch::parse_patch;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(src in "\\PC*") {
+        // Must never panic; any result (Ok or Err) is acceptable.
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn parser_is_total_on_arbitrary_text(src in "\\PC*") {
+        let _ = parse_source(&src);
+        let _ = parse_program(&src);
+        let _ = parse_patch(&src);
+    }
+
+    #[test]
+    fn parser_is_total_on_token_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("program".to_string()),
+                Just("handler".to_string()),
+                Just("table".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(";".to_string()),
+                Just("if".to_string()),
+                Just("forward".to_string()),
+                Just("==".to_string()),
+                Just("ipv4.src".to_string()),
+                Just("42".to_string()),
+                "[a-z]{1,6}".prop_map(|s| s),
+            ],
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_source(&src);
+    }
+
+    #[test]
+    fn serde_round_trips_programs(
+        name in "[a-z]{1,8}",
+        size in 1u64..10_000,
+        port in 0u64..65_536,
+    ) {
+        let src = format!(
+            "program {name} kind any {{
+               map m : map<u32, u64>[{size}];
+               counter c;
+               table t {{
+                 key {{ ipv4.src : exact; }}
+                 action go(p: u16) {{ forward(p); }}
+                 default go({port});
+                 size {size};
+               }}
+               handler ingress(pkt) {{
+                 map_put(m, ipv4.src, map_get(m, ipv4.src) + 1);
+                 count(c);
+                 apply t;
+                 forward({port});
+               }}
+             }}"
+        );
+        let program = parse_program(&src).unwrap();
+        let json = serde_json::to_string(&program).unwrap();
+        let back: flexnet_lang::ast::Program = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(program, back);
+    }
+
+    #[test]
+    fn lexer_round_trips_integers(v in any::<u64>()) {
+        let toks = lex(&v.to_string()).unwrap();
+        prop_assert_eq!(toks.len(), 2); // Int + Eof
+        prop_assert_eq!(&toks[0].kind, &flexnet_lang::token::TokenKind::Int(v));
+        let hex = format!("0x{v:x}");
+        let toks = lex(&hex).unwrap();
+        prop_assert_eq!(&toks[0].kind, &flexnet_lang::token::TokenKind::Int(v));
+    }
+}

@@ -1,0 +1,682 @@
+//! The discrete-event simulation engine.
+//!
+//! Packets traverse the topology hop by hop: each hop costs the device's
+//! processing latency (from its cost model and the program's op count), the
+//! link's serialization delay, queueing at both the device and the link, and
+//! propagation. Control actions (runtime reconfigurations, reflashes, table
+//! entry changes) are scheduled as timed [`Command`]s, so experiments can
+//! reprogram the network *while traffic is in flight* — the whole point of
+//! FlexNet.
+
+use crate::metrics::{LossKind, Metrics};
+use crate::topology::{NodeKind, Topology};
+use crate::workload::Departure;
+use flexnet_dataplane::reconfig::ReconfigReport;
+use flexnet_dataplane::table::{KeyMatch, TableEntry};
+use flexnet_lang::diff::ProgramBundle;
+use flexnet_types::{LinkId, NodeId, Packet, SimDuration, SimTime, Verdict};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap};
+
+/// Maximum hops before a packet is declared looping.
+pub const HOP_LIMIT: u64 = 32;
+/// Device ingress queue bound, expressed as waiting time.
+pub const DEVICE_QUEUE_BOUND: SimDuration = SimDuration::from_millis(1);
+
+/// A scheduled control action.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Inject a packet at a node.
+    Inject {
+        /// Injecting node.
+        node: NodeId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Install a program immediately (setup-time; not a live reconfig).
+    Install {
+        /// Target node.
+        node: NodeId,
+        /// The bundle to install.
+        bundle: ProgramBundle,
+    },
+    /// Begin a hitless runtime reconfiguration.
+    RuntimeReconfig {
+        /// Target node.
+        node: NodeId,
+        /// The new bundle.
+        bundle: ProgramBundle,
+    },
+    /// Begin a compile-time drain/reflash.
+    Reflash {
+        /// Target node.
+        node: NodeId,
+        /// The new bundle.
+        bundle: ProgramBundle,
+    },
+    /// Begin the unsafe in-place ablation.
+    UnsafeReconfig {
+        /// Target node.
+        node: NodeId,
+        /// The new bundle.
+        bundle: ProgramBundle,
+    },
+    /// Add a table entry.
+    AddEntry {
+        /// Target node.
+        node: NodeId,
+        /// Table name.
+        table: String,
+        /// The entry.
+        entry: TableEntry,
+    },
+    /// Remove table entries matching exactly.
+    RemoveEntry {
+        /// Target node.
+        node: NodeId,
+        /// Table name.
+        table: String,
+        /// Key matches identifying the entries.
+        matches: Vec<KeyMatch>,
+    },
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Command(Command),
+    Arrive { node: NodeId, packet: Packet },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulation: topology + event queue + metrics.
+#[derive(Debug)]
+pub struct Simulation {
+    /// The network.
+    pub topo: Topology,
+    routes: BTreeMap<(NodeId, NodeId), LinkId>,
+    queue: BinaryHeap<Reverse<Event>>,
+    /// Collected metrics.
+    pub metrics: Metrics,
+    now: SimTime,
+    seq: u64,
+    /// Reconfiguration reports, in initiation order.
+    pub reconfig_reports: Vec<(SimTime, NodeId, ReconfigReport)>,
+    /// dRPC invocations observed at devices: (time, node, service, args).
+    pub invocation_log: Vec<(SimTime, NodeId, String, Vec<u64>)>,
+    /// Packets punted to the controller: (time, node, packet).
+    pub punt_log: Vec<(SimTime, NodeId, Packet)>,
+    /// Command errors (failed reconfigs etc.): (time, description).
+    pub errors: Vec<(SimTime, String)>,
+}
+
+impl Simulation {
+    /// Builds a simulation over `topo`, computing shortest-path routes.
+    pub fn new(topo: Topology) -> Simulation {
+        let routes = topo.compute_routes();
+        Simulation {
+            topo,
+            routes,
+            queue: BinaryHeap::new(),
+            metrics: Metrics::default(),
+            now: SimTime::ZERO,
+            seq: 0,
+            reconfig_reports: Vec::new(),
+            invocation_log: Vec::new(),
+            punt_log: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Recomputes routes (after topology edits).
+    pub fn recompute_routes(&mut self) {
+        self.routes = self.topo.compute_routes();
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a command at `at`.
+    pub fn schedule(&mut self, at: SimTime, command: Command) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind: EventKind::Command(command),
+        }));
+    }
+
+    /// Loads a generated packet schedule.
+    pub fn load(&mut self, departures: Vec<Departure>) {
+        for d in departures {
+            self.schedule(
+                d.at,
+                Command::Inject {
+                    node: d.node,
+                    packet: d.packet,
+                },
+            );
+        }
+    }
+
+    /// Runs until the queue is empty or time exceeds `until`.
+    pub fn run(&mut self, until: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked above");
+            self.now = self.now.max(ev.at);
+            match ev.kind {
+                EventKind::Command(cmd) => self.exec_command(cmd),
+                EventKind::Arrive { node, packet } => self.arrive(node, packet),
+            }
+        }
+        // Let devices commit any reconfig that completes before `until`.
+        for id in self.topo.node_ids() {
+            if let Some(n) = self.topo.node_mut(id) {
+                n.device.tick(until);
+            }
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_completion(&mut self) {
+        self.run(SimTime::MAX);
+    }
+
+    fn exec_command(&mut self, cmd: Command) {
+        let now = self.now;
+        match cmd {
+            Command::Inject { node, packet } => {
+                self.metrics.record_sent();
+                let mut packet = packet;
+                if packet.ingress_time == SimTime::ZERO {
+                    packet.ingress_time = now;
+                }
+                self.arrive(node, packet);
+            }
+            Command::Install { node, bundle } => {
+                let r = self
+                    .topo
+                    .node_mut(node)
+                    .ok_or_else(|| flexnet_types::FlexError::NotFound(node.to_string()))
+                    .and_then(|n| n.device.install(bundle));
+                if let Err(e) = r {
+                    self.errors.push((now, format!("install on {node}: {e}")));
+                }
+            }
+            Command::RuntimeReconfig { node, bundle } => {
+                match self.topo.node_mut(node) {
+                    Some(n) => match n.device.begin_runtime_reconfig(bundle, now) {
+                        Ok(rep) => self.reconfig_reports.push((now, node, rep)),
+                        Err(e) => self
+                            .errors
+                            .push((now, format!("runtime reconfig on {node}: {e}"))),
+                    },
+                    None => self.errors.push((now, format!("unknown node {node}"))),
+                }
+            }
+            Command::Reflash { node, bundle } => match self.topo.node_mut(node) {
+                Some(n) => match n.device.begin_reflash(bundle, now) {
+                    Ok(rep) => self.reconfig_reports.push((now, node, rep)),
+                    Err(e) => self.errors.push((now, format!("reflash on {node}: {e}"))),
+                },
+                None => self.errors.push((now, format!("unknown node {node}"))),
+            },
+            Command::UnsafeReconfig { node, bundle } => match self.topo.node_mut(node) {
+                Some(n) => match n.device.begin_unsafe_inplace(bundle, now) {
+                    Ok(rep) => self.reconfig_reports.push((now, node, rep)),
+                    Err(e) => self
+                        .errors
+                        .push((now, format!("unsafe reconfig on {node}: {e}"))),
+                },
+                None => self.errors.push((now, format!("unknown node {node}"))),
+            },
+            Command::AddEntry { node, table, entry } => {
+                let r = self
+                    .topo
+                    .node_mut(node)
+                    .ok_or_else(|| flexnet_types::FlexError::NotFound(node.to_string()))
+                    .and_then(|n| n.device.add_entry(&table, entry));
+                if let Err(e) = r {
+                    self.errors.push((now, format!("add entry on {node}: {e}")));
+                }
+            }
+            Command::RemoveEntry {
+                node,
+                table,
+                matches,
+            } => {
+                let r = self
+                    .topo
+                    .node_mut(node)
+                    .ok_or_else(|| flexnet_types::FlexError::NotFound(node.to_string()))
+                    .and_then(|n| n.device.remove_entry(&table, &matches).map(|_| ()));
+                if let Err(e) = r {
+                    self.errors
+                        .push((now, format!("remove entry on {node}: {e}")));
+                }
+            }
+        }
+    }
+
+    fn arrive(&mut self, node_id: NodeId, mut pkt: Packet) {
+        let now = self.now;
+        // Hop limit guard.
+        let hops = pkt.metadata.get("hops").copied().unwrap_or(0);
+        if hops >= HOP_LIMIT {
+            self.metrics.record_lost(LossKind::HopLimit, now);
+            return;
+        }
+        pkt.metadata.insert("hops".into(), hops + 1);
+
+        let Some(node) = self.topo.node_mut(node_id) else {
+            self.metrics.record_lost(LossKind::NoRoute, now);
+            return;
+        };
+
+        // Device service (throughput) model: packets queue for the device;
+        // bounded waiting, then serialized service time.
+        let service = SimDuration::from_nanos(
+            1_000_000_000 / node.device.cost_model().throughput_pps.max(1),
+        );
+        let start = now.max(node.busy_until);
+        let wait = start.saturating_since(now);
+        if wait > DEVICE_QUEUE_BOUND {
+            self.metrics.record_lost(LossKind::DeviceOverload, now);
+            return;
+        }
+        node.busy_until = start + service;
+
+        let result = match node.device.process(&mut pkt, now) {
+            Ok(r) => r,
+            Err(e) => {
+                self.errors.push((now, format!("process at {node_id}: {e}")));
+                self.metrics.record_lost(LossKind::PolicyDrop, now);
+                return;
+            }
+        };
+        let node_kind = node.kind;
+        for (svc, args) in node.device.take_invocations() {
+            self.invocation_log.push((now, node_id, svc, args));
+        }
+
+        if result.refused {
+            self.metrics.record_lost(LossKind::Refused, now);
+            return;
+        }
+
+        let done_at = now + wait + result.latency;
+        match result.verdict {
+            Verdict::Drop => {
+                self.metrics.record_lost(LossKind::PolicyDrop, now);
+            }
+            Verdict::ToController => {
+                self.metrics.record_punted();
+                self.punt_log.push((now, node_id, pkt));
+            }
+            Verdict::Recirculate => {
+                // Devices bound recirculation internally; reaching here
+                // means a device returned it anyway — drop defensively.
+                self.metrics.record_lost(LossKind::PolicyDrop, now);
+            }
+            Verdict::Forward(port) => {
+                let dst = pkt
+                    .metadata
+                    .get("dst_node")
+                    .map(|v| NodeId(*v as u32));
+                // Delivered when we are the destination host.
+                if dst == Some(node_id) && node_kind == NodeKind::Host {
+                    self.metrics.record_delivered(&pkt, done_at);
+                    return;
+                }
+                // Resolve egress. Port 0 is the "routed" convention: the
+                // program delegates next-hop selection to the routing
+                // substrate. Any other port is explicit steering, with a
+                // route fallback when the port is not wired.
+                let link_id = if port == 0 {
+                    dst.and_then(|d| self.routes.get(&(node_id, d)).copied())
+                } else {
+                    self.topo
+                        .node(node_id)
+                        .and_then(|n| n.ports.get(&port).copied())
+                        .or_else(|| dst.and_then(|d| self.routes.get(&(node_id, d)).copied()))
+                };
+                let Some(link_id) = link_id else {
+                    self.metrics.record_lost(LossKind::NoRoute, now);
+                    return;
+                };
+                let wire = pkt.wire_len();
+                let (next, deliver_at, drop_queue) = {
+                    let link = self.topo.link_mut(link_id).expect("port maps to link");
+                    let ser = link.serialization(wire);
+                    let tx_start = done_at.max(link.busy_until);
+                    let backlog = tx_start.saturating_since(done_at);
+                    let backlog_pkts = if ser.as_nanos() == 0 {
+                        0
+                    } else {
+                        backlog.as_nanos() / ser.as_nanos()
+                    };
+                    if backlog_pkts > link.queue_cap as u64 {
+                        (link.to, SimTime::ZERO, true)
+                    } else {
+                        link.busy_until = tx_start + ser;
+                        (link.to, tx_start + ser + link.latency, false)
+                    }
+                };
+                if drop_queue {
+                    self.metrics.record_lost(LossKind::QueueDrop, now);
+                    return;
+                }
+                self.seq += 1;
+                self.queue.push(Reverse(Event {
+                    at: deliver_at,
+                    seq: self.seq,
+                    kind: EventKind::Arrive { node: next, packet: pkt },
+                }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, FlowSpec};
+    use flexnet_lang::parser::parse_source;
+
+    fn bundle(src: &str) -> ProgramBundle {
+        let file = parse_source(src).unwrap();
+        ProgramBundle {
+            headers: file.headers,
+            program: file.programs.into_iter().next().unwrap(),
+        }
+    }
+
+    fn forwarding() -> ProgramBundle {
+        bundle("program fwd kind any { handler ingress(pkt) { forward(0); } }")
+    }
+
+    #[test]
+    fn cbr_flow_fully_delivered() {
+        let (topo, sw, hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: forwarding(),
+            },
+        );
+        let flow = FlowSpec::udp_cbr(
+            hosts[0],
+            hosts[1],
+            10_000,
+            SimTime::from_millis(1),
+            SimDuration::from_millis(100),
+        );
+        sim.load(generate(&[flow], 1));
+        sim.run_to_completion();
+        assert_eq!(sim.metrics.sent, 1000);
+        assert_eq!(sim.metrics.delivered, 1000, "errors: {:?}", sim.errors);
+        assert_eq!(sim.metrics.total_lost(), 0);
+        assert!(sim.metrics.latency_mean().unwrap() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn policy_drop_counts() {
+        let (topo, sw, hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: bundle("program deny kind any { handler ingress(pkt) { drop(); } }"),
+            },
+        );
+        let flow = FlowSpec::udp_cbr(
+            hosts[0],
+            hosts[1],
+            1000,
+            SimTime::from_millis(1),
+            SimDuration::from_millis(10),
+        );
+        sim.load(generate(&[flow], 1));
+        sim.run_to_completion();
+        assert_eq!(sim.metrics.delivered, 0);
+        assert_eq!(
+            sim.metrics.losses.get(&LossKind::PolicyDrop).copied(),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn reflash_window_refuses_traffic() {
+        let (topo, sw, hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: forwarding(),
+            },
+        );
+        // Steady 1k pps for 40 s; reflash at 2 s.
+        let flow = FlowSpec::udp_cbr(
+            hosts[0],
+            hosts[1],
+            1000,
+            SimTime::from_millis(1),
+            SimDuration::from_secs(40),
+        );
+        sim.load(generate(&[flow], 1));
+        sim.schedule(
+            SimTime::from_secs(2),
+            Command::Reflash {
+                node: sw,
+                bundle: forwarding(),
+            },
+        );
+        sim.run_to_completion();
+        let refused = sim.metrics.losses.get(&LossKind::Refused).copied().unwrap_or(0);
+        assert!(refused >= 25_000, "~30s of downtime at 1kpps, got {refused}");
+        assert!(sim.metrics.disruption_window().unwrap() > SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn runtime_reconfig_causes_no_loss() {
+        let (topo, sw, hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: forwarding(),
+            },
+        );
+        let flow = FlowSpec::udp_cbr(
+            hosts[0],
+            hosts[1],
+            1000,
+            SimTime::from_millis(1),
+            SimDuration::from_secs(5),
+        );
+        sim.load(generate(&[flow], 1));
+        sim.schedule(
+            SimTime::from_secs(2),
+            Command::RuntimeReconfig {
+                node: sw,
+                bundle: bundle(
+                    "program fwd kind any {
+                       counter seen;
+                       handler ingress(pkt) { count(seen); forward(0); }
+                     }",
+                ),
+            },
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.metrics.total_lost(), 0, "hitless means zero loss");
+        assert_eq!(sim.metrics.delivered, 5000);
+        assert_eq!(sim.reconfig_reports.len(), 1);
+        // Both versions processed some packets at the switch.
+        let versions = sim.metrics.versions_seen(sw);
+        assert_eq!(versions.len(), 2, "old and new versions observed");
+    }
+
+    #[test]
+    fn hop_limit_breaks_loops() {
+        // Two switches explicitly steering to each other forever.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Switch, flexnet_dataplane::Architecture::drmt_default());
+        let b = topo.add_node(NodeKind::Switch, flexnet_dataplane::Architecture::drmt_default());
+        topo.connect(a, 1, b, 1, SimDuration::from_micros(1), 1_000_000_000)
+            .unwrap();
+        let mut sim = Simulation::new(topo);
+        for n in [a, b] {
+            sim.schedule(
+                SimTime::ZERO,
+                Command::Install {
+                    node: n,
+                    bundle: bundle(
+                        "program pingpong kind any { handler ingress(pkt) { forward(1); } }",
+                    ),
+                },
+            );
+        }
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        pkt.metadata.insert("dst_node".into(), 99); // unreachable dst
+        sim.schedule(SimTime::from_millis(1), Command::Inject { node: a, packet: pkt });
+        sim.run_to_completion();
+        assert_eq!(
+            sim.metrics.losses.get(&LossKind::HopLimit).copied(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn no_route_detected() {
+        let (topo, _sw, hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        pkt.metadata.insert("dst_node".into(), 999);
+        sim.schedule(
+            SimTime::from_millis(1),
+            Command::Inject {
+                node: hosts[0],
+                packet: pkt,
+            },
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.metrics.losses.get(&LossKind::NoRoute).copied(), Some(1));
+    }
+
+    #[test]
+    fn punts_logged() {
+        let (topo, sw, hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: bundle("program p kind any { handler ingress(pkt) { punt(); } }"),
+            },
+        );
+        let flow = FlowSpec::udp_cbr(
+            hosts[0],
+            hosts[1],
+            100,
+            SimTime::from_millis(1),
+            SimDuration::from_millis(50),
+        );
+        sim.load(generate(&[flow], 1));
+        sim.run_to_completion();
+        assert_eq!(sim.metrics.punted, 5);
+        assert_eq!(sim.punt_log.len(), 5);
+        assert_eq!(sim.punt_log[0].1, sw);
+    }
+
+    #[test]
+    fn failed_commands_recorded_not_fatal() {
+        let (topo, sw, _hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: bundle("program bad kind any { handler ingress(pkt) { apply nope; } }"),
+            },
+        );
+        sim.schedule(
+            SimTime::from_millis(1),
+            Command::AddEntry {
+                node: NodeId(99),
+                table: "t".into(),
+                entry: TableEntry::exact(&[1], flexnet_lang::ast::ActionCall {
+                    action: "a".into(),
+                    args: vec![],
+                }),
+            },
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.errors.len(), 2);
+    }
+
+    #[test]
+    fn overload_drops_excess_traffic() {
+        // Host devices do 5 Mpps; offer 2x that to force overload drops.
+        let (topo, sw, hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: forwarding(),
+            },
+        );
+        let flow = FlowSpec::udp_cbr(
+            hosts[0],
+            hosts[1],
+            10_000_000,
+            SimTime::from_millis(1),
+            SimDuration::from_millis(20),
+        );
+        sim.load(generate(&[flow], 1));
+        sim.run_to_completion();
+        assert!(
+            sim.metrics
+                .losses
+                .get(&LossKind::DeviceOverload)
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "offered 10 Mpps to a 5 Mpps host: {:?}",
+            sim.metrics.losses
+        );
+    }
+}

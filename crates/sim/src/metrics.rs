@@ -1,0 +1,287 @@
+//! Measurement: per-packet accounting, latency percentiles, loss
+//! timeseries, and disruption-window detection.
+
+use flexnet_types::{NodeId, Packet, ProgramVersion, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Why a packet left the simulation without being delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LossKind {
+    /// Dropped by a program verdict (policy drop).
+    PolicyDrop,
+    /// Refused by a drained device (compile-time reflash window).
+    Refused,
+    /// Tail-dropped at a full link queue.
+    QueueDrop,
+    /// Tail-dropped at an overloaded device.
+    DeviceOverload,
+    /// Exceeded the hop limit (routing loop guard).
+    HopLimit,
+    /// No route to the destination.
+    NoRoute,
+}
+
+/// One time bucket of the delivery timeseries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bucket {
+    /// Packets delivered in this bucket.
+    pub delivered: u64,
+    /// Packets lost (all causes) in this bucket.
+    pub lost: u64,
+    /// Packets refused by drained devices in this bucket.
+    pub refused: u64,
+}
+
+/// Collected simulation metrics.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Packets injected.
+    pub sent: u64,
+    /// Packets delivered to their destination.
+    pub delivered: u64,
+    /// Losses by cause.
+    pub losses: BTreeMap<LossKind, u64>,
+    /// Packets punted to the controller.
+    pub punted: u64,
+    /// End-to-end latencies of delivered packets (ns).
+    latencies_ns: Vec<u64>,
+    /// Delivery/loss timeseries.
+    buckets: BTreeMap<u64, Bucket>,
+    bucket_width: SimDuration,
+    /// How many packets were processed by each (node, program version).
+    pub version_counts: BTreeMap<(NodeId, ProgramVersion), u64>,
+    /// First and last instants at which a refusal was observed.
+    refusal_window: Option<(SimTime, SimTime)>,
+    /// Optionally retained delivered packets (consistency analyses).
+    pub delivered_packets: Vec<Packet>,
+    /// Whether to retain delivered packets.
+    pub keep_packets: bool,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new(SimDuration::from_millis(10))
+    }
+}
+
+impl Metrics {
+    /// A collector with the given timeseries bucket width.
+    pub fn new(bucket_width: SimDuration) -> Metrics {
+        Metrics {
+            sent: 0,
+            delivered: 0,
+            losses: BTreeMap::new(),
+            punted: 0,
+            latencies_ns: Vec::new(),
+            buckets: BTreeMap::new(),
+            bucket_width,
+            version_counts: BTreeMap::new(),
+            refusal_window: None,
+            delivered_packets: Vec::new(),
+            keep_packets: false,
+        }
+    }
+
+    fn bucket(&mut self, at: SimTime) -> &mut Bucket {
+        let idx = at.as_nanos() / self.bucket_width.as_nanos().max(1);
+        self.buckets.entry(idx).or_default()
+    }
+
+    /// Records an injection.
+    pub fn record_sent(&mut self) {
+        self.sent += 1;
+    }
+
+    /// Records a delivery with its end-to-end latency.
+    pub fn record_delivered(&mut self, pkt: &Packet, at: SimTime) {
+        self.delivered += 1;
+        let latency = at.saturating_since(pkt.ingress_time);
+        self.latencies_ns.push(latency.as_nanos());
+        self.bucket(at).delivered += 1;
+        for (node, version) in &pkt.trace {
+            *self.version_counts.entry((*node, *version)).or_insert(0) += 1;
+        }
+        if self.keep_packets {
+            self.delivered_packets.push(pkt.clone());
+        }
+    }
+
+    /// Records a loss.
+    pub fn record_lost(&mut self, kind: LossKind, at: SimTime) {
+        *self.losses.entry(kind).or_insert(0) += 1;
+        let b = self.bucket(at);
+        b.lost += 1;
+        if kind == LossKind::Refused {
+            b.refused += 1;
+            self.refusal_window = Some(match self.refusal_window {
+                None => (at, at),
+                Some((first, last)) => (first.min(at), last.max(at)),
+            });
+        }
+    }
+
+    /// Records a punt to the controller.
+    pub fn record_punted(&mut self) {
+        self.punted += 1;
+    }
+
+    /// Total losses across causes.
+    pub fn total_lost(&self) -> u64 {
+        self.losses.values().sum()
+    }
+
+    /// Loss fraction of injected packets.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.total_lost() as f64 / self.sent as f64
+    }
+
+    /// A latency percentile (p in [0, 100]) over delivered packets.
+    pub fn latency_percentile(&self, p: f64) -> Option<SimDuration> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let mut v = self.latencies_ns.clone();
+        v.sort_unstable();
+        let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+        Some(SimDuration::from_nanos(v[rank.min(v.len() - 1)]))
+    }
+
+    /// Mean delivery latency.
+    pub fn latency_mean(&self) -> Option<SimDuration> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.latencies_ns.iter().map(|&x| x as u128).sum();
+        Some(SimDuration::from_nanos(
+            (sum / self.latencies_ns.len() as u128) as u64,
+        ))
+    }
+
+    /// The observed service-disruption window: the span between the first
+    /// and last refusal, if any (the compile-time baseline's downtime as
+    /// actually experienced by traffic).
+    pub fn disruption_window(&self) -> Option<SimDuration> {
+        self.refusal_window
+            .map(|(first, last)| last.saturating_since(first))
+    }
+
+    /// The delivery timeseries as `(bucket start, bucket)` pairs.
+    pub fn timeseries(&self) -> Vec<(SimTime, Bucket)> {
+        self.buckets
+            .iter()
+            .map(|(idx, b)| {
+                (
+                    SimTime::from_nanos(idx * self.bucket_width.as_nanos()),
+                    *b,
+                )
+            })
+            .collect()
+    }
+
+    /// Distinct program versions observed at `node` among processed packets.
+    pub fn versions_seen(&self, node: NodeId) -> Vec<ProgramVersion> {
+        self.version_counts
+            .keys()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, v)| *v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt_at(id: u64, ingress: SimTime) -> Packet {
+        let mut p = Packet::udp(id, 1, 2, 3, 4);
+        p.ingress_time = ingress;
+        p
+    }
+
+    #[test]
+    fn counts_and_loss_rate() {
+        let mut m = Metrics::default();
+        for _ in 0..10 {
+            m.record_sent();
+        }
+        for i in 0..7u64 {
+            m.record_delivered(&pkt_at(i, SimTime::ZERO), SimTime::from_micros(5));
+        }
+        m.record_lost(LossKind::PolicyDrop, SimTime::from_micros(1));
+        m.record_lost(LossKind::Refused, SimTime::from_micros(2));
+        m.record_lost(LossKind::QueueDrop, SimTime::from_micros(3));
+        assert_eq!(m.delivered, 7);
+        assert_eq!(m.total_lost(), 3);
+        assert!((m.loss_rate() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let mut m = Metrics::default();
+        for i in 1..=100u64 {
+            m.record_delivered(&pkt_at(i, SimTime::ZERO), SimTime::from_micros(i));
+        }
+        let p50 = m.latency_percentile(50.0).unwrap();
+        let p99 = m.latency_percentile(99.0).unwrap();
+        assert!(p50 < p99);
+        assert_eq!(m.latency_percentile(100.0).unwrap(), SimDuration::from_micros(100));
+        assert!(m.latency_mean().unwrap() >= SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn empty_percentile_is_none() {
+        let m = Metrics::default();
+        assert!(m.latency_percentile(50.0).is_none());
+        assert!(m.latency_mean().is_none());
+        assert!(m.disruption_window().is_none());
+    }
+
+    #[test]
+    fn disruption_window_spans_refusals() {
+        let mut m = Metrics::default();
+        m.record_lost(LossKind::Refused, SimTime::from_millis(100));
+        m.record_lost(LossKind::Refused, SimTime::from_millis(350));
+        m.record_lost(LossKind::PolicyDrop, SimTime::from_millis(900));
+        assert_eq!(m.disruption_window(), Some(SimDuration::from_millis(250)));
+    }
+
+    #[test]
+    fn timeseries_buckets() {
+        let mut m = Metrics::new(SimDuration::from_millis(10));
+        m.record_delivered(&pkt_at(1, SimTime::ZERO), SimTime::from_millis(5));
+        m.record_delivered(&pkt_at(2, SimTime::ZERO), SimTime::from_millis(15));
+        m.record_lost(LossKind::QueueDrop, SimTime::from_millis(15));
+        let ts = m.timeseries();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].1.delivered, 1);
+        assert_eq!(ts[1].1.delivered, 1);
+        assert_eq!(ts[1].1.lost, 1);
+    }
+
+    #[test]
+    fn version_tracking() {
+        let mut m = Metrics::default();
+        let mut p = pkt_at(1, SimTime::ZERO);
+        p.record_processing(NodeId(3), ProgramVersion(1));
+        m.record_delivered(&p, SimTime::from_micros(1));
+        let mut p2 = pkt_at(2, SimTime::ZERO);
+        p2.record_processing(NodeId(3), ProgramVersion(2));
+        m.record_delivered(&p2, SimTime::from_micros(2));
+        let vs = m.versions_seen(NodeId(3));
+        assert_eq!(vs.len(), 2);
+        assert!(m.versions_seen(NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn keep_packets_retains_deliveries() {
+        let mut m = Metrics {
+            keep_packets: true,
+            ..Metrics::default()
+        };
+        m.record_delivered(&pkt_at(1, SimTime::ZERO), SimTime::from_micros(1));
+        assert_eq!(m.delivered_packets.len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the simulator substrate: workload generation is
+//! sorted and deterministic, conservation holds (every injected packet is
+//! delivered, lost, or punted), and routing reaches every destination on
+//! generated topologies.
+
+use flexnet_sim::{generate, Command, FlowSpec, NodeKind, Pattern, Simulation, Topology};
+use flexnet_types::{NodeId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generation_is_sorted_and_deterministic(
+        pps in 1u64..50_000,
+        dur_ms in 1u64..200,
+        seed in any::<u64>(),
+        poisson in any::<bool>(),
+    ) {
+        let mut spec = FlowSpec::udp_cbr(
+            NodeId(0),
+            NodeId(1),
+            pps,
+            SimTime::from_millis(1),
+            SimDuration::from_millis(dur_ms),
+        );
+        if poisson {
+            spec.pattern = Pattern::Poisson { mean_pps: pps };
+        }
+        let a = generate(std::slice::from_ref(&spec), seed);
+        let b = generate(&[spec], seed);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.at, y.at);
+            prop_assert_eq!(x.packet.id, y.packet.id);
+        }
+        // Sorted by time.
+        for w in a.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // All departures inside [start, start+duration).
+        for d in &a {
+            prop_assert!(d.at >= SimTime::from_millis(1));
+            prop_assert!(d.at < SimTime::from_millis(1) + SimDuration::from_millis(dur_ms));
+        }
+    }
+
+    /// Conservation: sent == delivered + lost + punted, for arbitrary host
+    /// counts and loads on a single switch.
+    #[test]
+    fn packet_conservation(
+        n_hosts in 2usize..6,
+        pps in 100u64..20_000,
+        dur_ms in 10u64..200,
+        seed in any::<u64>(),
+    ) {
+        let (topo, sw, hosts) = Topology::single_switch(n_hosts);
+        let mut sim = Simulation::new(topo);
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: flexnet_lang::diff::ProgramBundle::new(
+                    flexnet_lang::parser::parse_program(
+                        "program fwd kind any { handler ingress(pkt) { forward(0); } }",
+                    )
+                    .unwrap(),
+                ),
+            },
+        );
+        let flows: Vec<FlowSpec> = (0..n_hosts)
+            .map(|i| {
+                FlowSpec::udp_cbr(
+                    hosts[i],
+                    hosts[(i + 1) % n_hosts],
+                    pps,
+                    SimTime::from_millis(1),
+                    SimDuration::from_millis(dur_ms),
+                )
+            })
+            .collect();
+        sim.load(generate(&flows, seed));
+        sim.run_to_completion();
+        prop_assert_eq!(
+            sim.metrics.sent,
+            sim.metrics.delivered + sim.metrics.total_lost() + sim.metrics.punted,
+            "conservation violated: {:?}",
+            sim.metrics.losses
+        );
+        prop_assert!(sim.errors.is_empty());
+    }
+
+    /// Routing reaches every host pair on random leaf-spine shapes.
+    #[test]
+    fn leaf_spine_all_pairs_routable(
+        spines in 1usize..4,
+        leaves in 1usize..4,
+        hosts_per_leaf in 1usize..4,
+    ) {
+        let (topo, _s, _l, hosts) = Topology::leaf_spine(spines, leaves, hosts_per_leaf);
+        let routes = topo.compute_routes();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b {
+                    prop_assert!(
+                        routes.contains_key(&(a, b)),
+                        "no route {a} -> {b} in {spines}x{leaves}x{hosts_per_leaf}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Link serialization is monotone in size and inverse in bandwidth.
+    #[test]
+    fn serialization_monotonicity(
+        bytes_a in 64u32..1500,
+        bytes_b in 1501u32..9000,
+        bw_lo in 1_000_000u64..1_000_000_000,
+    ) {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host, flexnet_dataplane::Architecture::host_default());
+        let b = topo.add_node(NodeKind::Host, flexnet_dataplane::Architecture::host_default());
+        let (l1, _) = topo
+            .connect(a, 0, b, 0, SimDuration::from_micros(1), bw_lo)
+            .unwrap();
+        let link = topo.link(l1).unwrap();
+        prop_assert!(link.serialization(bytes_a) < link.serialization(bytes_b));
+        let fast = flexnet_sim::Link {
+            bandwidth_bps: bw_lo * 10,
+            ..link.clone()
+        };
+        prop_assert!(fast.serialization(bytes_b) < link.serialization(bytes_b));
+    }
+}

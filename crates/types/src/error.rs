@@ -1,0 +1,136 @@
+//! The unified error type for the FlexNet stack.
+
+use crate::resources::ResourceVec;
+use std::fmt;
+
+/// Convenience alias used by every FlexNet crate.
+pub type Result<T> = std::result::Result<T, FlexError>;
+
+/// Errors produced anywhere in the FlexNet stack.
+///
+/// A single error enum (rather than one per crate) keeps cross-crate
+/// plumbing simple: the compiler calls into the data plane, the controller
+/// calls into both, and all of them surface errors to the same callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlexError {
+    /// FlexBPF source failed to lex or parse. Carries line, column, message.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// FlexBPF program failed type checking.
+    Type(String),
+    /// FlexBPF program failed verification (unbounded execution, unsafe map
+    /// access, etc.).
+    Verify(String),
+    /// The compiler could not produce a placement or lowering.
+    Compile(String),
+    /// A device did not have the resources an operation required.
+    ResourceExhausted {
+        /// What the operation needed.
+        needed: ResourceVec,
+        /// What the device had free.
+        available: ResourceVec,
+        /// What was being placed.
+        context: String,
+    },
+    /// A runtime reconfiguration could not be applied.
+    Reconfig(String),
+    /// A named entity (app, table, device, service, tenant…) does not exist.
+    NotFound(String),
+    /// An access-control check rejected the operation.
+    Denied(String),
+    /// A patch program failed to apply to its base program.
+    Patch(String),
+    /// Datapath composition detected a conflict between modules.
+    Conflict(String),
+    /// A distributed-controller consensus operation failed.
+    Consensus(String),
+    /// A simulator invariant was violated or a simulation input was invalid.
+    Sim(String),
+    /// An SLA certification failed (latency or throughput objective missed).
+    SlaViolation(String),
+}
+
+impl fmt::Display for FlexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlexError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            FlexError::Type(m) => write!(f, "type error: {m}"),
+            FlexError::Verify(m) => write!(f, "verification failed: {m}"),
+            FlexError::Compile(m) => write!(f, "compilation failed: {m}"),
+            FlexError::ResourceExhausted {
+                needed,
+                available,
+                context,
+            } => write!(
+                f,
+                "resources exhausted while placing {context}: needed {needed}, available {available}"
+            ),
+            FlexError::Reconfig(m) => write!(f, "reconfiguration failed: {m}"),
+            FlexError::NotFound(m) => write!(f, "not found: {m}"),
+            FlexError::Denied(m) => write!(f, "access denied: {m}"),
+            FlexError::Patch(m) => write!(f, "patch failed: {m}"),
+            FlexError::Conflict(m) => write!(f, "composition conflict: {m}"),
+            FlexError::Consensus(m) => write!(f, "consensus failure: {m}"),
+            FlexError::Sim(m) => write!(f, "simulation error: {m}"),
+            FlexError::SlaViolation(m) => write!(f, "SLA violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlexError {}
+
+impl FlexError {
+    /// Shorthand for a parse error.
+    pub fn parse(line: u32, col: u32, msg: impl Into<String>) -> FlexError {
+        FlexError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::{ResourceKind, ResourceVec};
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = FlexError::parse(3, 7, "unexpected token");
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected token");
+        assert_eq!(
+            FlexError::NotFound("app x".into()).to_string(),
+            "not found: app x"
+        );
+    }
+
+    #[test]
+    fn resource_exhausted_mentions_both_sides() {
+        let needed = ResourceVec::of(ResourceKind::SramKb, 128);
+        let available = ResourceVec::of(ResourceKind::SramKb, 64);
+        let e = FlexError::ResourceExhausted {
+            needed,
+            available,
+            context: "table acl".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("table acl"));
+        assert!(s.contains("128"));
+        assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FlexError::Type("x".into()));
+    }
+}

@@ -1,0 +1,328 @@
+//! Resource vectors.
+//!
+//! Paper §3.3 stresses that "resource fungibility varies across device
+//! architectures": an RMT pipeline budgets SRAM/TCAM *per stage*, a dRMT
+//! device draws from a disaggregated pool, a tiled device (Trident4) exposes
+//! hash/index/TCAM tiles, an elastic pipe (Jericho2) adds PEM elements, and
+//! SmartNICs/hosts are "essentially fully fungible". A [`ResourceVec`] is a
+//! sparse multiset over [`ResourceKind`]s that all of these models share;
+//! *where* a vector is accounted (per stage, per pool, per tile group) is up
+//! to each device model in `flexnet-dataplane`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The kinds of data-plane resources tracked by FlexNet device models.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ResourceKind {
+    /// SRAM for exact-match tables and register arrays, in KiB.
+    SramKb,
+    /// TCAM for ternary/LPM tables, in KiB.
+    TcamKb,
+    /// Match/action processing slots (VLIW action slots on RMT, processor
+    /// cycles per packet on dRMT).
+    ActionSlots,
+    /// Hash-lookup tiles (Trident4-style tiled architectures).
+    HashTiles,
+    /// Index-lookup tiles (Trident4-style tiled architectures).
+    IndexTiles,
+    /// TCAM tiles (Trident4-style tiled architectures).
+    TcamTiles,
+    /// Programmable Elements Matrix slots (Jericho2 elastic pipe).
+    PemElements,
+    /// Parser TCAM entries (one per parser state transition).
+    ParserEntries,
+    /// Stateful register cells.
+    RegisterCells,
+    /// Meter/counter slots.
+    MeterSlots,
+    /// General-purpose compute, in milli-cores (SmartNIC SoC cores, host CPUs).
+    CpuMillis,
+    /// General-purpose memory, in MiB (SmartNIC / host DRAM).
+    DramMb,
+}
+
+impl ResourceKind {
+    /// Every resource kind, for iteration in reports.
+    pub const ALL: [ResourceKind; 12] = [
+        ResourceKind::SramKb,
+        ResourceKind::TcamKb,
+        ResourceKind::ActionSlots,
+        ResourceKind::HashTiles,
+        ResourceKind::IndexTiles,
+        ResourceKind::TcamTiles,
+        ResourceKind::PemElements,
+        ResourceKind::ParserEntries,
+        ResourceKind::RegisterCells,
+        ResourceKind::MeterSlots,
+        ResourceKind::CpuMillis,
+        ResourceKind::DramMb,
+    ];
+
+    /// A short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::SramKb => "sram_kb",
+            ResourceKind::TcamKb => "tcam_kb",
+            ResourceKind::ActionSlots => "action_slots",
+            ResourceKind::HashTiles => "hash_tiles",
+            ResourceKind::IndexTiles => "index_tiles",
+            ResourceKind::TcamTiles => "tcam_tiles",
+            ResourceKind::PemElements => "pem_elements",
+            ResourceKind::ParserEntries => "parser_entries",
+            ResourceKind::RegisterCells => "register_cells",
+            ResourceKind::MeterSlots => "meter_slots",
+            ResourceKind::CpuMillis => "cpu_millis",
+            ResourceKind::DramMb => "dram_mb",
+        }
+    }
+}
+
+/// A sparse vector of resource quantities.
+///
+/// Zero entries are never stored, so `ResourceVec::default()` equals a
+/// vector of all-zeros and comparisons behave set-wise.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceVec(BTreeMap<ResourceKind, u64>);
+
+impl ResourceVec {
+    /// The empty (all-zero) vector.
+    pub fn new() -> ResourceVec {
+        ResourceVec::default()
+    }
+
+    /// A vector with a single non-zero component.
+    pub fn of(kind: ResourceKind, amount: u64) -> ResourceVec {
+        let mut v = ResourceVec::new();
+        v.set(kind, amount);
+        v
+    }
+
+    /// Builds a vector from `(kind, amount)` pairs; later pairs overwrite
+    /// earlier ones for the same kind.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ResourceKind, u64)>) -> ResourceVec {
+        let mut v = ResourceVec::new();
+        for (k, amt) in pairs {
+            v.set(k, amt);
+        }
+        v
+    }
+
+    /// The quantity of `kind` (zero if absent).
+    pub fn get(&self, kind: ResourceKind) -> u64 {
+        self.0.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Sets the quantity of `kind`, removing the entry when zero.
+    pub fn set(&mut self, kind: ResourceKind, amount: u64) {
+        if amount == 0 {
+            self.0.remove(&kind);
+        } else {
+            self.0.insert(kind, amount);
+        }
+    }
+
+    /// Adds `amount` of `kind`.
+    pub fn add_amount(&mut self, kind: ResourceKind, amount: u64) {
+        let cur = self.get(kind);
+        self.set(kind, cur.saturating_add(amount));
+    }
+
+    /// Whether every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `self` covers `needed` in every component.
+    pub fn covers(&self, needed: &ResourceVec) -> bool {
+        needed.0.iter().all(|(k, amt)| self.get(*k) >= *amt)
+    }
+
+    /// Component-wise checked subtraction; `None` if any component would
+    /// underflow.
+    pub fn checked_sub(&self, rhs: &ResourceVec) -> Option<ResourceVec> {
+        if !self.covers(rhs) {
+            return None;
+        }
+        let mut out = self.clone();
+        for (k, amt) in &rhs.0 {
+            let cur = out.get(*k);
+            out.set(*k, cur - amt);
+        }
+        Some(out)
+    }
+
+    /// Component-wise saturating subtraction.
+    pub fn saturating_sub(&self, rhs: &ResourceVec) -> ResourceVec {
+        let mut out = self.clone();
+        for (k, amt) in &rhs.0 {
+            let cur = out.get(*k);
+            out.set(*k, cur.saturating_sub(*amt));
+        }
+        out
+    }
+
+    /// Scales every component by `factor`, saturating on overflow.
+    pub fn scaled(&self, factor: u64) -> ResourceVec {
+        let mut out = ResourceVec::new();
+        for (k, amt) in &self.0 {
+            out.set(*k, amt.saturating_mul(factor));
+        }
+        out
+    }
+
+    /// Iterates over the non-zero `(kind, amount)` components.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceKind, u64)> + '_ {
+        self.0.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// A scalar "size" used for sorting in bin-packing heuristics: the sum
+    /// of all components. Components have different units, so this is only a
+    /// heuristic ordering, never a capacity check.
+    pub fn heuristic_weight(&self) -> u64 {
+        self.0.values().fold(0u64, |a, v| a.saturating_add(*v))
+    }
+
+    /// Fraction of `capacity` consumed by `self`, as the max utilization
+    /// across components present in `capacity` (1.0 = some component full).
+    pub fn utilization_of(&self, capacity: &ResourceVec) -> f64 {
+        let mut max = 0.0f64;
+        for (k, cap) in capacity.iter() {
+            if cap > 0 {
+                let u = self.get(k) as f64 / cap as f64;
+                if u > max {
+                    max = u;
+                }
+            }
+        }
+        max
+    }
+}
+
+impl Add for ResourceVec {
+    type Output = ResourceVec;
+    fn add(mut self, rhs: ResourceVec) -> ResourceVec {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ResourceVec {
+    fn add_assign(&mut self, rhs: ResourceVec) {
+        for (k, amt) in rhs.0 {
+            self.add_amount(k, amt);
+        }
+    }
+}
+
+impl AddAssign<&ResourceVec> for ResourceVec {
+    fn add_assign(&mut self, rhs: &ResourceVec) {
+        for (k, amt) in &rhs.0 {
+            self.add_amount(*k, *amt);
+        }
+    }
+}
+
+impl fmt::Display for ResourceVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "{{}}");
+        }
+        write!(f, "{{")?;
+        for (i, (k, amt)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", k.label(), amt)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sram(n: u64) -> ResourceVec {
+        ResourceVec::of(ResourceKind::SramKb, n)
+    }
+
+    #[test]
+    fn zero_entries_are_normalized_away() {
+        let mut v = sram(5);
+        v.set(ResourceKind::SramKb, 0);
+        assert!(v.is_zero());
+        assert_eq!(v, ResourceVec::new());
+    }
+
+    #[test]
+    fn covers_is_component_wise() {
+        let cap = ResourceVec::from_pairs([
+            (ResourceKind::SramKb, 100),
+            (ResourceKind::TcamKb, 10),
+        ]);
+        assert!(cap.covers(&sram(100)));
+        assert!(!cap.covers(&sram(101)));
+        assert!(!cap.covers(&ResourceVec::of(ResourceKind::ActionSlots, 1)));
+        assert!(cap.covers(&ResourceVec::new()));
+    }
+
+    #[test]
+    fn checked_sub_underflow_returns_none() {
+        let cap = sram(10);
+        assert_eq!(cap.checked_sub(&sram(4)), Some(sram(6)));
+        assert_eq!(cap.checked_sub(&sram(11)), None);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let v = sram(4) + ResourceVec::of(ResourceKind::TcamKb, 2) + sram(6);
+        assert_eq!(v.get(ResourceKind::SramKb), 10);
+        assert_eq!(v.get(ResourceKind::TcamKb), 2);
+    }
+
+    #[test]
+    fn scaled_multiplies_each_component() {
+        let v = ResourceVec::from_pairs([
+            (ResourceKind::SramKb, 3),
+            (ResourceKind::MeterSlots, 2),
+        ])
+        .scaled(4);
+        assert_eq!(v.get(ResourceKind::SramKb), 12);
+        assert_eq!(v.get(ResourceKind::MeterSlots), 8);
+    }
+
+    #[test]
+    fn utilization_reports_max_component() {
+        let cap = ResourceVec::from_pairs([
+            (ResourceKind::SramKb, 100),
+            (ResourceKind::TcamKb, 10),
+        ]);
+        let used = ResourceVec::from_pairs([
+            (ResourceKind::SramKb, 50),
+            (ResourceKind::TcamKb, 9),
+        ]);
+        let u = used.utilization_of(&cap);
+        assert!((u - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let v = ResourceVec::from_pairs([
+            (ResourceKind::SramKb, 1),
+            (ResourceKind::TcamKb, 2),
+        ]);
+        assert_eq!(v.to_string(), "{sram_kb=1, tcam_kb=2}");
+        assert_eq!(ResourceVec::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let v = sram(3).saturating_sub(&sram(5));
+        assert!(v.is_zero());
+    }
+}

@@ -1,0 +1,21 @@
+//! Workspace-level helper library for FlexNet integration tests and examples.
+//!
+//! The real functionality lives in the `crates/` members; this crate only
+//! hosts the cross-crate `tests/` and `examples/` required at the repository
+//! root, plus a few conveniences shared between them.
+
+/// Re-export of the facade crate so examples can `use flexnet_suite::flexnet`.
+pub use flexnet;
+
+/// Returns the workspace version string (kept in sync across all crates).
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::version().is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! Property-based tests over cross-crate invariants:
+//!
+//! - pretty-printer/parser round trips on generated programs,
+//! - interval-analysis soundness against the interpreter,
+//! - verifier-certified register safety under arbitrary traffic,
+//! - resource-vector algebra,
+//! - LPM longest-prefix-wins semantics.
+
+use flexnet::prelude::*;
+use flexnet_lang::ast::{
+    BinOp, Block, Expr, FieldPath, Handler, Program, ProgramKind, StateDecl, StateKind, Stmt,
+    UnOp,
+};
+use flexnet_lang::verifier::analyze_expr_range;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_field() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::field("ipv4", "src")),
+        Just(Expr::field("ipv4", "dst")),
+        Just(Expr::field("ipv4", "proto")),
+        Just(Expr::field("ipv4", "ttl")),
+        Just(Expr::field("tcp", "sport")),
+        Just(Expr::field("tcp", "flags")),
+        Just(Expr::PktLen),
+    ]
+}
+
+fn arb_int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![(0u64..10_000).prop_map(Expr::Int), arb_field()];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Mod),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::Xor),
+            Just(BinOp::Shl),
+            Just(BinOp::Shr),
+        ];
+        prop_oneof![
+            (bin, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Un(UnOp::BitNot, Box::new(a))),
+            prop::collection::vec(inner, 1..3).prop_map(Expr::Hash),
+        ]
+    })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        0u32..4096,
+    )
+        .prop_map(|(src, dst, sp, dp, flags, payload)| {
+            let mut p = Packet::tcp(1, src, dst, sp, dp, flags);
+            p.payload_len = payload;
+            p
+        })
+}
+
+/// A small random-but-valid program: some state, one handler using it.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        1u64..64,
+        1u64..64,
+        prop::collection::vec(arb_int_expr(), 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(map_size, reg_size, exprs, use_if)| {
+            let mut p = Program::empty("generated", ProgramKind::Any);
+            p.states.push(StateDecl {
+                name: "m".into(),
+                kind: StateKind::Map {
+                    key_width: 64,
+                    value_width: 64,
+                },
+                size: map_size,
+            });
+            p.states.push(StateDecl {
+                name: "r".into(),
+                kind: StateKind::Register { width: 64 },
+                size: reg_size,
+            });
+            p.states.push(StateDecl {
+                name: "c".into(),
+                kind: StateKind::Counter,
+                size: 1,
+            });
+            let mut body: Block = Vec::new();
+            for (i, e) in exprs.into_iter().enumerate() {
+                body.push(Stmt::Let(format!("x{i}"), e.clone()));
+                body.push(Stmt::MapPut(
+                    "m".into(),
+                    Expr::Local(format!("x{i}")),
+                    Expr::Int(i as u64),
+                ));
+                // Every register index is proven safe by construction.
+                body.push(Stmt::RegWrite(
+                    "r".into(),
+                    Expr::Bin(
+                        BinOp::Mod,
+                        Box::new(Expr::Local(format!("x{i}"))),
+                        Box::new(Expr::Int(reg_size)),
+                    ),
+                    e,
+                ));
+            }
+            body.push(Stmt::Count("c".into()));
+            if use_if {
+                body.push(Stmt::If(
+                    Expr::eq(Expr::field("ipv4", "proto"), Expr::Int(6)),
+                    vec![Stmt::Drop],
+                    vec![Stmt::Forward(Expr::Int(1))],
+                ));
+            } else {
+                body.push(Stmt::Forward(Expr::Int(0)));
+            }
+            p.handlers.push(Handler {
+                name: "ingress".into(),
+                body,
+            });
+            p
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pretty_print_parse_roundtrip(program in arb_program()) {
+        let src = program.to_source();
+        let reparsed = parse_program(&src).expect("printed source parses");
+        prop_assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn generated_programs_check_and_verify(program in arb_program()) {
+        let headers = HeaderRegistry::builtins();
+        check_program(&program, &headers).expect("generated programs are well-typed");
+        let report = verify_program(&program, &headers).expect("verifier accepts");
+        prop_assert!(report.max_ops > 0);
+        prop_assert!(report.max_ops <= flexnet_lang::verifier::MAX_OPS);
+    }
+
+    #[test]
+    fn interval_analysis_is_sound(e in arb_int_expr(), pkt in arb_packet()) {
+        let program = Program::empty("probe", ProgramKind::Any);
+        let headers = HeaderRegistry::builtins();
+        let range = analyze_expr_range(&e, &program, &headers).expect("pure expr analyzes");
+
+        // Evaluate the same expression via a one-statement program.
+        let mut p = Program::empty("probe", ProgramKind::Any);
+        p.handlers.push(Handler {
+            name: "ingress".into(),
+            body: vec![
+                Stmt::AssignField(FieldPath::Meta("out".into()), e),
+                Stmt::Forward(Expr::Int(0)),
+            ],
+        });
+        let mut env = MemEnv::new();
+        let mut pkt = pkt;
+        execute(&p, "ingress", &mut pkt, &mut env, &headers).expect("executes");
+        let value = pkt.metadata["out"];
+        prop_assert!(
+            value >= range.lo && value <= range.hi,
+            "value {} outside [{}, {}]",
+            value, range.lo, range.hi
+        );
+    }
+
+    #[test]
+    fn verified_programs_never_write_registers_out_of_bounds(
+        program in arb_program(),
+        packets in prop::collection::vec(arb_packet(), 1..20),
+    ) {
+        let headers = HeaderRegistry::builtins();
+        check_program(&program, &headers).unwrap();
+        verify_program(&program, &headers).unwrap();
+        let reg_size = program.state("r").unwrap().size as usize;
+
+        // MemEnv grows its register vector on any write, so a final length
+        // above the declared size would reveal an out-of-bounds write.
+        let mut env = MemEnv::new();
+        for mut pkt in packets {
+            execute(&program, "ingress", &mut pkt, &mut env, &headers).unwrap();
+        }
+        if let Some(r) = env.regs.get("r") {
+            prop_assert!(
+                r.len() <= reg_size,
+                "register grew to {} cells (declared {})",
+                r.len(),
+                reg_size
+            );
+        }
+    }
+
+    #[test]
+    fn resource_vec_algebra(
+        pairs_a in prop::collection::vec((0usize..4, 0u64..1000), 0..4),
+        pairs_b in prop::collection::vec((0usize..4, 0u64..1000), 0..4),
+    ) {
+        let kinds = [
+            ResourceKind::SramKb,
+            ResourceKind::TcamKb,
+            ResourceKind::ActionSlots,
+            ResourceKind::MeterSlots,
+        ];
+        let mk = |pairs: &[(usize, u64)]| {
+            let mut v = ResourceVec::new();
+            for (k, amt) in pairs {
+                v.add_amount(kinds[*k], *amt);
+            }
+            v
+        };
+        let a = mk(&pairs_a);
+        let b = mk(&pairs_b);
+        // a + b always covers both operands.
+        let sum = a.clone() + b.clone();
+        prop_assert!(sum.covers(&a));
+        prop_assert!(sum.covers(&b));
+        // (a + b) - b == a.
+        prop_assert_eq!(sum.checked_sub(&b).unwrap(), a.clone());
+        // covers is reflexive; checked_sub with self is zero.
+        prop_assert!(a.covers(&a));
+        prop_assert!(a.checked_sub(&a).unwrap().is_zero());
+        // checked_sub succeeds iff covers.
+        prop_assert_eq!(a.covers(&b), a.checked_sub(&b).is_some());
+    }
+
+    #[test]
+    fn lpm_longest_prefix_always_wins(
+        key in any::<u32>(),
+        len_a in 0u8..=32,
+        len_b in 0u8..=32,
+    ) {
+        prop_assume!(len_a != len_b);
+        use flexnet_lang::ast::{ActionCall, ActionDecl, MatchKind, TableDecl, TableKey};
+        let decl = TableDecl {
+            name: "t".into(),
+            keys: vec![TableKey {
+                field: FieldPath::Header("ipv4".into(), "dst".into()),
+                match_kind: MatchKind::Lpm,
+            }],
+            actions: vec![
+                ActionDecl { name: "a".into(), params: vec![("x".into(), 16)], body: vec![] },
+            ],
+            default_action: None,
+            size: 8,
+        };
+        let mut table = flexnet_dataplane::TableInstance::new(decl);
+        // Two entries whose prefixes are both derived from the key itself,
+        // so both always match.
+        for (i, len) in [len_a, len_b].iter().enumerate() {
+            table
+                .insert(flexnet_dataplane::TableEntry {
+                    matches: vec![KeyMatch::Lpm {
+                        value: key as u64,
+                        prefix_len: *len,
+                        width: 32,
+                    }],
+                    priority: 0,
+                    action: ActionCall { action: "a".into(), args: vec![i as u64] },
+                })
+                .unwrap();
+        }
+        let hit = table.lookup(&[key as u64]).expect("both entries match");
+        let expect = if len_a > len_b { 0 } else { 1 };
+        prop_assert_eq!(hit.action.args[0], expect);
+    }
+
+    #[test]
+    fn glob_matching_total_and_star_is_universal(name in "[a-z_]{0,12}") {
+        prop_assert!(flexnet_lang::patch::glob_match("*", &name));
+        prop_assert!(flexnet_lang::patch::glob_match(&name, &name));
+    }
+}
