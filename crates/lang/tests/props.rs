@@ -1,6 +1,6 @@
 //! Property tests for the FlexBPF front end: the lexer and parser must be
-//! total (never panic, only `Err`) on arbitrary input, and serialization
-//! must round-trip programs exactly.
+//! total (never panic, only `Err`) on arbitrary input, and pretty-printed
+//! source must round-trip programs exactly.
 
 use flexnet_lang::lexer::lex;
 use flexnet_lang::parser::{parse_program, parse_source};
@@ -50,7 +50,7 @@ proptest! {
     }
 
     #[test]
-    fn serde_round_trips_programs(
+    fn source_round_trips_programs(
         name in "[a-z]{1,8}",
         size in 1u64..10_000,
         port in 0u64..65_536,
@@ -74,8 +74,8 @@ proptest! {
              }}"
         );
         let program = parse_program(&src).unwrap();
-        let json = serde_json::to_string(&program).unwrap();
-        let back: flexnet_lang::ast::Program = serde_json::from_str(&json).unwrap();
+        let printed = program.to_source();
+        let back = parse_program(&printed).unwrap();
         prop_assert_eq!(program, back);
     }
 

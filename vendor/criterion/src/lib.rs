@@ -1,0 +1,209 @@
+//! Offline vendored mini-criterion.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of the criterion 0.5 API the FlexNet microbenchmarks use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `Bencher::iter` /
+//! `Bencher::iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill a short measurement window,
+//! and the mean wall-clock time per iteration is printed. There is no
+//! statistical analysis, outlier rejection, or HTML report — the numbers
+//! are order-of-magnitude indicators, which is what the suite's benches
+//! are used for.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(20);
+const MEASURE: Duration = Duration::from_millis(100);
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `function/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Types accepted as the benchmark name by group `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into_id()), f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no summary is emitted).
+    pub fn finish(self) {}
+}
+
+/// Controls how batched setup output is sized; only a hint here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Medium per-iteration inputs.
+    MediumInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Passed to each benchmark closure to drive timed iterations.
+pub struct Bencher {
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` over enough iterations to fill the measurement
+    /// window and records the total elapsed time and iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+        let target_iters = (MEASURE.as_nanos() as u64 / per_iter.max(1)).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            std::hint::black_box(routine());
+        }
+        self.result = Some((start.elapsed(), target_iters));
+    }
+
+    /// Like [`Bencher::iter`] but rebuilds the routine's input with `setup`
+    /// outside the timed region on every iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        // Bound both wall-clock (incl. setup) and measured time so an
+        // expensive setup cannot stall the harness.
+        let wall = Instant::now();
+        while total < MEASURE && wall.elapsed() < 4 * MEASURE {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(name: &str, f: F) {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {name:<40} {per:>12.1} ns/iter ({iters} iters)");
+        }
+        _ => println!("bench {name:<40} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_iter_batched_record() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        let mut group = c.benchmark_group("g");
+        group.bench_function(BenchmarkId::new("param", 42), |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,136 @@
+//! Collection strategies: `prop::collection::vec` and
+//! `prop::collection::btree_map`.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// An inclusive size range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeBounds {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeBounds {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeBounds {
+    fn from(r: std::ops::Range<usize>) -> SizeBounds {
+        assert!(r.end > r.start, "empty collection size range");
+        SizeBounds {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeBounds {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeBounds {
+        SizeBounds {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeBounds {
+    fn from(n: usize) -> SizeBounds {
+        SizeBounds { lo: n, hi: n }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeBounds,
+}
+
+/// Generates a `Vec` of values from `elem` with a length in `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// The strategy returned by [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeBounds,
+}
+
+/// Generates a `BTreeMap` from the key/value strategies with up to the
+/// requested number of entries (duplicate generated keys coalesce, so the
+/// lower bound is best-effort, matching how the suite uses it).
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeBounds>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn sample(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len)
+            .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_in_bounds() {
+        let strat = vec(0u64..10, 2..5);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_map_size_bounded() {
+        let strat = btree_map(any::<u64>(), any::<u64>(), 0..16);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(strat.sample(&mut rng).len() <= 15);
+        }
+    }
+}

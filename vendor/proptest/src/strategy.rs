@@ -1,0 +1,343 @@
+//! The [`Strategy`] trait and the primitive strategies: `Just`, ranges,
+//! `any::<T>()`, tuples, unions, maps, and char-class string patterns.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of test-case values.
+///
+/// Only [`Strategy::sample`] is object-safe; the combinators require
+/// `Self: Sized` so `dyn Strategy<Value = T>` works for [`BoxedStrategy`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates the leaves and
+    /// `recurse`, given a strategy for smaller values, builds one level of
+    /// larger values. Recursion is depth-limited to `depth` levels (the
+    /// `_desired_size`/`_expected_branch` tuning knobs of real proptest are
+    /// accepted for compatibility but unused).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        R: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = recurse(strat).boxed();
+        }
+        strat
+    }
+
+    /// Erases the concrete strategy type behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+/// Generates uniformly distributed values of `T` (ints, bool, floats).
+pub fn any<T: rand::FromRng>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: rand::FromRng> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// The strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed alternatives; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms`; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A.0);
+impl_strategy_tuple!(A.0, B.1);
+impl_strategy_tuple!(A.0, B.1, C.2);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// String patterns as strategies: `"\PC*"` generates printable soup, and
+/// `"[class]{m,n}"`-style char classes generate strings over the class.
+/// Anything else is treated as a literal string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+/// Printable characters used by the `\PC*` pattern: mostly ASCII with a
+/// sprinkling of multi-byte code points to exercise UTF-8 handling.
+const EXOTIC: &[char] = &['é', 'λ', '→', '网', '\u{1F600}', 'ß', '¿'];
+
+fn sample_pattern(pat: &str, rng: &mut StdRng) -> String {
+    if pat == "\\PC*" {
+        let len = rng.gen_range(0usize..64);
+        return (0..len)
+            .map(|_| {
+                if rng.gen_range(0u32..10) == 0 {
+                    EXOTIC[rng.gen_range(0..EXOTIC.len())]
+                } else {
+                    rng.gen_range(0x20u32..0x7f) as u8 as char
+                }
+            })
+            .collect();
+    }
+    if let Some(rest) = pat.strip_prefix('[') {
+        if let Some(close) = rest.find(']') {
+            let class = expand_class(&rest[..close]);
+            let (lo, hi) = parse_repeat(&rest[close + 1..]);
+            let len = rng.gen_range(lo..=hi);
+            return (0..len)
+                .map(|_| class[rng.gen_range(0..class.len())])
+                .collect();
+        }
+    }
+    pat.to_string()
+}
+
+/// Expands a char class body like `a-z_` into its member characters.
+fn expand_class(body: &str) -> Vec<char> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    out.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty char class in string strategy");
+    out
+}
+
+/// Parses the repetition suffix after a char class: `{m,n}`, `{m}`, `*`,
+/// `+`, or nothing (meaning exactly one).
+fn parse_repeat(suffix: &str) -> (usize, usize) {
+    match suffix {
+        "" => (1, 1),
+        "*" => (0, 16),
+        "+" => (1, 16),
+        _ => {
+            let inner = suffix
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unsupported repetition {suffix:?}"));
+            match inner.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repeat lower bound"),
+                    n.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let m = inner.trim().parse().expect("repeat count");
+                    (m, m)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_any_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let x = (5u64..10).sample(&mut rng);
+            assert!((5..10).contains(&x));
+            let y = (0u8..=32).sample(&mut rng);
+            assert!(y <= 32);
+            let _: bool = any::<bool>().sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn char_class_patterns() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let s = "[a-z_]{0,12}".sample(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+            let t = "[a-z]{1,6}".sample(&mut rng);
+            assert!((1..=6).contains(&t.chars().count()));
+            let soup = "\\PC*".sample(&mut rng);
+            assert!(soup.chars().count() < 64);
+        }
+    }
+
+    #[test]
+    fn union_map_and_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0u64..100).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let t = strat.sample(&mut rng);
+            assert!(depth(&t) <= 4);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The per-test case loop behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required for the test to succeed.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions did not hold; draw a fresh case instead.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` on freshly sampled inputs until `config.cases` cases pass.
+///
+/// The RNG is seeded from the test name, so each test's case sequence is
+/// deterministic across runs and independent of other tests.
+pub fn run_proptest<S, F>(config: ProptestConfig, name: &str, strat: S, mut f: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(fnv1a(name));
+    let max_rejects = (config.cases as u64).saturating_mul(16).max(1024);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    while passed < config.cases {
+        match f(strat.sample(&mut rng)) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected}; last assumption: {why})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed after {passed} passing cases:\n{msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_passing_cases() {
+        let mut seen = 0u32;
+        run_proptest(
+            ProptestConfig::with_cases(10),
+            "counts_only_passing_cases",
+            0u64..100,
+            |x| {
+                if x % 2 == 0 {
+                    return Err(TestCaseError::Reject("odd only".into()));
+                }
+                seen += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics() {
+        run_proptest(
+            ProptestConfig::with_cases(10),
+            "failure_panics",
+            0u64..100,
+            |_| Err(TestCaseError::Fail("boom".into())),
+        );
+    }
+
+    crate::proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..50, y in 0u64..50) {
+            crate::prop_assume!(x != y);
+            crate::prop_assert!(x < 50 && y < 50, "bounds violated: {x} {y}");
+            crate::prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

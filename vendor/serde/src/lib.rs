@@ -1,0 +1,16 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so FlexNet vendors the
+//! minimal surface it needs: the `Serialize`/`Deserialize` names resolve
+//! (as marker traits) and `#[derive(Serialize, Deserialize)]` expands via
+//! the no-op derives in `vendor/serde_derive`. Nothing in FlexNet
+//! serializes at runtime; the annotations keep the data model serde-ready
+//! for when the real crates are available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

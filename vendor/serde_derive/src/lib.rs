@@ -1,0 +1,21 @@
+//! Offline vendored no-op derive macros for `Serialize`/`Deserialize`.
+//!
+//! The build environment has no network access, so the real `serde_derive`
+//! (and its `syn`/`quote` dependency tree) is unavailable. FlexNet does not
+//! serialize at runtime — the derives on its types exist so the data model
+//! stays serde-ready — so these derives accept the same syntax (including
+//! `#[serde(...)]` helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
