@@ -1,0 +1,361 @@
+//! E12 — Fault injection during runtime reconfiguration.
+//!
+//! The paper's vision only holds if in-situ evolution survives a
+//! misbehaving substrate: "the network that shapeshifts" must not strand
+//! half-committed programs when a device dies mid-transition. This
+//! experiment injects each fault class during an E1-style hitless
+//! reconfiguration and measures packets lost, rollback latency, and
+//! recovery time.
+//!
+//! Part A — fault classes against a transactional (two-phase-commit)
+//! reconfiguration with live traffic.
+//! Part B — controller-fabric partition: failure-detector reaction and
+//! post-heal recovery bound.
+//! Part C — dRPC under message loss: retry/backoff success rates.
+
+use flexnet::prelude::*;
+use flexnet_bench::{bundle, header, row, sep};
+use flexnet_controller::drpc::ExecutionSite;
+use flexnet_controller::retry::invoke_with_retry;
+
+fn old_program() -> ProgramBundle {
+    flexnet::apps::routing::l3_router(64).unwrap()
+}
+
+fn new_program() -> ProgramBundle {
+    bundle(
+        "program l3_router kind switch {
+           counter routed;
+           counter audited;
+           table routes {
+             key { ipv4.dst : lpm; }
+             action out(port: u16) { count(routed); forward(port); }
+             action blackhole() { drop(); }
+             size 64;
+           }
+           handler ingress(pkt) {
+             count(audited);
+             if (valid(ipv4)) { apply routes; }
+             forward(0);
+           }
+         }",
+    )
+}
+
+/// The off-path participant's program pair (host devices reject
+/// switch-kind programs, so it gets a `kind any` sidecar app).
+fn side_old() -> ProgramBundle {
+    bundle("program side kind any { handler ingress(pkt) { forward(0); } }")
+}
+
+fn side_new() -> ProgramBundle {
+    bundle(
+        "program side kind any {
+           counter c;
+           handler ingress(pkt) { count(c); forward(0); }
+         }",
+    )
+}
+
+/// Three hosts on one switch; 10 kpps host0→host1 for 4 s; the old
+/// program installed on the switch and on host 2's device (an off-path
+/// transaction participant).
+fn scenario() -> (Simulation, NodeId, Vec<NodeId>) {
+    let (topo, sw, hosts) = Topology::single_switch(3);
+    let mut sim = Simulation::new(topo);
+    sim.schedule(
+        SimTime::ZERO,
+        Command::Install {
+            node: sw,
+            bundle: old_program(),
+        },
+    );
+    sim.schedule(
+        SimTime::ZERO,
+        Command::Install {
+            node: hosts[2],
+            bundle: side_old(),
+        },
+    );
+    sim.load(generate(
+        &[FlowSpec::udp_cbr(
+            hosts[0],
+            hosts[1],
+            10_000,
+            SimTime::from_millis(1),
+            SimDuration::from_secs(4),
+        )],
+        42,
+    ));
+    (sim, sw, hosts)
+}
+
+fn fmt_opt(d: Option<SimDuration>) -> String {
+    d.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
+}
+
+fn part_a() {
+    println!("\n--- Part A: fault classes vs. transactional hitless reconfig (10 kpps) ---\n");
+    row(&["fault", "txn-outcome", "lost/sent", "rollback", "recovery"]);
+    sep(5);
+
+    // Baseline: no fault; the two-device transaction commits.
+    {
+        let (mut sim, sw, hosts) = scenario();
+        sim.run(SimTime::from_secs(2));
+        let targets = vec![(sw, new_program()), (hosts[2], side_new())];
+        let rep = transactional_reconfig(&mut sim, &targets, SimTime::from_secs(2));
+        sim.run_to_completion();
+        row(&[
+            "none (baseline)",
+            &format!("{:?}", rep.outcome),
+            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+            "-",
+            "-",
+        ]);
+    }
+
+    // Device crash during the prepare phase: participant host 2 dies just
+    // before its prepare arrives → the coordinator rolls the switch back;
+    // traffic on the old program never notices.
+    {
+        let (mut sim, sw, hosts) = scenario();
+        sim.run(SimTime::from_secs(2));
+        let t = SimTime::from_secs(2);
+        sim.topo.node_mut(hosts[2]).unwrap().device.crash(t);
+        let targets = vec![(sw, new_program()), (hosts[2], side_new())];
+        let rep = transactional_reconfig(&mut sim, &targets, t);
+        sim.run_to_completion();
+        row(&[
+            "crash in prepare",
+            &format!("{:?}", rep.outcome),
+            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+            &fmt_opt(rep.rollback_latency),
+            "-",
+        ]);
+    }
+
+    // Mid-reconfig abort: the transition is deliberately cancelled halfway
+    // through its window; the switch keeps serving the old program.
+    {
+        let (mut sim, sw, _hosts) = scenario();
+        sim.schedule(
+            SimTime::from_secs(2),
+            Command::RuntimeReconfig {
+                node: sw,
+                bundle: new_program(),
+            },
+        );
+        FaultPlan::new(12)
+            .abort_reconfig(SimTime::from_secs(2) + SimDuration::from_millis(1), sw)
+            .apply(&mut sim);
+        sim.run_to_completion();
+        let abort = sim
+            .reconfig_reports
+            .iter()
+            .find(|(_, _, r)| r.outcome == ReconfigOutcome::Aborted);
+        row(&[
+            "mid-reconfig abort",
+            "Aborted",
+            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+            &fmt_opt(abort.map(|(_, _, r)| r.duration)),
+            "-",
+        ]);
+    }
+
+    // Crash of the on-path switch itself (with restart): the txn aborts
+    // AND roughly one second of traffic is lost while it is down; the
+    // restarted switch comes back with wiped runtime state.
+    {
+        let (mut sim, sw, hosts) = scenario();
+        sim.run(SimTime::from_secs(2));
+        let t = SimTime::from_secs(2);
+        sim.topo.node_mut(sw).unwrap().device.crash(t);
+        sim.recompute_routes();
+        let targets = vec![(sw, new_program()), (hosts[2], side_new())];
+        let rep = transactional_reconfig(&mut sim, &targets, t);
+        FaultPlan::new(12)
+            .restart(SimTime::from_secs(3), sw)
+            .apply(&mut sim);
+        sim.run_to_completion();
+        // First 10 ms timeseries bucket with deliveries after the restart
+        // bounds recovery from above at bucket granularity.
+        let recovery = sim
+            .metrics
+            .timeseries()
+            .iter()
+            .find(|(at, b)| *at >= SimTime::from_secs(3) && b.delivered > 0)
+            .map(|(at, _)| {
+                at.saturating_since(SimTime::from_secs(3)) + SimDuration::from_millis(10)
+            });
+        row(&[
+            "crash on-path",
+            &format!("{:?}", rep.outcome),
+            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+            &fmt_opt(rep.rollback_latency),
+            &recovery
+                .map(|d| format!("<{d}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+
+    // Link flap during the transition: loss only while the link is down;
+    // the (single-device) reconfiguration still commits.
+    {
+        let (mut sim, sw, _hosts) = scenario();
+        let cut = sim.topo.node(sw).unwrap().ports[&1];
+        sim.schedule(
+            SimTime::from_secs(2),
+            Command::RuntimeReconfig {
+                node: sw,
+                bundle: new_program(),
+            },
+        );
+        FaultPlan::new(12)
+            .flap_link(
+                cut,
+                SimTime::from_millis(1900),
+                SimTime::from_millis(2300),
+                SimDuration::from_millis(40),
+            )
+            .apply(&mut sim);
+        sim.run_to_completion();
+        let committed = sim
+            .reconfig_reports
+            .iter()
+            .any(|(_, _, r)| r.outcome != ReconfigOutcome::Aborted);
+        row(&[
+            "link flap",
+            if committed { "Committed" } else { "Aborted" },
+            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+            "-",
+            "-",
+        ]);
+    }
+}
+
+fn part_b() {
+    println!("\n--- Part B: controller-fabric partition and heal (50 ms heartbeats) ---\n");
+    row(&["phase", "at", "event"]);
+    sep(3);
+
+    let (topo, sw, _hosts) = Topology::single_switch(2);
+    let mut sim = Simulation::new(topo);
+    sim.topo
+        .node_mut(sw)
+        .unwrap()
+        .device
+        .install(old_program())
+        .unwrap();
+    let infra = bundle(
+        "program infra kind switch {
+           service provide migrate_state(dst: u32);
+           handler ingress(pkt) { forward(0); }
+         }",
+    );
+    let mut c = Controller::new(infra, sw, SimTime::ZERO).unwrap();
+    let period = SimDuration::from_millis(50);
+    let partition_at = SimTime::from_secs(1);
+    // The heal lands between two sweeps, as it would in practice.
+    let heal_at = SimTime::from_millis(1975);
+    let mut reliable = LossyFabric::reliable();
+    let mut partitioned = LossyFabric::new(1.0, 5);
+    let mut recovered_at = None;
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_secs(3) {
+        let fabric = if t >= partition_at && t < heal_at {
+            &mut partitioned
+        } else {
+            &mut reliable
+        };
+        for (node, health) in c.sweep_heartbeats(&sim, fabric, t) {
+            if node != sw {
+                continue;
+            }
+            match health {
+                Health::Suspect => row(&["partition", &t.to_string(), "switch suspected"]),
+                Health::Dead => row(&["partition", &t.to_string(), "switch declared dead"]),
+                Health::Healthy if t > SimTime::ZERO => {
+                    recovered_at.get_or_insert(t);
+                    row(&["heal", &t.to_string(), "switch healthy again"]);
+                }
+                Health::Healthy => {}
+            }
+        }
+        t += period;
+    }
+    if let Some(r) = recovered_at {
+        println!(
+            "\npartition at {partition_at}, healed at {heal_at}: recovery took {} \
+             (bound: one sweep period + suspect window)",
+            r.saturating_since(heal_at)
+        );
+        let rep = transactional_reconfig(&mut sim, &[(sw, new_program())], r);
+        println!("post-heal transactional reconfig: {:?}", rep.outcome);
+    }
+}
+
+fn part_c() {
+    println!("\n--- Part C: dRPC retry/backoff under message loss (500 calls each) ---\n");
+    row(&["loss", "succeeded", "retried calls", "mean attempts"]);
+    sep(4);
+    for loss in [0.0, 0.1, 0.2, 0.3] {
+        let mut reg = ServiceRegistry::new();
+        reg.register("migrate_state", NodeId(0), 1, ExecutionSite::DataPlane)
+            .unwrap();
+        let mut fabric = LossyFabric::new(loss, 2024);
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            deadline: SimDuration::from_secs(120),
+            ..RetryPolicy::default()
+        };
+        let calls = 500u64;
+        let mut ok = 0u64;
+        let mut retried = 0u64;
+        let mut attempts = 0u64;
+        for i in 0..calls {
+            let out = invoke_with_retry(
+                &mut reg,
+                &mut fabric,
+                &policy,
+                "migrate_state",
+                NodeId(1),
+                &[i],
+                2,
+                SimTime::from_millis(i),
+            );
+            attempts += out.attempts as u64;
+            if out.attempts > 1 {
+                retried += 1;
+            }
+            if out.is_ok() {
+                ok += 1;
+            }
+        }
+        row(&[
+            &format!("{:.0}%", loss * 100.0),
+            &format!("{ok}/{calls}"),
+            &retried.to_string(),
+            &format!("{:.2}", attempts as f64 / calls as f64),
+        ]);
+    }
+}
+
+fn main() {
+    header(
+        "E12",
+        "fault injection during runtime reconfiguration",
+        "transactional reconfig aborts cleanly under faults (zero loss, exact rollback); \
+         failure detection and retry bound recovery (robustness for the paper's in-situ evolution)",
+    );
+    part_a();
+    part_b();
+    part_c();
+    println!(
+        "\nshape check: the baseline and every off-path fault lose 0 packets; \
+         'crash in prepare' aborts with sub-100 ms rollback; only faults on the \
+         traffic path (switch crash, link flap) lose packets, bounded by the \
+         outage window; dRPC succeeds 500/500 up to 30% loss with ~1/(0.7)^2 \
+         mean attempts."
+    );
+}

@@ -11,11 +11,107 @@
 
 use crate::apps::{AppRegistry, AppStatus};
 use crate::drpc::{ExecutionSite, ServiceRegistry};
+use crate::retry::LossyFabric;
 use crate::tenant::TenantManager;
 use flexnet_compiler::{split_datapath, LogicalDatapath, SplitResult, TargetView};
 use flexnet_lang::compose::tenant_prefix;
 use flexnet_lang::diff::ProgramBundle;
-use flexnet_types::{AppId, AppUri, NodeId, Result, SimTime, TenantId, VlanId};
+use flexnet_sim::Simulation;
+use flexnet_types::{AppId, AppUri, NodeId, Result, SimDuration, SimTime, TenantId, VlanId};
+use std::collections::BTreeMap;
+
+/// Liveness of a device as judged by the controller's heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Health {
+    /// Heartbeats arriving on schedule.
+    Healthy,
+    /// Heartbeats overdue; the device may be down or partitioned.
+    Suspect,
+    /// Heartbeats long overdue; the controller routes around the device.
+    Dead,
+}
+
+/// Heartbeat-based failure detection with graceful degradation.
+///
+/// The controller cannot distinguish a crashed device from a partitioned
+/// one — both just stop answering. The detector therefore grades silence:
+/// a device whose last heartbeat is older than `suspect_after` becomes
+/// [`Health::Suspect`], older than `dead_after` becomes [`Health::Dead`].
+/// Dead devices should be routed around; a heartbeat from a dead device
+/// (crash recovered, partition healed) restores it to [`Health::Healthy`]
+/// on the next [`poll`](FailureDetector::poll).
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    suspect_after: SimDuration,
+    dead_after: SimDuration,
+    last_seen: BTreeMap<NodeId, SimTime>,
+    status: BTreeMap<NodeId, Health>,
+}
+
+impl FailureDetector {
+    /// A detector suspecting after `suspect_after` of silence and declaring
+    /// death after `dead_after` (raised to at least `suspect_after`).
+    pub fn new(suspect_after: SimDuration, dead_after: SimDuration) -> FailureDetector {
+        FailureDetector {
+            suspect_after,
+            dead_after: dead_after.max(suspect_after),
+            last_seen: BTreeMap::new(),
+            status: BTreeMap::new(),
+        }
+    }
+
+    /// Records a heartbeat from `node` at `now`.
+    pub fn observe(&mut self, node: NodeId, now: SimTime) {
+        let seen = self.last_seen.entry(node).or_insert(now);
+        if now > *seen {
+            *seen = now;
+        }
+    }
+
+    /// Re-grades every known device at `now` and returns the transitions
+    /// (node, new health) that occurred since the last poll.
+    pub fn poll(&mut self, now: SimTime) -> Vec<(NodeId, Health)> {
+        let mut transitions = Vec::new();
+        for (&node, &seen) in &self.last_seen {
+            let silence = now.saturating_since(seen);
+            let health = if silence >= self.dead_after {
+                Health::Dead
+            } else if silence >= self.suspect_after {
+                Health::Suspect
+            } else {
+                Health::Healthy
+            };
+            let prev = self.status.insert(node, health);
+            if prev != Some(health) {
+                transitions.push((node, health));
+            }
+        }
+        transitions
+    }
+
+    /// The current grade of `node` (as of the last poll), if it has ever
+    /// heartbeated.
+    pub fn health(&self, node: NodeId) -> Option<Health> {
+        self.status.get(&node).copied()
+    }
+
+    /// Devices currently graded `grade`.
+    pub fn graded(&self, grade: Health) -> Vec<NodeId> {
+        self.status
+            .iter()
+            .filter(|(_, h)| **h == grade)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+}
+
+impl Default for FailureDetector {
+    /// Suspect after 150 ms of silence, dead after 500 ms — a few missed
+    /// 50 ms heartbeat periods.
+    fn default() -> FailureDetector {
+        FailureDetector::new(SimDuration::from_millis(150), SimDuration::from_millis(500))
+    }
+}
 
 /// The central controller.
 #[derive(Debug)]
@@ -26,6 +122,8 @@ pub struct Controller {
     pub tenants: TenantManager,
     /// dRPC registry and discovery (paper §3.4).
     pub services: ServiceRegistry,
+    /// Heartbeat-based device liveness (graceful degradation under faults).
+    pub detector: FailureDetector,
     infra_node: NodeId,
 }
 
@@ -54,8 +152,31 @@ impl Controller {
             apps,
             tenants: TenantManager::new(infra),
             services,
+            detector: FailureDetector::default(),
             infra_node,
         })
+    }
+
+    /// Collects one round of heartbeats from every device in `sim` over
+    /// `fabric` and returns the health transitions that resulted.
+    ///
+    /// A down device does not answer; an up device's heartbeat can still be
+    /// lost in the fabric (that is the point — the controller only ever
+    /// sees silence, never its cause). Callers react to `Dead` transitions
+    /// by routing around the device (`Simulation::recompute_routes` already
+    /// excludes down devices; for partitions the caller decides).
+    pub fn sweep_heartbeats(
+        &mut self,
+        sim: &Simulation,
+        fabric: &mut LossyFabric,
+        now: SimTime,
+    ) -> Vec<(NodeId, Health)> {
+        for node in sim.topo.nodes() {
+            if node.device.is_up() && fabric.deliver() {
+                self.detector.observe(node.id, now);
+            }
+        }
+        self.detector.poll(now)
     }
 
     /// The node hosting the composed infrastructure program.
@@ -237,6 +358,58 @@ mod tests {
         let rec = c.apps.lookup(&AppUri::infra("lb")).unwrap();
         assert_eq!(rec.id, id);
         assert_eq!(rec.placement.node_of("spread"), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn detector_grades_silence_and_recovers() {
+        let mut fd = FailureDetector::new(
+            SimDuration::from_millis(150),
+            SimDuration::from_millis(500),
+        );
+        let n = NodeId(3);
+        fd.observe(n, SimTime::ZERO);
+        assert_eq!(fd.poll(SimTime::from_millis(100)), vec![(n, Health::Healthy)]);
+        assert_eq!(fd.poll(SimTime::from_millis(200)), vec![(n, Health::Suspect)]);
+        assert_eq!(fd.poll(SimTime::from_millis(600)), vec![(n, Health::Dead)]);
+        assert_eq!(fd.graded(Health::Dead), vec![n]);
+        // A heartbeat resurrects it on the next poll.
+        fd.observe(n, SimTime::from_millis(700));
+        assert_eq!(fd.poll(SimTime::from_millis(710)), vec![(n, Health::Healthy)]);
+        // No change, no transition.
+        assert!(fd.poll(SimTime::from_millis(720)).is_empty());
+    }
+
+    #[test]
+    fn sweep_marks_crashed_device_dead() {
+        use flexnet_sim::{Simulation, Topology};
+        let (topo, sw, _hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        let mut c = controller();
+        let mut fabric = crate::retry::LossyFabric::reliable();
+        // Heartbeats every 50 ms; the switch crashes at 200 ms.
+        for ms in (0..=200).step_by(50) {
+            c.sweep_heartbeats(&sim, &mut fabric, SimTime::from_millis(ms));
+        }
+        sim.topo
+            .node_mut(sw)
+            .unwrap()
+            .device
+            .crash(SimTime::from_millis(200));
+        let mut dead_at = None;
+        for ms in (250..=1000).step_by(50) {
+            let tr = c.sweep_heartbeats(&sim, &mut fabric, SimTime::from_millis(ms));
+            if tr.iter().any(|(n, h)| *n == sw && *h == Health::Dead) {
+                dead_at = Some(ms);
+                break;
+            }
+        }
+        let dead_at = dead_at.expect("crashed switch declared dead");
+        assert!(
+            dead_at <= 750,
+            "detection bounded by dead_after + one period, got {dead_at} ms"
+        );
+        // The hosts kept heartbeating and stay healthy.
+        assert_eq!(c.detector.graded(Health::Dead), vec![sw]);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   count-min-sketch argument of §3.4).
 //! - [`scale`] — elastic scaling with hysteresis and cooldown.
 //! - [`drpc`] — data-plane RPC registry, discovery, and latency model.
+//! - [`retry`] — lossy control fabric, retry policies with exponential
+//!   backoff and deadlines.
+//! - [`txn`] — transactional network-wide reconfiguration (two-phase
+//!   commit with rollback).
 //! - [`replicate`] — replicated state groups with epoch-based failover.
 //! - [`raft`] — simulated Raft for physically distributed controllers.
 
@@ -24,14 +28,20 @@ pub mod drpc;
 pub mod migrate;
 pub mod raft;
 pub mod replicate;
+pub mod retry;
 pub mod scale;
 pub mod tenant;
+pub mod txn;
 
-pub use crate::core::Controller;
+pub use crate::core::{Controller, FailureDetector, Health};
 pub use apps::{AppRecord, AppRegistry, AppStatus};
 pub use drpc::{ExecutionSite, Invocation, ServiceRegistry};
 pub use migrate::{Migration, MigrationReport, MigrationStrategy};
 pub use raft::{RaftCluster, Role};
 pub use replicate::{FailoverReport, ReplicationGroup};
+pub use retry::{invoke_with_retry, with_retry, LossyFabric, RetryOutcome, RetryPolicy};
 pub use scale::{ElasticScaler, ScaleDecision, ScalingPolicy};
 pub use tenant::TenantManager;
+pub use txn::{
+    transactional_reconfig, transactional_reconfig_over, TxnOutcome, TxnReport,
+};

@@ -106,7 +106,7 @@ impl Migration {
         let (snapshot, blackout) = match self.strategy {
             MigrationStrategy::ControlPlane => (
                 self.begin_snapshot
-                    .expect("control-plane migration snapshots at begin"),
+                    .ok_or_else(|| FlexError::Reconfig("begin snapshot missing".into()))?,
                 self.completes.saturating_since(self.started),
             ),
             MigrationStrategy::DataPlane => (

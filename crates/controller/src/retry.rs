@@ -1,0 +1,342 @@
+//! Retries with exponential backoff and deadlines over a lossy control
+//! fabric.
+//!
+//! The paper's controller "pilots" the network over the same fabric it
+//! reprograms, so control messages (dRPC invocations, reconfiguration
+//! commands) can be lost mid-flight. This module models that channel: a
+//! seeded [`LossyFabric`] drops each message with a fixed probability, and
+//! [`with_retry`] drives an idempotent operation through it under a
+//! [`RetryPolicy`] — exponential backoff between attempts, a hard
+//! deadline, and simulated-time accounting so experiments can measure how
+//! long recovery actually took.
+
+use crate::drpc::{ServiceRegistry, CONTROLLER_RTT, DRPC_HOP_LATENCY};
+use flexnet_types::{FlexError, NodeId, Result, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How an operation is retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (including the first).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt.
+    pub base_backoff: SimDuration,
+    /// Backoff growth factor per attempt.
+    pub multiplier: u32,
+    /// Give up when the next attempt would start later than this long
+    /// after the first.
+    pub deadline: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: SimDuration::from_millis(1),
+            multiplier: 2,
+            deadline: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff inserted after failed attempt `attempt` (0-based):
+    /// `base_backoff * multiplier^attempt`, saturating.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        self.base_backoff
+            .saturating_mul(self.multiplier.saturating_pow(attempt.min(20)) as u64)
+    }
+}
+
+/// A message channel that drops each message with probability
+/// `drop_prob`, deterministically in its seed.
+#[derive(Debug, Clone)]
+pub struct LossyFabric {
+    drop_prob: f64,
+    rng: StdRng,
+    /// Messages that made it through.
+    pub delivered: u64,
+    /// Messages lost in flight.
+    pub dropped: u64,
+}
+
+impl LossyFabric {
+    /// A fabric dropping each message with probability `drop_prob`.
+    pub fn new(drop_prob: f64, seed: u64) -> LossyFabric {
+        LossyFabric {
+            drop_prob: drop_prob.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A perfectly reliable fabric.
+    pub fn reliable() -> LossyFabric {
+        LossyFabric::new(0.0, 0)
+    }
+
+    /// The configured drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// Sends one message; `true` when it arrives.
+    pub fn deliver(&mut self) -> bool {
+        if self.rng.gen_bool(self.drop_prob) {
+            self.dropped += 1;
+            false
+        } else {
+            self.delivered += 1;
+            true
+        }
+    }
+}
+
+/// The result of a retried operation.
+#[derive(Debug)]
+pub struct RetryOutcome<T> {
+    /// The operation's result, or [`FlexError::Timeout`] when every
+    /// attempt was lost before the deadline.
+    pub result: Result<T>,
+    /// Attempts made (at least 1).
+    pub attempts: u32,
+    /// Simulated time at which the exchange concluded (success, semantic
+    /// failure, or giving up).
+    pub finished_at: SimTime,
+}
+
+impl<T> RetryOutcome<T> {
+    /// Whether the operation eventually succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Runs `op` through `fabric` under `policy`, starting at `start`.
+///
+/// Each attempt costs `rtt` of simulated time. The request and the
+/// response each independently cross the fabric: a lost request means the
+/// operation never ran this attempt; a lost response means it ran but the
+/// caller retries anyway — so `op` must be idempotent (every control
+/// operation here is: prepares, aborts, table writes, dRPC utilities).
+/// A semantic error from `op` is returned immediately — retrying cannot
+/// fix a type error — while message loss backs off exponentially until
+/// the policy's deadline or attempt budget runs out.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    fabric: &mut LossyFabric,
+    start: SimTime,
+    rtt: SimDuration,
+    mut op: impl FnMut(SimTime) -> Result<T>,
+) -> RetryOutcome<T> {
+    let deadline = start + policy.deadline;
+    let mut t = start;
+    for attempt in 0..policy.max_attempts.max(1) {
+        let request_arrived = fabric.deliver();
+        t += rtt;
+        if request_arrived {
+            match op(t) {
+                Ok(v) => {
+                    if fabric.deliver() {
+                        return RetryOutcome {
+                            result: Ok(v),
+                            attempts: attempt + 1,
+                            finished_at: t,
+                        };
+                    }
+                    // Response lost: the op took effect but we cannot know;
+                    // fall through to retry (idempotence makes this safe).
+                }
+                Err(e) => {
+                    return RetryOutcome {
+                        result: Err(e),
+                        attempts: attempt + 1,
+                        finished_at: t,
+                    }
+                }
+            }
+        }
+        t += policy.backoff(attempt);
+        if t > deadline {
+            return RetryOutcome {
+                result: Err(FlexError::Timeout(format!(
+                    "deadline {} exceeded after {} attempts",
+                    policy.deadline,
+                    attempt + 1
+                ))),
+                attempts: attempt + 1,
+                finished_at: t,
+            };
+        }
+    }
+    RetryOutcome {
+        result: Err(FlexError::Timeout(format!(
+            "gave up after {} attempts",
+            policy.max_attempts.max(1)
+        ))),
+        attempts: policy.max_attempts.max(1),
+        finished_at: t,
+    }
+}
+
+/// Invokes a dRPC service through a lossy fabric with retries.
+///
+/// The per-attempt cost is the dRPC round trip (`2 * hops` hops at
+/// data-plane speed), so even several retries stay far below one
+/// controller escalation ([`CONTROLLER_RTT`]).
+#[allow(clippy::too_many_arguments)]
+pub fn invoke_with_retry(
+    registry: &mut ServiceRegistry,
+    fabric: &mut LossyFabric,
+    policy: &RetryPolicy,
+    name: &str,
+    caller: NodeId,
+    args: &[u64],
+    hops: u32,
+    now: SimTime,
+) -> RetryOutcome<SimDuration> {
+    let rtt = DRPC_HOP_LATENCY.saturating_mul(2 * hops.max(1) as u64);
+    with_retry(policy, fabric, now, rtt, |t| {
+        registry.invoke(name, caller, args, hops, t)
+    })
+}
+
+/// The per-attempt round trip of a controller→device command.
+pub fn command_rtt() -> SimDuration {
+    CONTROLLER_RTT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drpc::ExecutionSite;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), SimDuration::from_millis(1));
+        assert_eq!(p.backoff(1), SimDuration::from_millis(2));
+        assert_eq!(p.backoff(4), SimDuration::from_millis(16));
+    }
+
+    #[test]
+    fn fabric_is_deterministic_and_roughly_calibrated() {
+        let run = |seed| {
+            let mut f = LossyFabric::new(0.3, seed);
+            (0..1000).map(|_| f.deliver()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1), "same seed, same drops");
+        let dropped = run(1).iter().filter(|d| !**d).count();
+        assert!(
+            (200..400).contains(&dropped),
+            "~30% of 1000 dropped, got {dropped}"
+        );
+    }
+
+    #[test]
+    fn reliable_fabric_succeeds_first_try() {
+        let mut f = LossyFabric::reliable();
+        let out = with_retry(
+            &RetryPolicy::default(),
+            &mut f,
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            |_| Ok(42),
+        );
+        assert_eq!(out.result.unwrap(), 42);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.finished_at, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn lossy_fabric_retries_until_success() {
+        let mut f = LossyFabric::new(0.3, 7);
+        let mut calls = 0u32;
+        let out = with_retry(
+            &RetryPolicy::default(),
+            &mut f,
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            |_| {
+                calls += 1;
+                Ok(calls)
+            },
+        );
+        assert!(out.is_ok());
+        assert!(out.attempts >= 1);
+        assert!(out.finished_at >= SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn semantic_errors_are_not_retried() {
+        let mut f = LossyFabric::reliable();
+        let mut calls = 0u32;
+        let out = with_retry(
+            &RetryPolicy::default(),
+            &mut f,
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            |_| -> Result<()> {
+                calls += 1;
+                Err(FlexError::Type("bad arity".into()))
+            },
+        );
+        assert!(matches!(out.result, Err(FlexError::Type(_))));
+        assert_eq!(calls, 1, "no retry on semantic failure");
+    }
+
+    #[test]
+    fn total_loss_times_out_with_deadline() {
+        let mut f = LossyFabric::new(1.0, 3);
+        let out = with_retry(
+            &RetryPolicy::default(),
+            &mut f,
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            |_| Ok(()),
+        );
+        assert!(matches!(out.result, Err(FlexError::Timeout(_))));
+        assert!(
+            out.finished_at.saturating_since(SimTime::ZERO) <= SimDuration::from_secs(2),
+            "bounded by deadline + last backoff"
+        );
+    }
+
+    #[test]
+    fn drpc_retry_under_30_percent_loss_always_succeeds() {
+        let mut reg = ServiceRegistry::new();
+        reg.register("mig", NodeId(1), 1, ExecutionSite::DataPlane)
+            .unwrap();
+        let mut fabric = LossyFabric::new(0.3, 99);
+        // Generous attempt/deadline budget: at 30% loss a single attempt
+        // succeeds with p = 0.7² = 0.49, so 16 attempts push the per-call
+        // failure odds below 1 in 10⁴.
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            deadline: SimDuration::from_secs(120),
+            ..RetryPolicy::default()
+        };
+        let mut ok = 0;
+        let mut attempts = 0;
+        for i in 0..200u64 {
+            let out = invoke_with_retry(
+                &mut reg,
+                &mut fabric,
+                &policy,
+                "mig",
+                NodeId(2),
+                &[i],
+                3,
+                SimTime::from_millis(i),
+            );
+            attempts += out.attempts;
+            if out.is_ok() {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 200, "every call eventually succeeds under 30% loss");
+        assert!(attempts > 200, "some calls needed retries");
+    }
+}

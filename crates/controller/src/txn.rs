@@ -1,0 +1,389 @@
+//! Transactional network-wide reconfiguration: two-phase commit over the
+//! control fabric.
+//!
+//! A FlexNet reconfiguration usually spans several devices — the paper's
+//! E1 scenario reprograms every switch on a path — and partial
+//! deployment is worse than no deployment: half the network running the
+//! new program breaks end-to-end invariants that each device's local
+//! hitless flip preserves. [`transactional_reconfig`] makes the
+//! network-wide change atomic:
+//!
+//! 1. **Prepare** — every affected device builds a shadow program
+//!    ([`Device::begin_runtime_reconfig`]) while traffic continues on the
+//!    old one. A device that is down, out of resources, or rejects the
+//!    target fails the prepare.
+//! 2. **Commit** — only when *all* devices acked their prepare, the
+//!    coordinator aligns their atomic flips on the slowest participant
+//!    ([`Device::hold_pending_until`]), so the whole network switches
+//!    programs at a single simulated instant.
+//! 3. **Abort** — on any prepare failure (or an undeliverable command past
+//!    the retry deadline) every already-prepared device rolls back
+//!    ([`Device::abort_reconfig`]) to its exact pre-reconfig program,
+//!    entries, state, and placement.
+//!
+//! Commands travel over a [`LossyFabric`] under a [`RetryPolicy`], so the
+//! coordinator tolerates controller-fabric message loss; the returned
+//! [`TxnReport`] records the outcome, message cost, and — on abort — the
+//! rollback latency.
+//!
+//! [`Device::begin_runtime_reconfig`]: flexnet_dataplane::Device::begin_runtime_reconfig
+//! [`Device::hold_pending_until`]: flexnet_dataplane::Device::hold_pending_until
+//! [`Device::abort_reconfig`]: flexnet_dataplane::Device::abort_reconfig
+
+use crate::retry::{command_rtt, with_retry, LossyFabric, RetryPolicy};
+use flexnet_dataplane::{ReconfigOutcome, ReconfigReport};
+use flexnet_lang::diff::ProgramBundle;
+use flexnet_sim::Simulation;
+use flexnet_types::{FlexError, NodeId, SimDuration, SimTime};
+
+/// How a network-wide reconfiguration transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Every device prepared; all flips are aligned at [`TxnReport::commit_at`].
+    Committed,
+    /// At least one prepare failed; every prepared device was rolled back.
+    Aborted,
+}
+
+/// The coordinator's account of one transaction.
+#[derive(Debug, Clone)]
+pub struct TxnReport {
+    /// How the transaction ended.
+    pub outcome: TxnOutcome,
+    /// Devices named in the transaction.
+    pub devices: usize,
+    /// Devices that successfully prepared a shadow.
+    pub prepared: usize,
+    /// The aligned flip instant (committed transactions only).
+    pub commit_at: Option<SimTime>,
+    /// Time from the first abort decision until the last prepared device
+    /// finished rolling back (aborted transactions only).
+    pub rollback_latency: Option<SimDuration>,
+    /// Why the transaction aborted, when it did.
+    pub reason: Option<String>,
+    /// Control messages sent (attempts, including lost ones).
+    pub messages: u32,
+    /// When the coordinator finished the protocol.
+    pub finished_at: SimTime,
+}
+
+impl TxnReport {
+    /// Whether the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        self.outcome == TxnOutcome::Committed
+    }
+}
+
+/// Runs a two-phase-commit reconfiguration over a reliable fabric.
+///
+/// Equivalent to [`transactional_reconfig_over`] with a lossless channel
+/// and the default retry policy.
+pub fn transactional_reconfig(
+    sim: &mut Simulation,
+    targets: &[(NodeId, ProgramBundle)],
+    now: SimTime,
+) -> TxnReport {
+    let mut fabric = LossyFabric::reliable();
+    transactional_reconfig_over(sim, targets, now, &mut fabric, &RetryPolicy::default())
+}
+
+/// Runs a two-phase-commit reconfiguration, sending every command through
+/// `fabric` under `policy`.
+///
+/// Per-device prepare/abort reports are appended to
+/// `sim.reconfig_reports` so experiments observe the transaction with the
+/// same instrumentation as single-device reconfigurations. A target
+/// device with no active program installs immediately (there is no old
+/// program to keep serving), so such a device cannot be rolled back if a
+/// *later* participant fails its prepare; coordinators that need full
+/// atomicity should bootstrap devices before including them in a
+/// transaction.
+pub fn transactional_reconfig_over(
+    sim: &mut Simulation,
+    targets: &[(NodeId, ProgramBundle)],
+    now: SimTime,
+    fabric: &mut LossyFabric,
+    policy: &RetryPolicy,
+) -> TxnReport {
+    let mut t = now;
+    let mut messages = 0u32;
+    // Devices whose prepare acked with a pending (abortable) transition.
+    let mut in_flight: Vec<NodeId> = Vec::new();
+    let mut prepared = 0usize;
+    let mut latest_ready = now;
+    let mut failure: Option<(usize, String)> = None;
+
+    // Phase 1: prepare a shadow on every device, in order.
+    for (i, (node, bundle)) in targets.iter().enumerate() {
+        let mut acked: Option<ReconfigReport> = None;
+        let out = with_retry(policy, fabric, t, command_rtt(), |at| {
+            // Idempotent under response loss: if our earlier attempt
+            // reached the device, re-report its ack instead of re-preparing.
+            if let Some(rep) = &acked {
+                return Ok(rep.clone());
+            }
+            let dev = &mut sim
+                .topo
+                .node_mut(*node)
+                .ok_or_else(|| FlexError::Sim(format!("prepare: unknown node {node}")))?
+                .device;
+            let rep = dev.begin_runtime_reconfig(bundle.clone(), at)?;
+            acked = Some(rep.clone());
+            Ok(rep)
+        });
+        messages += out.attempts;
+        t = out.finished_at;
+        match out.result {
+            Ok(rep) => {
+                prepared += 1;
+                if rep.ready_at > latest_ready {
+                    latest_ready = rep.ready_at;
+                }
+                if rep.outcome == ReconfigOutcome::InFlight {
+                    in_flight.push(*node);
+                }
+                sim.reconfig_reports.push((t, *node, rep));
+            }
+            Err(e) => {
+                failure = Some((i, format!("prepare on {node} failed: {e}")));
+                break;
+            }
+        }
+    }
+
+    if let Some((failed_idx, reason)) = failure {
+        // Phase 2 (abort): roll back every device the coordinator talked
+        // to — including the failed one, whose prepare may have taken
+        // effect even though the ack was lost (orphaned shadow).
+        let abort_started = t;
+        for (node, _) in targets[..=failed_idx].iter().rev() {
+            let mut done: Option<Option<ReconfigReport>> = None;
+            let out = with_retry(policy, fabric, t, command_rtt(), |at| {
+                if let Some(cached) = &done {
+                    return Ok(cached.clone());
+                }
+                let dev = &mut sim
+                    .topo
+                    .node_mut(*node)
+                    .ok_or_else(|| FlexError::Sim(format!("abort: unknown node {node}")))?
+                    .device;
+                let rep = match dev.abort_reconfig(at) {
+                    Ok(rep) => Some(rep),
+                    // Nothing pending (never prepared, or a crash already
+                    // discarded the volatile shadow): abort is a no-op.
+                    Err(FlexError::Reconfig(_)) => None,
+                    Err(e) => return Err(e),
+                };
+                done = Some(rep.clone());
+                Ok(rep)
+            });
+            messages += out.attempts;
+            t = out.finished_at;
+            match out.result {
+                Ok(Some(rep)) => sim.reconfig_reports.push((t, *node, rep)),
+                Ok(None) => {}
+                Err(e) => sim.errors.push((t, format!("txn abort on {node}: {e}"))),
+            }
+        }
+        return TxnReport {
+            outcome: TxnOutcome::Aborted,
+            devices: targets.len(),
+            prepared,
+            commit_at: None,
+            rollback_latency: Some(t.saturating_since(abort_started)),
+            reason: Some(reason),
+            messages,
+            finished_at: t,
+        };
+    }
+
+    // Phase 2 (commit): align every flip on the slowest participant.
+    // hold_pending_until never moves a flip earlier, so holding after the
+    // protocol's own message delays keeps every device consistent.
+    let commit_at = if latest_ready > t { latest_ready } else { t };
+    for node in &in_flight {
+        let out = with_retry(policy, fabric, t, command_rtt(), |_| {
+            let dev = &mut sim
+                .topo
+                .node_mut(*node)
+                .ok_or_else(|| FlexError::Sim(format!("hold: unknown node {node}")))?
+                .device;
+            dev.hold_pending_until(commit_at)
+        });
+        messages += out.attempts;
+        t = out.finished_at;
+        if let Err(e) = out.result {
+            // The device still flips — at its own (earlier) ready_at — so
+            // the network converges, just not at one aligned instant.
+            sim.errors.push((t, format!("txn hold on {node}: {e}")));
+        }
+    }
+    TxnReport {
+        outcome: TxnOutcome::Committed,
+        devices: targets.len(),
+        prepared,
+        commit_at: Some(commit_at),
+        rollback_latency: None,
+        reason: None,
+        messages,
+        finished_at: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexnet_lang::parser::parse_source;
+    use flexnet_sim::Topology;
+    use flexnet_types::SimDuration;
+
+    fn bundle(src: &str) -> ProgramBundle {
+        let file = parse_source(src).unwrap();
+        ProgramBundle {
+            headers: file.headers,
+            program: file.programs.into_iter().next().unwrap(),
+        }
+    }
+
+    fn v1() -> ProgramBundle {
+        bundle("program app kind any { handler ingress(pkt) { forward(1); } }")
+    }
+
+    fn v2() -> ProgramBundle {
+        bundle(
+            "program app kind any {
+               counter c;
+               handler ingress(pkt) { count(c); forward(2); }
+             }",
+        )
+    }
+
+    /// A line topology with v1 installed on its three programmable devices.
+    fn prepared_sim() -> (Simulation, [NodeId; 3]) {
+        let (topo, nodes) = Topology::host_nic_switch_line();
+        let devices = [nodes[1], nodes[2], nodes[3]];
+        let mut sim = Simulation::new(topo);
+        for d in devices {
+            sim.topo.node_mut(d).unwrap().device.install(v1()).unwrap();
+        }
+        (sim, devices)
+    }
+
+    #[test]
+    fn commit_aligns_every_flip_on_the_slowest_device() {
+        let (mut sim, devices) = prepared_sim();
+        let targets: Vec<_> = devices.iter().map(|d| (*d, v2())).collect();
+        let t0 = SimTime::from_secs(1);
+        let report = transactional_reconfig(&mut sim, &targets, t0);
+        assert_eq!(report.outcome, TxnOutcome::Committed);
+        assert_eq!(report.prepared, 3);
+        let commit_at = report.commit_at.unwrap();
+        assert!(commit_at > t0);
+
+        // Just before the aligned instant every device still runs v1...
+        let before = SimTime::from_nanos(commit_at.as_nanos() - 1);
+        for d in devices {
+            let dev = &mut sim.topo.node_mut(d).unwrap().device;
+            dev.tick(before);
+            assert!(dev.reconfig_in_progress(), "{d} must not flip early");
+        }
+        // ...and at it, all flip together.
+        for d in devices {
+            let dev = &mut sim.topo.node_mut(d).unwrap().device;
+            dev.tick(commit_at);
+            assert!(!dev.reconfig_in_progress(), "{d} flips at commit_at");
+            assert_eq!(dev.program().unwrap().bundle, v2(), "{d} runs v2");
+        }
+    }
+
+    #[test]
+    fn prepare_failure_rolls_back_every_prepared_device() {
+        let (mut sim, devices) = prepared_sim();
+        // The last participant is down: its prepare must fail.
+        sim.topo
+            .node_mut(devices[2])
+            .unwrap()
+            .device
+            .crash(SimTime::from_millis(500));
+        let targets: Vec<_> = devices.iter().map(|d| (*d, v2())).collect();
+        let report = transactional_reconfig(&mut sim, &targets, SimTime::from_secs(1));
+        assert_eq!(report.outcome, TxnOutcome::Aborted);
+        assert_eq!(report.prepared, 2);
+        assert!(report.reason.as_deref().unwrap().contains("unavailable"));
+        assert!(report.rollback_latency.is_some());
+        for d in &devices[..2] {
+            let dev = &sim.topo.node(*d).unwrap().device;
+            assert!(!dev.reconfig_in_progress(), "{d} rolled back");
+            assert_eq!(
+                dev.program().unwrap().bundle,
+                v1(),
+                "{d} still runs the pre-transaction program"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_transaction_commits_trivially() {
+        let (mut sim, _) = prepared_sim();
+        let report = transactional_reconfig(&mut sim, &[], SimTime::ZERO);
+        assert_eq!(report.outcome, TxnOutcome::Committed);
+        assert_eq!(report.devices, 0);
+        assert_eq!(report.messages, 0);
+    }
+
+    #[test]
+    fn commit_survives_30_percent_controller_fabric_loss() {
+        let (mut sim, devices) = prepared_sim();
+        let targets: Vec<_> = devices.iter().map(|d| (*d, v2())).collect();
+        let mut fabric = LossyFabric::new(0.3, 42);
+        let policy = RetryPolicy {
+            max_attempts: 12,
+            ..RetryPolicy::default()
+        };
+        let report = transactional_reconfig_over(
+            &mut sim,
+            &targets,
+            SimTime::from_secs(1),
+            &mut fabric,
+            &policy,
+        );
+        assert_eq!(report.outcome, TxnOutcome::Committed, "{:?}", report.reason);
+        assert!(
+            report.messages > report.devices as u32 * 2,
+            "retries happened: {} messages",
+            report.messages
+        );
+        assert!(fabric.dropped > 0, "the fabric really was lossy");
+        let commit_at = report.commit_at.unwrap();
+        for d in devices {
+            let dev = &mut sim.topo.node_mut(d).unwrap().device;
+            dev.tick(commit_at + SimDuration::from_nanos(1));
+            assert_eq!(dev.program().unwrap().bundle, v2());
+        }
+    }
+
+    #[test]
+    fn failed_prepare_with_orphan_shadow_is_rolled_back_too() {
+        let (mut sim, devices) = prepared_sim();
+        // An earlier, unacknowledged prepare left a shadow on the first
+        // device (the coordinator's ack was lost). Its re-prepare fails
+        // ("already in progress"), so the transaction aborts — and the
+        // abort phase must discard that orphan, not just acked prepares.
+        sim.topo
+            .node_mut(devices[0])
+            .unwrap()
+            .device
+            .begin_runtime_reconfig(v2(), SimTime::from_millis(900))
+            .unwrap();
+        let targets: Vec<_> = devices.iter().map(|d| (*d, v2())).collect();
+        let report = transactional_reconfig(&mut sim, &targets, SimTime::from_secs(1));
+        assert_eq!(report.outcome, TxnOutcome::Aborted);
+        assert_eq!(report.prepared, 0);
+        for d in devices {
+            let dev = &sim.topo.node(d).unwrap().device;
+            assert!(!dev.reconfig_in_progress(), "{d} has no orphan shadow");
+            assert_eq!(dev.program().unwrap().bundle, v1());
+        }
+    }
+}
+

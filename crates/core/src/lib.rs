@@ -67,17 +67,19 @@ pub mod prelude {
         Component, FungibleOptions, LogicalDatapath, PackStrategy, Placement, TargetView,
     };
     pub use flexnet_controller::{
-        Controller, ElasticScaler, Migration, MigrationStrategy, RaftCluster, ReplicationGroup,
-        ScaleDecision, ScalingPolicy, ServiceRegistry,
+        invoke_with_retry, transactional_reconfig, transactional_reconfig_over, Controller,
+        ElasticScaler, FailureDetector, Health, LossyFabric, Migration, MigrationStrategy,
+        RaftCluster, ReplicationGroup, RetryPolicy, ScaleDecision, ScalingPolicy,
+        ServiceRegistry, TxnOutcome, TxnReport,
     };
     pub use flexnet_dataplane::{
         ArchClass, Architecture, CostModel, Device, Hyper4Device, KeyMatch, MantisDevice,
-        ReconfigMode, StateEncoding, TableEntry,
+        ReconfigMode, ReconfigOutcome, StateEncoding, TableEntry,
     };
     pub use flexnet_lang::prelude::*;
     pub use flexnet_sim::{
-        generate, syn_flood, tenant_churn, ChurnEvent, Command, FlowSpec, LossKind, Metrics,
-        NodeKind, Pattern, Simulation, Topology,
+        generate, syn_flood, tenant_churn, ChurnEvent, Command, FaultKind, FaultPlan, FlowSpec,
+        LossKind, Metrics, NodeKind, Pattern, Simulation, Topology,
     };
     pub use flexnet_types::{
         AppUri, FlexError, NodeId, Packet, ProgramVersion, ResourceKind, ResourceVec, Result,

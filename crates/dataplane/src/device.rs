@@ -229,6 +229,8 @@ pub struct Device {
     /// When non-`None`, the device refuses traffic until this instant
     /// (compile-time drain/reflash baseline).
     pub(crate) drained_until: Option<SimTime>,
+    /// Whether the device is powered and reachable (fault injection).
+    up: bool,
     stats: DeviceStats,
     invocations: Vec<(String, Vec<u64>)>,
     default_port: u16,
@@ -248,6 +250,7 @@ impl Device {
             version: ProgramVersion::INITIAL,
             pending: None,
             drained_until: None,
+            up: true,
             stats: DeviceStats::default(),
             invocations: Vec::new(),
             default_port: 0,
@@ -352,11 +355,64 @@ impl Device {
         self.cost.power_at(utilization)
     }
 
+    // -- fault lifecycle ------------------------------------------------------
+
+    /// Whether the device is powered and reachable.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Errors with [`FlexError::Unavailable`] when the device is down.
+    pub(crate) fn ensure_up(&self) -> Result<()> {
+        if self.up {
+            Ok(())
+        } else {
+            Err(FlexError::Unavailable(format!("device {} is down", self.id)))
+        }
+    }
+
+    /// Crashes the device: it stops serving traffic and control commands.
+    ///
+    /// An in-flight reconfiguration is lost with the device's volatile
+    /// memory — its shadow program is discarded and the pre-reconfig
+    /// placement and parser are restored, so accounting matches the
+    /// (persistent) active program the device reboots into.
+    pub fn crash(&mut self, now: SimTime) {
+        if self.pending.is_some() {
+            let _ = self.abort_reconfig(now);
+        }
+        self.up = false;
+    }
+
+    /// Restarts a crashed device.
+    ///
+    /// The active program image survives (it is flashed), but all runtime
+    /// state is wiped: counters, registers, maps, and control-plane table
+    /// entries reset to their declared initial values. The program version
+    /// advances — packets can observe that they crossed an incarnation.
+    pub fn restart(&mut self, _now: SimTime) -> Result<()> {
+        if self.up {
+            return Err(FlexError::Sim(format!(
+                "device {} is already up",
+                self.id
+            )));
+        }
+        self.up = true;
+        self.drained_until = None;
+        if let Some(p) = self.active.as_mut() {
+            p.tables = TableSet::from_decls(&p.bundle.program.tables);
+            p.state = DeviceState::from_decls(&p.bundle.program.states, self.encoding);
+        }
+        self.version = self.version.next();
+        Ok(())
+    }
+
     // -- installation ---------------------------------------------------------
 
     /// Installs a bundle from scratch (initial deployment or reflash),
     /// allocating resources for every element.
     pub fn install(&mut self, bundle: ProgramBundle) -> Result<()> {
+        self.ensure_up()?;
         let installed = InstalledProgram::new(bundle, self.encoding)?;
         if !self
             .allocator
@@ -452,6 +508,7 @@ impl Device {
 
     /// Installs a table entry.
     pub fn add_entry(&mut self, table: &str, entry: TableEntry) -> Result<()> {
+        self.ensure_up()?;
         let p = self
             .active
             .as_mut()
@@ -464,6 +521,7 @@ impl Device {
 
     /// Removes table entries matching the given key matches.
     pub fn remove_entry(&mut self, table: &str, matches: &[crate::table::KeyMatch]) -> Result<usize> {
+        self.ensure_up()?;
         let p = self
             .active
             .as_mut()
@@ -493,6 +551,7 @@ impl Device {
 
     /// Processes one packet at simulated time `now`.
     pub fn process(&mut self, pkt: &mut Packet, now: SimTime) -> Result<ProcessResult> {
+        self.ensure_up()?;
         // Commit any reconfiguration whose transition completed.
         self.commit_if_ready(now);
 

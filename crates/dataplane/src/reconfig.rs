@@ -24,7 +24,9 @@
 //!   transition can observe a program that is neither the old nor the new
 //!   one (experiment E1's consistency ablation).
 
+use crate::arch::ArchAllocator;
 use crate::device::{Device, InstalledProgram};
+use crate::parser::ParserGraph;
 use flexnet_lang::diff::{diff_bundles, ProgramBundle, ReconfigOp};
 use flexnet_lang::ir::{state_demand, table_demand};
 use flexnet_types::{FlexError, Result, SimDuration, SimTime};
@@ -40,7 +42,19 @@ pub enum ReconfigMode {
     UnsafeInPlace,
 }
 
-/// Summary returned when a reconfiguration is initiated.
+/// How a reconfiguration transaction ended (or stands, at report time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigOutcome {
+    /// The transition is in flight; the flip happens at `ready_at`.
+    InFlight,
+    /// The new program is active.
+    Committed,
+    /// The transition was rolled back; the pre-reconfig program, table
+    /// entries, parser graph, and resource placement were restored.
+    Aborted,
+}
+
+/// Summary returned when a reconfiguration is initiated or aborted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReconfigReport {
     /// The rollout mode.
@@ -51,6 +65,8 @@ pub struct ReconfigReport {
     pub duration: SimDuration,
     /// When the new program becomes active.
     pub ready_at: SimTime,
+    /// Whether the change is in flight, committed, or rolled back.
+    pub outcome: ReconfigOutcome,
 }
 
 /// In-flight reconfiguration state held by a device.
@@ -58,6 +74,10 @@ pub struct ReconfigReport {
 pub(crate) struct PendingReconfig {
     mode: ReconfigMode,
     ready_at: SimTime,
+    /// When the transition was initiated (for abort reports).
+    started_at: SimTime,
+    /// Number of primitive ops in the change (for abort reports).
+    ops: usize,
     /// Hitless / reflash: the program that becomes active at `ready_at`.
     shadow: Option<InstalledProgram>,
     /// Hitless: elements to free from the allocator at commit (removals).
@@ -66,6 +86,15 @@ pub(crate) struct PendingReconfig {
     deferred_parser_removals: Vec<String>,
     /// Unsafe in-place: (apply-at, op) pairs not yet applied.
     staged_ops: Vec<(SimTime, ReconfigOp)>,
+    /// Pre-reconfig placement, restored verbatim on abort.
+    allocator_snapshot: ArchAllocator,
+    /// Pre-reconfig parser graph, restored verbatim on abort.
+    parser_snapshot: ParserGraph,
+    /// Unsafe in-place only: the pre-reconfig program (including entries
+    /// and state), restored on abort since in-place ops mutate it live.
+    program_snapshot: Option<InstalledProgram>,
+    /// Drain/reflash only: the drain window to cancel on abort.
+    was_drained: bool,
 }
 
 impl Device {
@@ -79,6 +108,60 @@ impl Device {
         commit_if_ready(self, now);
     }
 
+    /// Defers the pending transition's flip to `at` (if later than the
+    /// currently planned instant). A two-phase-commit coordinator uses this
+    /// to align the atomic flips of every prepared device on the slowest
+    /// participant, so the whole network changes programs at one instant.
+    pub fn hold_pending_until(&mut self, at: SimTime) -> Result<()> {
+        let pending = self.pending.as_mut().ok_or_else(|| {
+            FlexError::Reconfig("no reconfiguration in progress to hold".into())
+        })?;
+        if pending.mode == ReconfigMode::UnsafeInPlace {
+            return Err(FlexError::Reconfig(
+                "unsafe in-place changes have no atomic flip to defer".into(),
+            ));
+        }
+        if at > pending.ready_at {
+            pending.ready_at = at;
+            if pending.was_drained {
+                self.drained_until = Some(at);
+            }
+        }
+        Ok(())
+    }
+
+    /// Aborts the pending reconfiguration, restoring the exact pre-reconfig
+    /// program, table entries, state, parser graph, and resource placement.
+    ///
+    /// This is the rollback half of two-phase commit: a prepared shadow is
+    /// discarded and the device keeps serving traffic on the old program as
+    /// if the transition had never been initiated.
+    pub fn abort_reconfig(&mut self, now: SimTime) -> Result<ReconfigReport> {
+        let pending = self.pending.take().ok_or_else(|| {
+            FlexError::Reconfig("no reconfiguration in progress to abort".into())
+        })?;
+        // Restore placement and parser to their pre-reconfig snapshots
+        // (undoes make-before-break allocations and added parser states).
+        *self.allocator_mut() = pending.allocator_snapshot;
+        *self.parser_mut() = pending.parser_snapshot;
+        if let Some(before) = pending.program_snapshot {
+            // Unsafe in-place: ops already applied mutated the live
+            // program; put the pre-reconfig instance back.
+            self.set_active(before);
+        }
+        if pending.was_drained {
+            // Cancel the drain window: the device resumes serving.
+            self.drained_until = None;
+        }
+        Ok(ReconfigReport {
+            mode: pending.mode,
+            ops: pending.ops,
+            duration: now.saturating_since(pending.started_at),
+            ready_at: now,
+            outcome: ReconfigOutcome::Aborted,
+        })
+    }
+
     /// Begins a hitless runtime reconfiguration to `target`.
     ///
     /// Traffic continues on the old program during the transition; at
@@ -89,6 +172,7 @@ impl Device {
         target: ProgramBundle,
         now: SimTime,
     ) -> Result<ReconfigReport> {
+        self.ensure_up()?;
         if self.pending.is_some() {
             return Err(FlexError::Reconfig(
                 "a reconfiguration is already in progress".into(),
@@ -111,12 +195,15 @@ impl Device {
                 ops: ops.len(),
                 duration,
                 ready_at: now + duration,
+                outcome: ReconfigOutcome::Committed,
             });
         };
 
         let ops = diff_bundles(&active.bundle, &target);
         let duration = self.cost_model().plan_duration(&ops);
         let ready_at = now + duration;
+        let allocator_snapshot = self.allocator().clone();
+        let parser_snapshot = self.parser().clone();
 
         // Materialize the shadow (checks + verifies target).
         let mut shadow = InstalledProgram::new(target, self.encoding())?;
@@ -194,16 +281,23 @@ impl Device {
         self.pending = Some(PendingReconfig {
             mode: ReconfigMode::RuntimeHitless,
             ready_at,
+            started_at: now,
+            ops: ops.len(),
             shadow: Some(shadow),
             deferred_frees,
             deferred_parser_removals,
             staged_ops: Vec::new(),
+            allocator_snapshot,
+            parser_snapshot,
+            program_snapshot: None,
+            was_drained: false,
         });
         Ok(ReconfigReport {
             mode: ReconfigMode::RuntimeHitless,
             ops: ops.len(),
             duration,
             ready_at,
+            outcome: ReconfigOutcome::InFlight,
         })
     }
 
@@ -212,6 +306,7 @@ impl Device {
     /// The device refuses all traffic until the reflash completes, and the
     /// old program's state is wiped (a reflash clears device memory).
     pub fn begin_reflash(&mut self, target: ProgramBundle, now: SimTime) -> Result<ReconfigReport> {
+        self.ensure_up()?;
         if self.pending.is_some() {
             return Err(FlexError::Reconfig(
                 "a reconfiguration is already in progress".into(),
@@ -222,20 +317,29 @@ impl Device {
         // Validate the target now (a failed compile would abort the
         // maintenance window before draining).
         let shadow = InstalledProgram::new(target, self.encoding())?;
+        let allocator_snapshot = self.allocator().clone();
+        let parser_snapshot = self.parser().clone();
         self.drained_until = Some(ready_at);
         self.pending = Some(PendingReconfig {
             mode: ReconfigMode::DrainAndReflash,
             ready_at,
+            started_at: now,
+            ops: 1,
             shadow: Some(shadow),
             deferred_frees: Vec::new(),
             deferred_parser_removals: Vec::new(),
             staged_ops: Vec::new(),
+            allocator_snapshot,
+            parser_snapshot,
+            program_snapshot: None,
+            was_drained: true,
         });
         Ok(ReconfigReport {
             mode: ReconfigMode::DrainAndReflash,
             ops: 1,
             duration: downtime,
             ready_at,
+            outcome: ReconfigOutcome::InFlight,
         })
     }
 
@@ -247,6 +351,7 @@ impl Device {
         target: ProgramBundle,
         now: SimTime,
     ) -> Result<ReconfigReport> {
+        self.ensure_up()?;
         if self.pending.is_some() {
             return Err(FlexError::Reconfig(
                 "a reconfiguration is already in progress".into(),
@@ -257,6 +362,7 @@ impl Device {
                 "no active program to mutate in place".into(),
             ));
         };
+        let program_snapshot = Some(active.clone());
         let ops = diff_bundles(&active.bundle, &target);
         let mut staged = Vec::new();
         let mut t = now;
@@ -270,16 +376,23 @@ impl Device {
         self.pending = Some(PendingReconfig {
             mode: ReconfigMode::UnsafeInPlace,
             ready_at,
+            started_at: now,
+            ops: n,
             shadow: None,
             deferred_frees: Vec::new(),
             deferred_parser_removals: Vec::new(),
             staged_ops: staged,
+            allocator_snapshot: self.allocator().clone(),
+            parser_snapshot: self.parser().clone(),
+            program_snapshot,
+            was_drained: false,
         });
         Ok(ReconfigReport {
             mode: ReconfigMode::UnsafeInPlace,
             ops: n,
             duration,
             ready_at,
+            outcome: ReconfigOutcome::InFlight,
         })
     }
 }
@@ -322,7 +435,9 @@ pub(crate) fn commit_if_ready(dev: &mut Device, now: SimTime) {
             if now < pending.ready_at {
                 return;
             }
-            let pending = dev.pending.take().expect("checked above");
+            let Some(pending) = dev.pending.take() else {
+                return;
+            };
             if let Some(shadow) = pending.shadow {
                 // Atomic flip: packets before this instant saw the old
                 // program, packets after see the new one.
@@ -579,5 +694,177 @@ mod tests {
         let r = d.begin_runtime_reconfig(v2(), SimTime::ZERO).unwrap();
         d.tick(r.ready_at);
         assert_eq!(d.version(), ProgramVersion(v_before.0 + 1));
+    }
+
+    fn stateful_base() -> ProgramBundle {
+        bundle(
+            "program app kind any {
+               counter c;
+               table t {
+                 key { ipv4.src : exact; }
+                 action deny() { drop(); }
+                 size 8;
+               }
+               handler ingress(pkt) { count(c); apply t; forward(1); }
+             }",
+        )
+    }
+
+    #[test]
+    fn abort_restores_pre_reconfig_program_exactly() {
+        let mut d = Device::new(
+            NodeId(1),
+            Architecture::drmt_default(),
+            StateEncoding::StatefulTable,
+        );
+        d.install(stateful_base()).unwrap();
+        // Accumulate runtime state and a control-plane entry.
+        let mut pkt = Packet::tcp(1, 9, 2, 3, 4, 0);
+        d.process(&mut pkt, SimTime::ZERO).unwrap();
+        d.add_entry(
+            "t",
+            crate::table::TableEntry::exact(
+                &[9],
+                flexnet_lang::ast::ActionCall {
+                    action: "deny".into(),
+                    args: vec![],
+                },
+            ),
+        )
+        .unwrap();
+
+        let bundle_before = d.program().unwrap().bundle.clone();
+        let tables_before = d.program().unwrap().tables.clone();
+        let state_before = d.snapshot_state().unwrap();
+        let used_before = d.used();
+        let version_before = d.version();
+
+        let t0 = SimTime::from_secs(1);
+        let rep = d.begin_runtime_reconfig(v2(), t0).unwrap();
+        assert_eq!(rep.outcome, ReconfigOutcome::InFlight);
+        let abort = d.abort_reconfig(t0 + SimDuration::from_millis(3)).unwrap();
+        assert_eq!(abort.outcome, ReconfigOutcome::Aborted);
+        assert_eq!(abort.duration, SimDuration::from_millis(3));
+
+        assert!(!d.reconfig_in_progress());
+        let p = d.program().unwrap();
+        assert_eq!(p.bundle, bundle_before, "program restored verbatim");
+        assert_eq!(p.tables, tables_before, "entries restored");
+        assert_eq!(d.snapshot_state().unwrap(), state_before, "state restored");
+        assert_eq!(d.used(), used_before, "placement restored");
+        assert_eq!(d.version(), version_before, "no version flip happened");
+
+        // Ticking past the old ready_at must not resurrect the shadow.
+        d.tick(SimTime::from_secs(100));
+        assert_eq!(d.version(), version_before);
+        // And a fresh reconfiguration is accepted.
+        d.begin_runtime_reconfig(v2(), SimTime::from_secs(100)).unwrap();
+    }
+
+    #[test]
+    fn abort_unsafe_inplace_restores_partially_applied_program() {
+        let mut d = dev();
+        let rep = d.begin_unsafe_inplace(v2(), SimTime::ZERO).unwrap();
+        let bundle_expected = v1();
+        // Let some (but not all) staged ops apply.
+        let mid = SimTime::ZERO + d.cost_model().state_op + SimDuration::from_nanos(1);
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        d.process(&mut pkt, mid).unwrap();
+        assert!(d.program().unwrap().state.has("c"), "op already applied");
+        assert!(mid < rep.ready_at, "still mid-transition");
+
+        d.abort_reconfig(mid).unwrap();
+        assert!(!d.program().unwrap().state.has("c"), "mutation rolled back");
+        assert_eq!(d.program().unwrap().bundle.program, bundle_expected.program);
+    }
+
+    #[test]
+    fn abort_reflash_cancels_drain() {
+        let mut d = dev();
+        let t0 = SimTime::from_secs(5);
+        d.begin_reflash(v2(), t0).unwrap();
+        d.abort_reconfig(t0 + SimDuration::from_secs(1)).unwrap();
+        // Traffic is served again, by the old program.
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, t0 + SimDuration::from_secs(2)).unwrap();
+        assert!(!r.refused);
+        assert_eq!(r.verdict, Verdict::Forward(1), "old program semantics");
+    }
+
+    #[test]
+    fn abort_without_pending_rejected() {
+        let mut d = dev();
+        assert!(d.abort_reconfig(SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn hold_pending_defers_flip() {
+        let mut d = dev();
+        let rep = d.begin_runtime_reconfig(v2(), SimTime::ZERO).unwrap();
+        let hold = rep.ready_at + SimDuration::from_millis(50);
+        d.hold_pending_until(hold).unwrap();
+        // At the original ready_at the old program still answers.
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, rep.ready_at + SimDuration::from_nanos(1)).unwrap();
+        assert_eq!(r.verdict, Verdict::Forward(1), "flip deferred");
+        // At the held instant the new program answers.
+        let mut pkt2 = Packet::udp(2, 1, 2, 3, 4);
+        let r2 = d.process(&mut pkt2, hold).unwrap();
+        assert_eq!(r2.verdict, Verdict::Forward(2));
+        // Holding earlier than the plan is a no-op; holding without a
+        // pending change is an error.
+        assert!(d.hold_pending_until(hold).is_err());
+    }
+
+    #[test]
+    fn crash_aborts_pending_and_refuses_everything() {
+        let mut d = dev();
+        d.begin_runtime_reconfig(v2(), SimTime::ZERO).unwrap();
+        d.crash(SimTime::from_millis(1));
+        assert!(!d.is_up());
+        assert!(!d.reconfig_in_progress(), "shadow lost with the crash");
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        assert!(d.process(&mut pkt, SimTime::from_millis(2)).is_err());
+        assert!(d.begin_runtime_reconfig(v2(), SimTime::from_millis(2)).is_err());
+        assert!(d.install(v2()).is_err());
+    }
+
+    #[test]
+    fn restart_wipes_state_but_keeps_program_image() {
+        let mut d = Device::new(
+            NodeId(1),
+            Architecture::drmt_default(),
+            StateEncoding::StatefulTable,
+        );
+        d.install(stateful_base()).unwrap();
+        let mut pkt = Packet::tcp(1, 9, 2, 3, 4, 0);
+        d.process(&mut pkt, SimTime::ZERO).unwrap();
+        d.add_entry(
+            "t",
+            crate::table::TableEntry::exact(
+                &[9],
+                flexnet_lang::ast::ActionCall {
+                    action: "deny".into(),
+                    args: vec![],
+                },
+            ),
+        )
+        .unwrap();
+        let v_before = d.version();
+
+        d.crash(SimTime::from_secs(1));
+        assert!(d.restart(SimTime::from_secs(2)).is_ok());
+        assert!(d.is_up());
+        assert!(d.restart(SimTime::from_secs(2)).is_err(), "already up");
+
+        let p = d.program().unwrap();
+        assert_eq!(p.state.counter_read("c"), 0, "counters wiped");
+        assert_eq!(p.tables.get("t").unwrap().len(), 0, "entries wiped");
+        assert_eq!(p.bundle, stateful_base(), "program image survives");
+        assert!(d.version() > v_before, "restart is a new incarnation");
+        // And it serves traffic again.
+        let mut pkt2 = Packet::tcp(2, 9, 2, 3, 4, 0);
+        let r = d.process(&mut pkt2, SimTime::from_secs(3)).unwrap();
+        assert_eq!(r.verdict, Verdict::Forward(1));
     }
 }

@@ -290,7 +290,11 @@ impl DeviceState {
             now: SimTime::ZERO,
         };
         for d in decls {
-            s.add_state(d.clone()).expect("fresh state cannot collide");
+            // Duplicate declaration names are rejected upstream by the
+            // verifier; a hand-built slice keeps the first occurrence.
+            if !s.decls.contains_key(&d.name) {
+                let _ = s.add_state(d.clone());
+            }
         }
         s
     }

@@ -79,6 +79,33 @@ pub enum Command {
         /// Key matches identifying the entries.
         matches: Vec<KeyMatch>,
     },
+    /// Fault injection: crash a device. Packets arriving at it are lost,
+    /// an in-flight reconfiguration is discarded, and routes recompute
+    /// around it.
+    CrashDevice {
+        /// The device to crash.
+        node: NodeId,
+    },
+    /// Fault injection: restart a crashed device with its runtime state
+    /// wiped (counters, registers, maps, table entries).
+    RestartDevice {
+        /// The device to restart.
+        node: NodeId,
+    },
+    /// Fault injection: take a link (and its reverse direction) up or
+    /// down. Routes recompute around the change.
+    SetLinkState {
+        /// Either direction of the affected link pair.
+        link: LinkId,
+        /// `true` to restore the link, `false` to cut it.
+        up: bool,
+    },
+    /// Fault injection: abort an in-flight reconfiguration on a device,
+    /// rolling back to the exact pre-reconfig program and state.
+    AbortReconfig {
+        /// The device whose transition to abort.
+        node: NodeId,
+    },
 }
 
 #[derive(Debug)]
@@ -283,6 +310,51 @@ impl Simulation {
                         .push((now, format!("remove entry on {node}: {e}")));
                 }
             }
+            Command::CrashDevice { node } => {
+                match self.topo.node_mut(node) {
+                    Some(n) => n.device.crash(now),
+                    None => self.errors.push((now, format!("unknown node {node}"))),
+                }
+                self.recompute_routes();
+            }
+            Command::RestartDevice { node } => {
+                let r = self
+                    .topo
+                    .node_mut(node)
+                    .ok_or_else(|| flexnet_types::FlexError::NotFound(node.to_string()))
+                    .and_then(|n| n.device.restart(now));
+                if let Err(e) = r {
+                    self.errors.push((now, format!("restart {node}: {e}")));
+                }
+                self.recompute_routes();
+            }
+            Command::SetLinkState { link, up } => {
+                // Links come in symmetric pairs; flip both directions.
+                let pair = self.topo.link(link).map(|l| (l.from, l.to));
+                match pair {
+                    Some((from, to)) => {
+                        let reverse = self
+                            .topo
+                            .links()
+                            .find(|l| l.from == to && l.to == from)
+                            .map(|l| l.id);
+                        for id in std::iter::once(link).chain(reverse) {
+                            if let Some(l) = self.topo.link_mut(id) {
+                                l.up = up;
+                            }
+                        }
+                    }
+                    None => self.errors.push((now, format!("unknown link {link:?}"))),
+                }
+                self.recompute_routes();
+            }
+            Command::AbortReconfig { node } => match self.topo.node_mut(node) {
+                Some(n) => match n.device.abort_reconfig(now) {
+                    Ok(rep) => self.reconfig_reports.push((now, node, rep)),
+                    Err(e) => self.errors.push((now, format!("abort on {node}: {e}"))),
+                },
+                None => self.errors.push((now, format!("unknown node {node}"))),
+            },
         }
     }
 
@@ -300,6 +372,10 @@ impl Simulation {
             self.metrics.record_lost(LossKind::NoRoute, now);
             return;
         };
+        if !node.device.is_up() {
+            self.metrics.record_lost(LossKind::DeviceDown, now);
+            return;
+        }
 
         // Device service (throughput) model: packets queue for the device;
         // bounded waiting, then serialized service time.
@@ -374,7 +450,14 @@ impl Simulation {
                 };
                 let wire = pkt.wire_len();
                 let (next, deliver_at, drop_queue) = {
-                    let link = self.topo.link_mut(link_id).expect("port maps to link");
+                    let Some(link) = self.topo.link_mut(link_id) else {
+                        self.metrics.record_lost(LossKind::NoRoute, now);
+                        return;
+                    };
+                    if !link.up {
+                        self.metrics.record_lost(LossKind::LinkDown, now);
+                        return;
+                    }
                     let ser = link.serialization(wire);
                     let tx_start = done_at.max(link.busy_until);
                     let backlog = tx_start.saturating_since(done_at);

@@ -18,11 +18,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod topology;
 pub mod workload;
 
 pub use engine::{Command, Simulation};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Bucket, LossKind, Metrics};
 pub use topology::{Link, Node, NodeKind, Topology};
 pub use workload::{generate, syn_flood, tenant_churn, ChurnEvent, Departure, FlowSpec, Pattern};

@@ -19,6 +19,10 @@ pub enum LossKind {
     HopLimit,
     /// No route to the destination.
     NoRoute,
+    /// Arrived at a crashed device (fault injection).
+    DeviceDown,
+    /// Forwarded onto a link that is down (fault injection).
+    LinkDown,
 }
 
 /// One time bucket of the delivery timeseries.

@@ -52,6 +52,8 @@ pub struct Link {
     pub queue_cap: u32,
     /// Serialization backlog clears at this instant.
     pub busy_until: SimTime,
+    /// Whether the link is carrying traffic (fault injection).
+    pub up: bool,
 }
 
 impl Link {
@@ -128,6 +130,7 @@ impl Topology {
                     bandwidth_bps,
                     queue_cap: 1000,
                     busy_until: SimTime::ZERO,
+                    up: true,
                 },
             );
             id
@@ -182,20 +185,24 @@ impl Topology {
         self.links.values()
     }
 
-    /// All-pairs next hops by BFS (hop count). Returns a map from
-    /// `(at, destination)` to the link to take.
+    /// Whether `link` is usable: up, with both endpoint devices up.
+    fn link_usable(&self, link: &Link) -> bool {
+        link.up
+            && self.nodes.get(&link.from).is_some_and(|n| n.device.is_up())
+            && self.nodes.get(&link.to).is_some_and(|n| n.device.is_up())
+    }
+
+    /// All-pairs next hops by BFS (hop count), skipping down links and
+    /// crashed devices — recomputing after a fault reroutes around it.
+    /// Returns a map from `(at, destination)` to the link to take.
     pub fn compute_routes(&self) -> BTreeMap<(NodeId, NodeId), LinkId> {
-        let mut adj: BTreeMap<NodeId, Vec<(NodeId, LinkId)>> = BTreeMap::new();
-        for l in self.links.values() {
-            adj.entry(l.from).or_default().push((l.to, l.id));
-        }
         let mut routes = BTreeMap::new();
         for &dst in self.nodes.keys() {
             // BFS backwards from dst over reversed edges = forwards works
             // too since links are symmetric; do forward BFS from dst on the
             // reverse graph.
             let mut radj: BTreeMap<NodeId, Vec<(NodeId, LinkId)>> = BTreeMap::new();
-            for l in self.links.values() {
+            for l in self.links.values().filter(|l| self.link_usable(l)) {
                 radj.entry(l.to).or_default().push((l.from, l.id));
             }
             let mut queue = std::collections::VecDeque::new();
@@ -211,7 +218,6 @@ impl Topology {
                 }
             }
         }
-        let _ = adj;
         routes
     }
 
@@ -321,6 +327,7 @@ mod tests {
             bandwidth_bps: 1_000_000_000, // 1 Gbps
             queue_cap: 10,
             busy_until: SimTime::ZERO,
+            up: true,
         };
         // 1250 bytes = 10_000 bits = 10 us at 1 Gbps.
         assert_eq!(l.serialization(1250), SimDuration::from_micros(10));

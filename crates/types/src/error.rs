@@ -54,6 +54,10 @@ pub enum FlexError {
     Sim(String),
     /// An SLA certification failed (latency or throughput objective missed).
     SlaViolation(String),
+    /// An operation did not complete before its deadline (retries included).
+    Timeout(String),
+    /// The target device or service is down / unreachable.
+    Unavailable(String),
 }
 
 impl fmt::Display for FlexError {
@@ -81,6 +85,8 @@ impl fmt::Display for FlexError {
             FlexError::Consensus(m) => write!(f, "consensus failure: {m}"),
             FlexError::Sim(m) => write!(f, "simulation error: {m}"),
             FlexError::SlaViolation(m) => write!(f, "SLA violation: {m}"),
+            FlexError::Timeout(m) => write!(f, "timed out: {m}"),
+            FlexError::Unavailable(m) => write!(f, "unavailable: {m}"),
         }
     }
 }

@@ -3,6 +3,7 @@
 //! Provides the subset of the `Bytes` API FlexNet uses: an immutable,
 //! cheaply clonable byte buffer (`Arc<[u8]>` underneath, matching the real
 //! crate's O(1) clone).
+#![allow(clippy::all)]
 
 use std::ops::Deref;
 use std::sync::Arc;

@@ -12,6 +12,7 @@
 //! statistical analysis, outlier rejection, or HTML report — the numbers
 //! are order-of-magnitude indicators, which is what the suite's benches
 //! are used for.
+#![allow(clippy::all)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -18,6 +18,7 @@
 //! - String "regex" strategies support the char-class forms the suite uses
 //!   (`[a-z_]{0,12}`-style classes and `\PC*` for printable soup), not
 //!   arbitrary regexes.
+#![allow(clippy::all)]
 
 pub mod strategy;
 

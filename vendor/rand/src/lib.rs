@@ -10,6 +10,7 @@
 //! every simulation, Raft run, and injected-fault schedule reproduces
 //! bit-identically across runs and platforms — which the FlexNet test
 //! suite relies on.
+#![allow(clippy::all)]
 
 /// Core generator interface: a source of uniformly distributed `u64`s.
 pub trait RngCore {

@@ -6,6 +6,7 @@
 //! the no-op derives in `vendor/serde_derive`. Nothing in FlexNet
 //! serializes at runtime; the annotations keep the data model serde-ready
 //! for when the real crates are available.
+#![allow(clippy::all)]
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -5,6 +5,7 @@
 //! serialize at runtime — the derives on its types exist so the data model
 //! stays serde-ready — so these derives accept the same syntax (including
 //! `#[serde(...)]` helper attributes) and expand to nothing.
+#![allow(clippy::all)]
 
 use proc_macro::TokenStream;
 
