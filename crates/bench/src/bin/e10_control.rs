@@ -81,7 +81,7 @@ fn raft_section() {
         c.propose("deploy infra").unwrap();
         c.run_for(SimDuration::from_millis(500), SimDuration::from_millis(10));
 
-        c.kill(l1);
+        c.kill(l1).unwrap();
         let t1 = c.now();
         // Run until a *different* leader appears.
         let mut second = SimDuration::ZERO;
@@ -96,7 +96,7 @@ fn raft_section() {
         }
         c.run_for(SimDuration::from_millis(500), SimDuration::from_millis(10));
         let l2 = c.leader().expect("re-elected");
-        let intact = c.committed(l2) == vec!["deploy infra".to_string()];
+        let intact = c.committed(l2).unwrap() == vec!["deploy infra".to_string()];
         elections.push((first, second));
         row(&[
             &seed.to_string(),
@@ -124,23 +124,23 @@ fn raft_section() {
     let mut killed = 0;
     for i in 0..c.len() {
         if i != leader && killed < 2 {
-            c.kill(i);
+            c.kill(i).unwrap();
             killed += 1;
         }
     }
     c.propose("with 3/5 alive").unwrap();
     c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
-    let ok3 = c.committed(leader).contains(&"with 3/5 alive".to_string());
+    let ok3 = c.committed(leader).unwrap().contains(&"with 3/5 alive".to_string());
     // Kill one more *alive* follower (majority gone): unavailable.
     for i in 0..c.len() {
         if i != leader && c.is_alive(i) && killed < 3 {
-            c.kill(i);
+            c.kill(i).unwrap();
             killed += 1;
         }
     }
     c.propose("with 2/5 alive").unwrap();
     c.run_for(SimDuration::from_secs(2), SimDuration::from_millis(10));
-    let ok2 = c.committed(leader).contains(&"with 2/5 alive".to_string());
+    let ok2 = c.committed(leader).unwrap().contains(&"with 2/5 alive".to_string());
     println!("commits with 3/5 controllers alive: {ok3}");
     println!(
         "commits with 2/5 controllers alive: {ok2} (correctly unavailable: {})",

@@ -1,4 +1,4 @@
-//! Shared harness utilities for the FlexNet experiment binaries (E1–E11).
+//! Shared harness utilities for the FlexNet experiment binaries (E1–E13).
 //!
 //! Each `src/bin/eN_*.rs` binary regenerates one experiment from
 //! EXPERIMENTS.md, printing the rows recorded there. This library holds the

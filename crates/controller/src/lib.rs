@@ -18,20 +18,28 @@
 //!   commit with rollback).
 //! - [`replicate`] — replicated state groups with epoch-based failover.
 //! - [`raft`] — simulated Raft for physically distributed controllers.
+//! - [`wal`] — the replicated write-ahead intent log for crash-recovery.
+//! - [`recovery`] — the recovery coordinator: log replay, epoch fencing,
+//!   in-doubt transaction resolution, orphan-shadow sweep.
+//! - [`chaos`] — deterministic coordinator-crash scenarios with global
+//!   invariant checks (experiment E13).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod apps;
+pub mod chaos;
 pub mod core;
 pub mod drpc;
 pub mod migrate;
 pub mod raft;
+pub mod recovery;
 pub mod replicate;
 pub mod retry;
 pub mod scale;
 pub mod tenant;
 pub mod txn;
+pub mod wal;
 
 pub use crate::core::{Controller, FailureDetector, Health};
 pub use apps::{AppRecord, AppRegistry, AppStatus};
@@ -41,7 +49,11 @@ pub use raft::{RaftCluster, Role};
 pub use replicate::{FailoverReport, ReplicationGroup};
 pub use retry::{invoke_with_retry, with_retry, LossyFabric, RetryOutcome, RetryPolicy};
 pub use scale::{ElasticScaler, ScaleDecision, ScalingPolicy};
+pub use chaos::{run_chaos_seed, ChaosReport};
+pub use recovery::{recover, RecoveryReport, TxnResolution};
 pub use tenant::TenantManager;
 pub use txn::{
-    transactional_reconfig, transactional_reconfig_over, TxnOutcome, TxnReport,
+    logged_transactional_reconfig, transactional_reconfig, transactional_reconfig_over,
+    LoggedTxnReport, TxnOutcome, TxnReport,
 };
+pub use wal::{IntentRecord, ReplicatedIntentLog};

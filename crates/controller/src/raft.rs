@@ -102,6 +102,8 @@ pub struct RaftCluster {
     /// Probability each message is dropped by the fabric.
     pub drop_prob: f64,
     inflight: Vec<(SimTime, usize, Msg)>,
+    /// Last node observed acting as leader (hint for [`FlexError::NoLeader`]).
+    last_leader: Option<usize>,
 }
 
 impl RaftCluster {
@@ -130,6 +132,7 @@ impl RaftCluster {
             rng,
             drop_prob: 0.0,
             inflight: Vec::new(),
+            last_leader: None,
         }
     }
 
@@ -168,26 +171,40 @@ impl RaftCluster {
         self.nodes[i].term
     }
 
+    /// Looks up node `i`, with a typed error instead of an index panic.
+    fn node(&self, i: usize) -> Result<&RaftNode> {
+        self.nodes
+            .get(i)
+            .ok_or_else(|| FlexError::NotFound(format!("raft node {i}")))
+    }
+
     /// The committed prefix of a node's log.
-    pub fn committed(&self, i: usize) -> Vec<String> {
-        self.nodes[i].log[..self.nodes[i].commit]
-            .iter()
-            .map(|e| e.command.clone())
-            .collect()
+    pub fn committed(&self, i: usize) -> Result<Vec<String>> {
+        let n = self.node(i)?;
+        Ok(n.log[..n.commit].iter().map(|e| e.command.clone()).collect())
+    }
+
+    /// Total log length of a node (committed and uncommitted entries).
+    pub fn log_len(&self, i: usize) -> Result<usize> {
+        Ok(self.node(i)?.log.len())
     }
 
     /// Kills a node (it stops sending and receiving).
-    pub fn kill(&mut self, i: usize) {
+    pub fn kill(&mut self, i: usize) -> Result<()> {
+        self.node(i)?;
         self.nodes[i].alive = false;
+        Ok(())
     }
 
     /// Revives a node as a follower.
-    pub fn revive(&mut self, i: usize) {
+    pub fn revive(&mut self, i: usize) -> Result<()> {
+        self.node(i)?;
         let deadline = self.now + random_timeout(&mut self.rng);
         let n = &mut self.nodes[i];
         n.alive = true;
         n.role = Role::Follower;
         n.election_deadline = deadline;
+        Ok(())
     }
 
     /// Number of alive nodes.
@@ -195,15 +212,24 @@ impl RaftCluster {
         self.nodes.iter().filter(|n| n.alive).count()
     }
 
-    /// Whether node `i` is alive.
+    /// Whether node `i` is alive (`false` for out-of-range indices).
     pub fn is_alive(&self, i: usize) -> bool {
-        self.nodes[i].alive
+        self.nodes.get(i).is_some_and(|n| n.alive)
     }
 
     /// Proposes a command to the current leader.
+    ///
+    /// With no leader this fails with [`FlexError::NoLeader`] carrying the
+    /// last known leader as a hint and an election timeout as the
+    /// retry-after — a *retryable* condition (elections converge on their
+    /// own), which [`crate::retry::with_retry`] honors by backing off and
+    /// re-proposing instead of giving up.
     pub fn propose(&mut self, command: &str) -> Result<()> {
         let Some(leader) = self.leader() else {
-            return Err(FlexError::Consensus("no leader".into()));
+            return Err(FlexError::NoLeader {
+                hint: self.last_leader.map(|l| l as u64),
+                retry_after: ELECTION_TIMEOUT_MAX,
+            });
         };
         let term = self.nodes[leader].term;
         self.nodes[leader].log.push(LogEntry {
@@ -329,6 +355,7 @@ impl RaftCluster {
             n.match_index = vec![0; n_nodes];
             n.match_index[i] = last;
             n.last_heartbeat = self.now;
+            self.last_leader = Some(i);
             self.send_appends(i);
         }
     }
@@ -447,6 +474,7 @@ impl RaftCluster {
                 }
                 // Valid leader contact: reset election timer.
                 self.nodes[me].election_deadline = self.now + random_timeout(&mut self.rng);
+                self.last_leader = Some(leader);
                 let ok = {
                     let n = &self.nodes[me];
                     prev_index <= n.log.len()
@@ -552,12 +580,12 @@ mod tests {
         c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
         let leader = c.leader().unwrap();
         assert_eq!(
-            c.committed(leader),
+            c.committed(leader).unwrap(),
             vec!["deploy app1".to_string(), "tenant 5 arrive".to_string()]
         );
         // Followers converge too.
         for i in 0..c.len() {
-            assert_eq!(c.committed(i).len(), 2, "node {i} lagging");
+            assert_eq!(c.committed(i).unwrap().len(), 2, "node {i} lagging");
         }
     }
 
@@ -567,17 +595,17 @@ mod tests {
         let l1 = settle(&mut c);
         c.propose("before failover").unwrap();
         c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
-        c.kill(l1);
+        c.kill(l1).unwrap();
         c.run_for(SimDuration::from_secs(2), SimDuration::from_millis(10));
         let l2 = c.leader().expect("new leader after failover");
         assert_ne!(l1, l2);
         assert!(c.term(l2) > 0);
         // The committed entry survived the failover.
-        assert_eq!(c.committed(l2), vec!["before failover".to_string()]);
+        assert_eq!(c.committed(l2).unwrap(), vec!["before failover".to_string()]);
         // And the new leader accepts new commands.
         c.propose("after failover").unwrap();
         c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
-        assert_eq!(c.committed(l2).len(), 2);
+        assert_eq!(c.committed(l2).unwrap().len(), 2);
     }
 
     #[test]
@@ -588,14 +616,14 @@ mod tests {
         let mut killed = 0;
         for i in 0..c.len() {
             if i != leader && killed < 3 {
-                c.kill(i);
+                c.kill(i).unwrap();
                 killed += 1;
             }
         }
         c.propose("doomed").unwrap();
         c.run_for(SimDuration::from_secs(2), SimDuration::from_millis(10));
         assert!(
-            !c.committed(leader).contains(&"doomed".to_string()),
+            !c.committed(leader).unwrap().contains(&"doomed".to_string()),
             "a minority must not commit"
         );
     }
@@ -608,7 +636,7 @@ mod tests {
         c.propose("lossy world").unwrap();
         c.run_for(SimDuration::from_secs(5), SimDuration::from_millis(10));
         let leader = c.leader().unwrap();
-        assert_eq!(c.committed(leader), vec!["lossy world".to_string()]);
+        assert_eq!(c.committed(leader).unwrap(), vec!["lossy world".to_string()]);
     }
 
     #[test]
@@ -618,21 +646,51 @@ mod tests {
         // Kill a follower, commit entries, revive it.
         let leader = c.leader().unwrap();
         let follower = (0..c.len()).find(|&i| i != leader).unwrap();
-        c.kill(follower);
+        c.kill(follower).unwrap();
         c.propose("while you were gone").unwrap();
         c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
-        c.revive(follower);
+        c.revive(follower).unwrap();
         c.run_for(SimDuration::from_secs(2), SimDuration::from_millis(10));
         assert_eq!(
-            c.committed(follower),
+            c.committed(follower).unwrap(),
             vec!["while you were gone".to_string()]
         );
     }
 
     #[test]
-    fn propose_without_leader_fails() {
+    fn propose_without_leader_is_typed_and_retryable() {
         let mut c = RaftCluster::new(3, 29);
-        assert!(c.propose("too early").is_err());
+        let err = c.propose("too early").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FlexError::NoLeader {
+                    hint: None,
+                    retry_after: ELECTION_TIMEOUT_MAX,
+                }
+            ),
+            "got {err:?}"
+        );
+        assert!(err.is_retryable());
+        // After an election the error (post-kill of every node) carries the
+        // deposed leader as a hint.
+        let leader = settle(&mut c);
+        for i in 0..c.len() {
+            c.kill(i).unwrap();
+        }
+        match c.propose("nobody home").unwrap_err() {
+            FlexError::NoLeader { hint: Some(h), .. } => assert_eq!(h, leader as u64),
+            other => panic!("expected a hinted NoLeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_typed_errors_not_panics() {
+        let mut c = RaftCluster::new(3, 31);
+        assert!(matches!(c.kill(99), Err(FlexError::NotFound(_))));
+        assert!(matches!(c.revive(99), Err(FlexError::NotFound(_))));
+        assert!(matches!(c.committed(99), Err(FlexError::NotFound(_))));
+        assert!(!c.is_alive(99));
     }
 
     #[test]

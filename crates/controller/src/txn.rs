@@ -31,10 +31,11 @@
 //! [`Device::abort_reconfig`]: flexnet_dataplane::Device::abort_reconfig
 
 use crate::retry::{command_rtt, with_retry, LossyFabric, RetryPolicy};
-use flexnet_dataplane::{ReconfigOutcome, ReconfigReport};
+use crate::wal::{IntentRecord, ReplicatedIntentLog};
+use flexnet_dataplane::{ReconfigOutcome, ReconfigReport, TxnTag};
 use flexnet_lang::diff::ProgramBundle;
-use flexnet_sim::Simulation;
-use flexnet_types::{FlexError, NodeId, SimDuration, SimTime};
+use flexnet_sim::{CrashPhase, Simulation};
+use flexnet_types::{FlexError, NodeId, Result, SimDuration, SimTime};
 
 /// How a network-wide reconfiguration transaction ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,6 +231,256 @@ pub fn transactional_reconfig_over(
     }
 }
 
+/// How a journaled transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoggedTxnOutcome {
+    /// Every device prepared, the flip was scheduled, and every commit
+    /// command was delivered.
+    Committed,
+    /// A prepare failed; every prepared device was rolled back.
+    Aborted,
+    /// The coordinator died at the given phase, leaving the transaction
+    /// in-doubt for [`crate::recovery::recover`] to resolve.
+    Crashed(CrashPhase),
+}
+
+/// The coordinator's account of one journaled transaction.
+#[derive(Debug, Clone)]
+pub struct LoggedTxnReport {
+    /// Transaction id allocated from the intent log.
+    pub txn: u64,
+    /// Controller epoch (Raft leader term) the transaction ran under.
+    pub epoch: u64,
+    /// How it ended (from this coordinator's point of view).
+    pub outcome: LoggedTxnOutcome,
+    /// Devices that acked a prepare before the end.
+    pub prepared: Vec<NodeId>,
+    /// The aligned flip instant, once scheduled.
+    pub commit_at: Option<SimTime>,
+    /// Control messages sent (attempts, including lost ones).
+    pub messages: u32,
+    /// When the coordinator stopped working on the transaction.
+    pub finished_at: SimTime,
+}
+
+/// Runs a journaled two-phase-commit reconfiguration: every phase
+/// transition is made durable in the replicated intent `log` *before* the
+/// corresponding data-plane commands are sent (write-ahead), and every
+/// command carries a [`TxnTag`] so devices fence stale epochs and hold
+/// prepared shadows in-doubt until an explicit decision.
+///
+/// `crash`, when set, kills the coordinator at that protocol point: the
+/// function returns immediately with [`LoggedTxnOutcome::Crashed`],
+/// leaving devices exactly as a real mid-protocol coordinator death would
+/// — shadows prepared but undecided, commits possibly half-delivered.
+/// [`crate::recovery::recover`] then resolves the wreckage from the log.
+#[allow(clippy::too_many_arguments)]
+pub fn logged_transactional_reconfig(
+    sim: &mut Simulation,
+    targets: &[(NodeId, ProgramBundle)],
+    now: SimTime,
+    fabric: &mut LossyFabric,
+    policy: &RetryPolicy,
+    log: &mut ReplicatedIntentLog,
+    crash: Option<CrashPhase>,
+) -> Result<LoggedTxnReport> {
+    let txn = log.next_txn_id();
+    let epoch = log.epoch()?;
+    let tag = TxnTag { txn_id: txn, epoch };
+    let devices: Vec<u64> = targets.iter().map(|(n, _)| n.0 as u64).collect();
+    let mut t = now;
+    let mut messages = 0u32;
+    let mut prepared: Vec<NodeId> = Vec::new();
+
+    let report = |outcome, prepared, commit_at, messages, finished_at| LoggedTxnReport {
+        txn,
+        epoch,
+        outcome,
+        prepared,
+        commit_at,
+        messages,
+        finished_at,
+    };
+
+    // Write-ahead: the intent is durable before any device hears from us.
+    log.append(&IntentRecord::Intent {
+        txn,
+        devices: devices.clone(),
+    })?;
+    if crash == Some(CrashPhase::AfterIntent) {
+        return Ok(report(
+            LoggedTxnOutcome::Crashed(CrashPhase::AfterIntent),
+            prepared,
+            None,
+            messages,
+            t,
+        ));
+    }
+
+    // Phase 1: prepare a tagged, in-doubt shadow on every device. A
+    // MidPrepare crash dies after roughly half the participants acked.
+    let crash_after = match crash {
+        Some(CrashPhase::MidPrepare) => targets.len().div_ceil(2),
+        _ => usize::MAX,
+    };
+    let mut latest_ready = now;
+    let mut failure: Option<(usize, String)> = None;
+    for (i, (node, bundle)) in targets.iter().enumerate() {
+        if i >= crash_after {
+            return Ok(report(
+                LoggedTxnOutcome::Crashed(CrashPhase::MidPrepare),
+                prepared,
+                None,
+                messages,
+                t,
+            ));
+        }
+        let mut acked: Option<ReconfigReport> = None;
+        let out = with_retry(policy, fabric, t, command_rtt(), |at| {
+            if let Some(rep) = &acked {
+                return Ok(rep.clone());
+            }
+            let dev = &mut sim
+                .topo
+                .node_mut(*node)
+                .ok_or_else(|| FlexError::Sim(format!("prepare: unknown node {node}")))?
+                .device;
+            let rep = dev.prepare_txn_reconfig(bundle.clone(), at, tag)?;
+            acked = Some(rep.clone());
+            Ok(rep)
+        });
+        messages += out.attempts;
+        t = out.finished_at;
+        match out.result {
+            Ok(rep) => {
+                prepared.push(*node);
+                if rep.ready_at > latest_ready {
+                    latest_ready = rep.ready_at;
+                }
+                sim.reconfig_reports.push((t, *node, rep));
+            }
+            Err(e) => {
+                failure = Some((i, format!("prepare on {node} failed: {e}")));
+                break;
+            }
+        }
+    }
+
+    if let Some((failed_idx, reason)) = failure {
+        // Log the abort decision first (presumed abort: recovery rolls a
+        // prepared-only transaction back anyway, so a lost record is
+        // safe), then roll back every device we talked to.
+        if let Err(e) = log.append(&IntentRecord::Aborted { txn }) {
+            sim.errors
+                .push((t, format!("txn {txn}: abort record not durable: {e}")));
+        }
+        for (node, _) in targets[..=failed_idx].iter().rev() {
+            let mut done: Option<Option<ReconfigReport>> = None;
+            let out = with_retry(policy, fabric, t, command_rtt(), |at| {
+                if let Some(cached) = &done {
+                    return Ok(cached.clone());
+                }
+                let dev = &mut sim
+                    .topo
+                    .node_mut(*node)
+                    .ok_or_else(|| FlexError::Sim(format!("abort: unknown node {node}")))?
+                    .device;
+                let rep = match dev.abort_txn(tag, at) {
+                    Ok(rep) => rep,
+                    // A pending shadow we don't own (the prepare conflict
+                    // that failed the transaction) is not ours to abort.
+                    Err(FlexError::Conflict(_)) => None,
+                    Err(e) => return Err(e),
+                };
+                done = Some(rep.clone());
+                Ok(rep)
+            });
+            messages += out.attempts;
+            t = out.finished_at;
+            match out.result {
+                Ok(Some(rep)) => sim.reconfig_reports.push((t, *node, rep)),
+                Ok(None) => {}
+                Err(e) => sim.errors.push((t, format!("txn abort on {node}: {e}"))),
+            }
+        }
+        sim.errors.push((t, format!("txn {txn} aborted: {reason}")));
+        return Ok(report(
+            LoggedTxnOutcome::Aborted,
+            prepared,
+            None,
+            messages,
+            t,
+        ));
+    }
+
+    // All participants hold in-doubt shadows: make that durable.
+    log.append(&IntentRecord::Prepared {
+        txn,
+        devices: devices.clone(),
+    })?;
+    if crash == Some(CrashPhase::AfterPrepared) {
+        return Ok(report(
+            LoggedTxnOutcome::Crashed(CrashPhase::AfterPrepared),
+            prepared,
+            None,
+            messages,
+            t,
+        ));
+    }
+
+    // The decision: align every flip on the slowest participant, and make
+    // the decision durable *before* any commit command is sent — past
+    // this record the transaction can only roll forward.
+    let commit_at = if latest_ready > t { latest_ready } else { t };
+    log.append(&IntentRecord::FlipScheduled { txn, commit_at })?;
+    if crash == Some(CrashPhase::AfterFlipScheduled) {
+        return Ok(report(
+            LoggedTxnOutcome::Crashed(CrashPhase::AfterFlipScheduled),
+            prepared,
+            Some(commit_at),
+            messages,
+            t,
+        ));
+    }
+
+    // Phase 2: release every shadow to flip at commit_at.
+    for (node, _) in targets {
+        let mut acked: Option<bool> = None;
+        let out = with_retry(policy, fabric, t, command_rtt(), |_| {
+            if let Some(done) = acked {
+                return Ok(done);
+            }
+            let dev = &mut sim
+                .topo
+                .node_mut(*node)
+                .ok_or_else(|| FlexError::Sim(format!("commit: unknown node {node}")))?
+                .device;
+            let released = dev.commit_txn(tag, commit_at)?;
+            acked = Some(released);
+            Ok(released)
+        });
+        messages += out.attempts;
+        t = out.finished_at;
+        if let Err(e) = out.result {
+            // The device keeps its in-doubt shadow; the recovery sweep
+            // (same roll-forward rule) will release it.
+            sim.errors.push((t, format!("txn commit on {node}: {e}")));
+        }
+    }
+    if let Err(e) = log.append(&IntentRecord::Committed { txn }) {
+        // Recovery re-runs the (idempotent) roll-forward from FlipScheduled.
+        sim.errors
+            .push((t, format!("txn {txn}: committed record not durable: {e}")));
+    }
+    Ok(report(
+        LoggedTxnOutcome::Committed,
+        prepared,
+        Some(commit_at),
+        messages,
+        t,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +635,147 @@ mod tests {
             assert!(!dev.reconfig_in_progress(), "{d} has no orphan shadow");
             assert_eq!(dev.program().unwrap().bundle, v1());
         }
+    }
+
+    fn logged(
+        sim: &mut Simulation,
+        targets: &[(NodeId, ProgramBundle)],
+        log: &mut ReplicatedIntentLog,
+        crash: Option<CrashPhase>,
+    ) -> LoggedTxnReport {
+        let mut fabric = LossyFabric::reliable();
+        logged_transactional_reconfig(
+            sim,
+            targets,
+            SimTime::from_secs(1),
+            &mut fabric,
+            &RetryPolicy::default(),
+            log,
+            crash,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn logged_commit_journals_every_phase_and_flips_together() {
+        let (mut sim, devices) = prepared_sim();
+        let targets: Vec<_> = devices.iter().map(|d| (*d, v2())).collect();
+        let mut log = ReplicatedIntentLog::new(3, 42).unwrap();
+        let report = logged(&mut sim, &targets, &mut log, None);
+        assert_eq!(report.outcome, LoggedTxnOutcome::Committed);
+        assert_eq!(report.prepared, devices.to_vec());
+
+        let devs: Vec<u64> = devices.iter().map(|d| d.0 as u64).collect();
+        let commit_at = report.commit_at.unwrap();
+        assert_eq!(
+            log.records().unwrap(),
+            vec![
+                IntentRecord::Intent {
+                    txn: report.txn,
+                    devices: devs.clone(),
+                },
+                IntentRecord::Prepared {
+                    txn: report.txn,
+                    devices: devs,
+                },
+                IntentRecord::FlipScheduled {
+                    txn: report.txn,
+                    commit_at,
+                },
+                IntentRecord::Committed { txn: report.txn },
+            ],
+            "write-ahead order: one record per phase transition"
+        );
+        for d in devices {
+            let dev = &mut sim.topo.node_mut(d).unwrap().device;
+            dev.tick(commit_at);
+            assert_eq!(dev.program().unwrap().bundle, v2(), "{d} flipped");
+            assert_eq!(dev.fence(), report.epoch, "{d} observed the epoch");
+        }
+    }
+
+    #[test]
+    fn coordinator_death_after_prepared_leaves_devices_in_doubt() {
+        let (mut sim, devices) = prepared_sim();
+        let targets: Vec<_> = devices.iter().map(|d| (*d, v2())).collect();
+        let mut log = ReplicatedIntentLog::new(3, 7).unwrap();
+        let report = logged(
+            &mut sim,
+            &targets,
+            &mut log,
+            Some(CrashPhase::AfterPrepared),
+        );
+        assert_eq!(
+            report.outcome,
+            LoggedTxnOutcome::Crashed(CrashPhase::AfterPrepared)
+        );
+        // The log's last word is Prepared — recovery must roll back.
+        assert!(matches!(
+            log.records().unwrap().last(),
+            Some(IntentRecord::Prepared { .. })
+        ));
+        // Devices hold their shadows forever: in-doubt means no unilateral
+        // flip, even long past the transition's ready time.
+        for d in devices {
+            let dev = &mut sim.topo.node_mut(d).unwrap().device;
+            dev.tick(SimTime::from_secs(3600));
+            assert!(dev.reconfig_in_progress(), "{d} must stay in-doubt");
+            assert_eq!(dev.program().unwrap().bundle, v1(), "{d} still runs v1");
+        }
+    }
+
+    #[test]
+    fn logged_prepare_failure_aborts_and_journals_it() {
+        let (mut sim, devices) = prepared_sim();
+        sim.topo
+            .node_mut(devices[2])
+            .unwrap()
+            .device
+            .crash(SimTime::from_millis(500));
+        let targets: Vec<_> = devices.iter().map(|d| (*d, v2())).collect();
+        let mut log = ReplicatedIntentLog::new(3, 11).unwrap();
+        let report = logged(&mut sim, &targets, &mut log, None);
+        assert_eq!(report.outcome, LoggedTxnOutcome::Aborted);
+        assert_eq!(report.prepared, devices[..2].to_vec());
+        assert!(matches!(
+            log.records().unwrap().last(),
+            Some(IntentRecord::Aborted { .. })
+        ));
+        for d in &devices[..2] {
+            let dev = &sim.topo.node(*d).unwrap().device;
+            assert!(!dev.reconfig_in_progress(), "{d} rolled back");
+            assert_eq!(dev.program().unwrap().bundle, v1());
+        }
+    }
+
+    #[test]
+    fn mid_prepare_death_stops_after_half_the_participants() {
+        let (mut sim, devices) = prepared_sim();
+        let targets: Vec<_> = devices.iter().map(|d| (*d, v2())).collect();
+        let mut log = ReplicatedIntentLog::new(3, 13).unwrap();
+        let report = logged(&mut sim, &targets, &mut log, Some(CrashPhase::MidPrepare));
+        assert_eq!(
+            report.outcome,
+            LoggedTxnOutcome::Crashed(CrashPhase::MidPrepare)
+        );
+        assert_eq!(report.prepared, devices[..2].to_vec(), "ceil(3/2) prepared");
+        // The log never saw Prepared: its last word is the Intent.
+        assert!(matches!(
+            log.records().unwrap().last(),
+            Some(IntentRecord::Intent { .. })
+        ));
+        assert!(sim
+            .topo
+            .node(devices[0])
+            .unwrap()
+            .device
+            .reconfig_in_progress());
+        assert!(!sim
+            .topo
+            .node(devices[2])
+            .unwrap()
+            .device
+            .reconfig_in_progress());
     }
 }
 

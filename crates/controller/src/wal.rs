@@ -1,0 +1,423 @@
+//! The replicated write-ahead intent log.
+//!
+//! Crash-recovery for transactional reconfiguration (ISSUE 2) needs the
+//! coordinator's *intent* to survive the coordinator: if the controller
+//! node driving a two-phase commit dies between "every device prepared"
+//! and "every device flipped", someone must be able to tell, after the
+//! fact, whether the transaction was past its point of no return. This
+//! module journals every phase transition of every transaction as an
+//! [`IntentRecord`] and replicates it through the controller's own
+//! [`RaftCluster`] *before* the corresponding command is sent to the data
+//! plane — the classic write-ahead rule. A record is only considered
+//! durable once Raft has committed it on a majority, so any surviving
+//! controller node can replay the log ([`crate::recovery`]) and resolve
+//! every in-doubt transaction deterministically.
+//!
+//! Records are encoded as small stable strings (Raft commands are opaque
+//! `String`s), e.g. `intent 3 dev 1,2,4` or `flip 3 at 1500000000` —
+//! human-readable in test failures and trivially round-trippable.
+
+use crate::raft::RaftCluster;
+use flexnet_types::{FlexError, Result, SimDuration, SimTime};
+
+/// One durable phase transition of a reconfiguration transaction.
+///
+/// The record sequence for a transaction `t` is a prefix of
+/// `Intent → Prepared → FlipScheduled → Committed`, or ends in `Aborted`
+/// after any of the first two. The *last* record for `t` determines how
+/// recovery resolves it (see `DESIGN.md` §8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntentRecord {
+    /// The coordinator decided to run transaction `txn` over `devices`.
+    /// Logged before the first prepare is sent.
+    Intent {
+        /// Transaction id (monotone per log).
+        txn: u64,
+        /// Node ids of every participant.
+        devices: Vec<u64>,
+    },
+    /// Every participant acked its prepare; `devices` now hold shadow
+    /// programs awaiting the coordinator's decision.
+    Prepared {
+        /// Transaction id.
+        txn: u64,
+        /// Node ids that hold a prepared shadow.
+        devices: Vec<u64>,
+    },
+    /// The coordinator chose to commit and scheduled the aligned flip.
+    /// Logged before any commit command is sent — past this record the
+    /// transaction must roll *forward*.
+    FlipScheduled {
+        /// Transaction id.
+        txn: u64,
+        /// The aligned flip instant sent to every participant.
+        commit_at: SimTime,
+    },
+    /// Every participant confirmed the commit. Terminal.
+    Committed {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// The transaction was rolled back everywhere. Terminal.
+    Aborted {
+        /// Transaction id.
+        txn: u64,
+    },
+}
+
+impl IntentRecord {
+    /// The transaction this record belongs to.
+    pub fn txn(&self) -> u64 {
+        match self {
+            IntentRecord::Intent { txn, .. }
+            | IntentRecord::Prepared { txn, .. }
+            | IntentRecord::FlipScheduled { txn, .. }
+            | IntentRecord::Committed { txn }
+            | IntentRecord::Aborted { txn } => *txn,
+        }
+    }
+
+    /// Stable wire encoding (a Raft command string).
+    pub fn encode(&self) -> String {
+        fn devs(devices: &[u64]) -> String {
+            devices
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        match self {
+            IntentRecord::Intent { txn, devices } => {
+                format!("intent {txn} dev {}", devs(devices))
+            }
+            IntentRecord::Prepared { txn, devices } => {
+                format!("prepared {txn} dev {}", devs(devices))
+            }
+            IntentRecord::FlipScheduled { txn, commit_at } => {
+                format!("flip {txn} at {}", commit_at.as_nanos())
+            }
+            IntentRecord::Committed { txn } => format!("committed {txn}"),
+            IntentRecord::Aborted { txn } => format!("aborted {txn}"),
+        }
+    }
+
+    /// Parses a record previously produced by [`IntentRecord::encode`].
+    pub fn decode(s: &str) -> Result<IntentRecord> {
+        let bad = || FlexError::Consensus(format!("malformed intent record: {s:?}"));
+        let mut parts = s.split_whitespace();
+        let kind = parts.next().ok_or_else(bad)?;
+        let txn: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let parse_devs = |list: &str| -> Result<Vec<u64>> {
+            if list.is_empty() {
+                return Ok(Vec::new());
+            }
+            list.split(',')
+                .map(|d| d.parse().map_err(|_| bad()))
+                .collect()
+        };
+        let rec = match kind {
+            "intent" | "prepared" => {
+                if parts.next() != Some("dev") {
+                    return Err(bad());
+                }
+                let devices = parse_devs(parts.next().unwrap_or(""))?;
+                if kind == "intent" {
+                    IntentRecord::Intent { txn, devices }
+                } else {
+                    IntentRecord::Prepared { txn, devices }
+                }
+            }
+            "flip" => {
+                if parts.next() != Some("at") {
+                    return Err(bad());
+                }
+                let ns: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                IntentRecord::FlipScheduled {
+                    txn,
+                    commit_at: SimTime::from_nanos(ns),
+                }
+            }
+            "committed" => IntentRecord::Committed { txn },
+            "aborted" => IntentRecord::Aborted { txn },
+            _ => return Err(bad()),
+        };
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Ok(rec)
+    }
+}
+
+/// How long [`ReplicatedIntentLog::append`] drives the cluster waiting for
+/// a majority commit before declaring the append failed.
+const APPEND_TIMEOUT: SimDuration = SimDuration::from_secs(5);
+
+/// Prefix of the no-op barrier entries [`ReplicatedIntentLog::elect`]
+/// commits so a new leader can commit its predecessors' records (Raft
+/// only commits prior-term entries transitively through a current-term
+/// entry).
+const BARRIER: &str = "barrier";
+
+/// The write-ahead intent log, replicated over a [`RaftCluster`].
+///
+/// `append` blocks (in simulated time) until the record is *committed* on
+/// a majority — only then may the coordinator act on it. The current Raft
+/// leader's term doubles as the **controller epoch** used for fencing
+/// ([`flexnet_dataplane::Device::observe_epoch`]): terms are monotone and
+/// unique per leader, so a deposed coordinator necessarily carries a
+/// smaller epoch than its successor.
+#[derive(Debug)]
+pub struct ReplicatedIntentLog {
+    cluster: RaftCluster,
+    next_txn: u64,
+}
+
+impl ReplicatedIntentLog {
+    /// A log replicated over `n` controller nodes; runs the initial
+    /// election so the log is immediately usable.
+    pub fn new(n: usize, seed: u64) -> Result<ReplicatedIntentLog> {
+        let mut cluster = RaftCluster::new(n, seed);
+        cluster
+            .run_until_leader(SimDuration::from_secs(10))
+            .ok_or_else(|| FlexError::Consensus("initial election never converged".into()))?;
+        Ok(ReplicatedIntentLog {
+            cluster,
+            next_txn: 1,
+        })
+    }
+
+    /// The underlying cluster (for fault injection in tests/harnesses).
+    pub fn cluster_mut(&mut self) -> &mut RaftCluster {
+        &mut self.cluster
+    }
+
+    /// Current simulated time of the controller fabric.
+    pub fn now(&self) -> SimTime {
+        self.cluster.now()
+    }
+
+    /// The current controller epoch: the leader's Raft term.
+    ///
+    /// Fails with the retryable [`FlexError::NoLeader`] during elections.
+    pub fn epoch(&self) -> Result<u64> {
+        match self.cluster.leader() {
+            Some(l) => Ok(self.cluster.term(l)),
+            None => Err(FlexError::NoLeader {
+                hint: None,
+                retry_after: crate::raft::ELECTION_TIMEOUT_MAX,
+            }),
+        }
+    }
+
+    /// Allocates the next transaction id.
+    ///
+    /// Ids are derived from the committed log on construction and after
+    /// failover ([`ReplicatedIntentLog::elect`]), so a successor
+    /// coordinator never reuses a predecessor's id.
+    pub fn next_txn_id(&mut self) -> u64 {
+        let id = self.next_txn;
+        self.next_txn += 1;
+        id
+    }
+
+    /// Durably appends `record`: proposes it to the leader and drives the
+    /// cluster until a majority has committed it.
+    ///
+    /// Returns [`FlexError::NoLeader`] (retryable) when no leader exists,
+    /// and [`FlexError::Consensus`] when the leader was deposed before the
+    /// record committed — in both cases the record is *not* durable and
+    /// the coordinator must not act on it.
+    pub fn append(&mut self, record: &IntentRecord) -> Result<()> {
+        self.commit_command(record.encode())
+    }
+
+    /// Proposes `command` and drives the cluster until a majority commits
+    /// it under the same leader.
+    fn commit_command(&mut self, command: String) -> Result<()> {
+        self.cluster.propose(&command)?;
+        let leader = self
+            .cluster
+            .leader()
+            .expect("propose succeeded, so a leader exists");
+        // The command's index: the leader appended it at the end of its
+        // log (uncommitted entries may precede it, so length of the
+        // committed prefix alone would be the wrong slot).
+        let target = self.cluster.log_len(leader)?;
+        let deadline = self.cluster.now() + APPEND_TIMEOUT;
+        while self.cluster.now() < deadline {
+            self.cluster.step(SimDuration::from_millis(10));
+            if !self.cluster.is_alive(leader) || self.cluster.leader() != Some(leader) {
+                return Err(FlexError::Consensus(format!(
+                    "leader {leader} deposed before {command:?} committed"
+                )));
+            }
+            let committed = self.cluster.committed(leader)?;
+            if committed.get(target - 1).map(String::as_str) == Some(&command) {
+                return Ok(());
+            }
+        }
+        Err(FlexError::Consensus(format!(
+            "append of {command:?} did not commit within {APPEND_TIMEOUT}"
+        )))
+    }
+
+    /// The committed record sequence, decoded, as seen by the current
+    /// leader. Election barriers (see [`ReplicatedIntentLog::elect`]) are
+    /// internal bookkeeping and filtered out.
+    pub fn records(&self) -> Result<Vec<IntentRecord>> {
+        let leader = self.cluster.leader().ok_or(FlexError::NoLeader {
+            hint: None,
+            retry_after: crate::raft::ELECTION_TIMEOUT_MAX,
+        })?;
+        self.cluster
+            .committed(leader)?
+            .iter()
+            .filter(|s| !s.starts_with(BARRIER))
+            .map(|s| IntentRecord::decode(s))
+            .collect()
+    }
+
+    /// Kills the current leader (the crash under test); returns its index.
+    pub fn kill_leader(&mut self) -> Result<usize> {
+        let leader = self.cluster.leader().ok_or(FlexError::NoLeader {
+            hint: None,
+            retry_after: crate::raft::ELECTION_TIMEOUT_MAX,
+        })?;
+        self.cluster.kill(leader)?;
+        Ok(leader)
+    }
+
+    /// Runs the cluster until a (new) leader emerges, commits a barrier
+    /// entry in the new term (Raft's rule: prior-term entries only commit
+    /// transitively through a current-term entry, so without the barrier
+    /// the predecessor's durable records would stay invisible), and
+    /// re-derives `next_txn` from the committed log so the new
+    /// coordinator's ids continue where the old one's left off. Returns
+    /// the leader index.
+    pub fn elect(&mut self) -> Result<usize> {
+        let leader = self
+            .cluster
+            .run_until_leader(SimDuration::from_secs(10))
+            .ok_or_else(|| FlexError::Consensus("no quorum: election never converged".into()))?;
+        let term = self.cluster.term(leader);
+        self.commit_command(format!("{BARRIER} {term}"))?;
+        let max_seen = self.records()?.iter().map(IntentRecord::txn).max();
+        self.next_txn = self.next_txn.max(max_seen.map_or(1, |m| m + 1));
+        Ok(leader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_records() -> Vec<IntentRecord> {
+        vec![
+            IntentRecord::Intent {
+                txn: 3,
+                devices: vec![1, 2, 4],
+            },
+            IntentRecord::Prepared {
+                txn: 3,
+                devices: vec![1, 2],
+            },
+            IntentRecord::FlipScheduled {
+                txn: 3,
+                commit_at: SimTime::from_millis(1500),
+            },
+            IntentRecord::Committed { txn: 3 },
+            IntentRecord::Aborted { txn: 4 },
+            IntentRecord::Intent {
+                txn: 5,
+                devices: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_the_wire_encoding() {
+        for rec in all_records() {
+            let wire = rec.encode();
+            assert_eq!(
+                IntentRecord::decode(&wire).unwrap(),
+                rec,
+                "round-trip of {wire:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_typed_errors() {
+        for bad in [
+            "",
+            "intent",
+            "intent x dev 1",
+            "intent 3 dev 1,x",
+            "intent 3 devices 1",
+            "flip 3 at",
+            "flip 3 at 12 extra",
+            "committed 3 extra",
+            "exploded 3",
+        ] {
+            assert!(
+                matches!(IntentRecord::decode(bad), Err(FlexError::Consensus(_))),
+                "{bad:?} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn append_is_durable_and_ordered() {
+        let mut log = ReplicatedIntentLog::new(3, 42).unwrap();
+        let recs = all_records();
+        for rec in &recs {
+            log.append(rec).unwrap();
+        }
+        assert_eq!(log.records().unwrap(), recs);
+    }
+
+    #[test]
+    fn log_survives_leader_crash_and_epoch_rises() {
+        let mut log = ReplicatedIntentLog::new(5, 7).unwrap();
+        let epoch0 = log.epoch().unwrap();
+        let rec = IntentRecord::Intent {
+            txn: 9,
+            devices: vec![1, 2],
+        };
+        log.append(&rec).unwrap();
+        let old = log.kill_leader().unwrap();
+        let new = log.elect().unwrap();
+        assert_ne!(old, new);
+        assert!(
+            log.epoch().unwrap() > epoch0,
+            "a successor's epoch strictly rises"
+        );
+        assert_eq!(log.records().unwrap(), vec![rec]);
+        // The successor continues txn ids past everything durable.
+        assert_eq!(log.next_txn_id(), 10);
+    }
+
+    #[test]
+    fn append_without_quorum_fails_typed() {
+        let mut log = ReplicatedIntentLog::new(3, 11).unwrap();
+        // Kill both followers: the leader alone cannot commit.
+        let leader = log.cluster.leader().unwrap();
+        for i in 0..log.cluster.len() {
+            if i != leader {
+                log.cluster.kill(i).unwrap();
+            }
+        }
+        let err = log
+            .append(&IntentRecord::Committed { txn: 1 })
+            .unwrap_err();
+        assert!(matches!(err, FlexError::Consensus(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn txn_ids_are_monotone() {
+        let mut log = ReplicatedIntentLog::new(3, 13).unwrap();
+        let a = log.next_txn_id();
+        let b = log.next_txn_id();
+        assert!(b > a);
+    }
+}

@@ -11,8 +11,8 @@ use proptest::prelude::*;
 fn assert_log_matching(c: &RaftCluster) {
     for i in 0..c.len() {
         for j in (i + 1)..c.len() {
-            let a = c.committed(i);
-            let b = c.committed(j);
+            let a = c.committed(i).unwrap();
+            let b = c.committed(j).unwrap();
             let n = a.len().min(b.len());
             assert_eq!(&a[..n], &b[..n], "committed prefixes diverge ({i} vs {j})");
         }
@@ -35,11 +35,11 @@ fn at_most_one_leader_per_term_over_long_run() {
         // Periodic churn: kill and revive a rotating node.
         if step % 400 == 399 {
             let victim = (step / 400) % c.len();
-            c.kill(victim);
+            c.kill(victim).unwrap();
         }
         if step % 400 == 200 && step > 400 {
             let victim = ((step - 200) / 400) % c.len();
-            c.revive(victim);
+            c.revive(victim).unwrap();
         }
     }
     for (term, leaders) in &leaders_by_term {
@@ -65,9 +65,9 @@ fn committed_prefixes_never_diverge_under_churn() {
         assert_log_matching(&c);
         if round % 10 == 9 {
             if let Some(l) = c.leader() {
-                c.kill(l);
+                c.kill(l).unwrap();
                 c.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
-                c.revive(l);
+                c.revive(l).unwrap();
             }
         }
     }
@@ -77,9 +77,9 @@ fn committed_prefixes_never_diverge_under_churn() {
     // Liveness: a healthy quiescent cluster converges on a sizable log.
     let leader = c.leader().expect("leader after recovery");
     assert!(
-        c.committed(leader).len() >= proposed / 2,
+        c.committed(leader).unwrap().len() >= proposed / 2,
         "committed {} of {} proposals",
-        c.committed(leader).len(),
+        c.committed(leader).unwrap().len(),
         proposed
     );
 }
@@ -110,12 +110,12 @@ proptest! {
         let mut killed = 0;
         for i in 0..c.len() {
             if killed < 2 && (i + kill_mask) % 2 == 0 {
-                c.kill(i);
+                c.kill(i).unwrap();
                 killed += 1;
             }
         }
         c.run_for(SimDuration::from_secs(3), SimDuration::from_millis(10));
         let leader = c.leader().expect("majority keeps a leader");
-        prop_assert!(c.committed(leader).contains(&"durable".to_string()));
+        prop_assert!(c.committed(leader).unwrap().contains(&"durable".to_string()));
     }
 }

@@ -231,6 +231,11 @@ pub struct Device {
     pub(crate) drained_until: Option<SimTime>,
     /// Whether the device is powered and reachable (fault injection).
     up: bool,
+    /// Highest controller epoch this device has accepted (split-brain
+    /// fencing; see `reconfig.rs`). Stored with the program image, so it
+    /// survives crashes — a zombie coordinator stays fenced across the
+    /// device's own restarts.
+    pub(crate) fence: u64,
     stats: DeviceStats,
     invocations: Vec<(String, Vec<u64>)>,
     default_port: u16,
@@ -251,6 +256,7 @@ impl Device {
             pending: None,
             drained_until: None,
             up: true,
+            fence: 0,
             stats: DeviceStats::default(),
             invocations: Vec::new(),
             default_port: 0,

@@ -35,6 +35,6 @@ pub use baseline::{Hyper4Device, MantisDevice};
 pub use cost::CostModel;
 pub use device::{Device, DeviceStats, InstalledProgram, ProcessResult};
 pub use parser::ParserGraph;
-pub use reconfig::{ReconfigMode, ReconfigOutcome, ReconfigReport};
+pub use reconfig::{ReconfigMode, ReconfigOutcome, ReconfigReport, TxnTag};
 pub use state::{DeviceState, LogicalState, StateEncoding};
 pub use table::{KeyMatch, TableEntry, TableInstance, TableSet};

@@ -69,11 +69,36 @@ pub struct ReconfigReport {
     pub outcome: ReconfigOutcome,
 }
 
+/// The identity a two-phase-commit coordinator stamps on a prepared
+/// shadow: which transaction owns it, and under which controller epoch it
+/// was created.
+///
+/// The tag is the unit of *epoch fencing*: every transactional command
+/// (prepare, commit, abort) carries the coordinator's epoch, and a device
+/// rejects any command whose epoch is lower than the highest it has seen
+/// ([`FlexError::Fenced`]). After a failover bumps the epoch, a deposed
+/// zombie coordinator can no longer flip, abort, or prepare anything —
+/// split-brain flips are structurally impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnTag {
+    /// The owning transaction.
+    pub txn_id: u64,
+    /// The coordinator epoch under which the command was issued.
+    pub epoch: u64,
+}
+
 /// In-flight reconfiguration state held by a device.
 #[derive(Debug)]
 pub(crate) struct PendingReconfig {
     mode: ReconfigMode,
     ready_at: SimTime,
+    /// Transaction that owns this shadow, if it was prepared through the
+    /// two-phase-commit path (orphan-shadow enumeration keys on this).
+    txn: Option<TxnTag>,
+    /// `true` while the shadow awaits an explicit commit/abort decision:
+    /// the flip is withheld even past `ready_at`, so an in-doubt prepared
+    /// device never unilaterally commits (2PC safety).
+    await_decision: bool,
     /// When the transition was initiated (for abort reports).
     started_at: SimTime,
     /// Number of primitive ops in the change (for abort reports).
@@ -160,6 +185,131 @@ impl Device {
             ready_at: now,
             outcome: ReconfigOutcome::Aborted,
         })
+    }
+
+    // -- epoch fencing and transactional (2PC) commands ----------------------
+
+    /// The highest controller epoch this device has accepted.
+    pub fn fence(&self) -> u64 {
+        self.fence
+    }
+
+    /// Accepts a command stamped with controller `epoch`.
+    ///
+    /// Fencing rule: epochs are monotone. A command from an epoch older
+    /// than the highest one seen is rejected with [`FlexError::Fenced`] —
+    /// its sender lost a failover election and must stand down. Accepting
+    /// an equal-or-newer epoch raises the fence.
+    pub fn observe_epoch(&mut self, epoch: u64) -> Result<()> {
+        self.ensure_up()?;
+        if epoch < self.fence {
+            return Err(FlexError::Fenced {
+                seen: self.fence,
+                got: epoch,
+            });
+        }
+        self.fence = epoch;
+        Ok(())
+    }
+
+    /// The transaction owning the in-flight shadow, if it was prepared
+    /// through the two-phase-commit path. Recovery coordinators enumerate
+    /// shadows with this to find orphans the intent log never resolved.
+    pub fn pending_txn(&self) -> Option<TxnTag> {
+        self.pending.as_ref().and_then(|p| p.txn)
+    }
+
+    /// The transaction whose shadow is still awaiting a commit/abort
+    /// decision — unlike [`Device::pending_txn`] this excludes shadows
+    /// already released by a commit that merely await their flip instant.
+    /// A `Some` after recovery finished is an orphan.
+    pub fn txn_in_doubt(&self) -> Option<TxnTag> {
+        self.pending
+            .as_ref()
+            .filter(|p| p.await_decision)
+            .and_then(|p| p.txn)
+    }
+
+    /// Phase 1 of two-phase commit: prepares a shadow for `tag`'s
+    /// transaction, fenced by `tag.epoch`.
+    ///
+    /// Unlike [`Device::begin_runtime_reconfig`], the prepared shadow does
+    /// **not** flip when its transition completes — the device holds it,
+    /// in-doubt, until the coordinator (or its successor, after a crash)
+    /// decides via [`Device::commit_txn`] or [`Device::abort_txn`]. An
+    /// empty device still installs immediately (there is no old program to
+    /// keep serving), which the returned report's `Committed` outcome
+    /// makes visible to the coordinator.
+    pub fn prepare_txn_reconfig(
+        &mut self,
+        target: ProgramBundle,
+        now: SimTime,
+        tag: TxnTag,
+    ) -> Result<ReconfigReport> {
+        self.observe_epoch(tag.epoch)?;
+        let report = self.begin_runtime_reconfig(target, now)?;
+        if let Some(p) = self.pending.as_mut() {
+            p.txn = Some(tag);
+            p.await_decision = true;
+        }
+        Ok(report)
+    }
+
+    /// Phase 2 (commit) of two-phase commit: releases the shadow prepared
+    /// for `tag.txn_id` so it flips at `at` (or when its transition
+    /// completes, whichever is later), fenced by `tag.epoch`.
+    ///
+    /// Returns `true` when a matching shadow was released now, `false`
+    /// when nothing was pending — either the flip already happened (a
+    /// duplicate commit after a lost ack: idempotent) or the shadow died
+    /// with the device's volatile memory (the caller re-prepares).
+    /// A pending shadow owned by a *different* transaction is a protocol
+    /// violation and errors.
+    pub fn commit_txn(&mut self, tag: TxnTag, at: SimTime) -> Result<bool> {
+        self.observe_epoch(tag.epoch)?;
+        let Some(p) = self.pending.as_mut() else {
+            return Ok(false);
+        };
+        match p.txn {
+            Some(t) if t.txn_id == tag.txn_id => {
+                p.await_decision = false;
+                if at > p.ready_at {
+                    p.ready_at = at;
+                }
+                Ok(true)
+            }
+            Some(t) => Err(FlexError::Conflict(format!(
+                "commit for txn {} but pending shadow belongs to txn {}",
+                tag.txn_id, t.txn_id
+            ))),
+            None => Err(FlexError::Conflict(format!(
+                "commit for txn {} but the pending reconfiguration is not transactional",
+                tag.txn_id
+            ))),
+        }
+    }
+
+    /// Phase 2 (abort) of two-phase commit: discards the shadow prepared
+    /// for `tag.txn_id`, fenced by `tag.epoch`.
+    ///
+    /// Returns the rollback report, or `None` when nothing matching was
+    /// pending (never prepared, or the shadow died with a crash) — abort
+    /// is idempotent so retries after lost acks are safe. A shadow owned
+    /// by a different transaction is left untouched and errors.
+    pub fn abort_txn(&mut self, tag: TxnTag, now: SimTime) -> Result<Option<ReconfigReport>> {
+        self.observe_epoch(tag.epoch)?;
+        match self.pending.as_ref().and_then(|p| p.txn) {
+            Some(t) if t.txn_id == tag.txn_id => self.abort_reconfig(now).map(Some),
+            Some(t) => Err(FlexError::Conflict(format!(
+                "abort for txn {} but pending shadow belongs to txn {}",
+                tag.txn_id, t.txn_id
+            ))),
+            None if self.pending.is_some() => Err(FlexError::Conflict(format!(
+                "abort for txn {} but the pending reconfiguration is not transactional",
+                tag.txn_id
+            ))),
+            None => Ok(None),
+        }
     }
 
     /// Begins a hitless runtime reconfiguration to `target`.
@@ -281,6 +431,8 @@ impl Device {
         self.pending = Some(PendingReconfig {
             mode: ReconfigMode::RuntimeHitless,
             ready_at,
+            txn: None,
+            await_decision: false,
             started_at: now,
             ops: ops.len(),
             shadow: Some(shadow),
@@ -323,6 +475,8 @@ impl Device {
         self.pending = Some(PendingReconfig {
             mode: ReconfigMode::DrainAndReflash,
             ready_at,
+            txn: None,
+            await_decision: false,
             started_at: now,
             ops: 1,
             shadow: Some(shadow),
@@ -376,6 +530,8 @@ impl Device {
         self.pending = Some(PendingReconfig {
             mode: ReconfigMode::UnsafeInPlace,
             ready_at,
+            txn: None,
+            await_decision: false,
             started_at: now,
             ops: n,
             shadow: None,
@@ -432,6 +588,11 @@ pub(crate) fn commit_if_ready(dev: &mut Device, now: SimTime) {
             }
         }
         ReconfigMode::RuntimeHitless | ReconfigMode::DrainAndReflash => {
+            if pending.await_decision {
+                // 2PC in-doubt shadow: the flip is withheld until the
+                // coordinator (or its recovery successor) decides.
+                return;
+            }
             if now < pending.ready_at {
                 return;
             }
@@ -814,6 +975,111 @@ mod tests {
         // Holding earlier than the plan is a no-op; holding without a
         // pending change is an error.
         assert!(d.hold_pending_until(hold).is_err());
+    }
+
+    #[test]
+    fn prepared_txn_shadow_never_flips_without_a_decision() {
+        let mut d = dev();
+        let tag = TxnTag { txn_id: 7, epoch: 1 };
+        let rep = d.prepare_txn_reconfig(v2(), SimTime::ZERO, tag).unwrap();
+        assert_eq!(rep.outcome, ReconfigOutcome::InFlight);
+        assert_eq!(d.pending_txn(), Some(tag));
+        // Far past the transition's ready_at, the shadow is still in doubt.
+        d.tick(rep.ready_at + SimDuration::from_secs(3600));
+        assert!(d.reconfig_in_progress(), "in-doubt shadow held");
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, rep.ready_at + SimDuration::from_secs(7200)).unwrap();
+        assert_eq!(r.verdict, Verdict::Forward(1), "old program still serves");
+        // The commit decision releases it.
+        let commit_at = rep.ready_at + SimDuration::from_secs(9000);
+        assert!(d.commit_txn(tag, commit_at).unwrap());
+        d.tick(commit_at);
+        assert!(!d.reconfig_in_progress());
+        let mut pkt2 = Packet::udp(2, 1, 2, 3, 4);
+        let r2 = d.process(&mut pkt2, commit_at).unwrap();
+        assert_eq!(r2.verdict, Verdict::Forward(2), "flip happened at commit");
+        // A duplicate commit (lost ack) is an idempotent no-op.
+        assert!(!d.commit_txn(tag, commit_at).unwrap());
+    }
+
+    #[test]
+    fn txn_abort_is_idempotent_and_exact() {
+        let mut d = dev();
+        let tag = TxnTag { txn_id: 3, epoch: 2 };
+        d.prepare_txn_reconfig(v2(), SimTime::ZERO, tag).unwrap();
+        let rep = d.abort_txn(tag, SimTime::from_millis(1)).unwrap();
+        assert_eq!(rep.unwrap().outcome, ReconfigOutcome::Aborted);
+        assert_eq!(d.program().unwrap().bundle, v1(), "rolled back exactly");
+        // Nothing pending: a retried abort is Ok(None), not an error.
+        assert_eq!(d.abort_txn(tag, SimTime::from_millis(2)).unwrap(), None);
+    }
+
+    #[test]
+    fn txn_commands_respect_ownership() {
+        let mut d = dev();
+        let mine = TxnTag { txn_id: 1, epoch: 1 };
+        let theirs = TxnTag { txn_id: 2, epoch: 1 };
+        d.prepare_txn_reconfig(v2(), SimTime::ZERO, mine).unwrap();
+        // Another transaction can neither commit nor abort my shadow.
+        assert!(matches!(
+            d.commit_txn(theirs, SimTime::from_secs(1)),
+            Err(FlexError::Conflict(_))
+        ));
+        assert!(matches!(
+            d.abort_txn(theirs, SimTime::from_secs(1)),
+            Err(FlexError::Conflict(_))
+        ));
+        assert!(d.reconfig_in_progress(), "shadow untouched");
+        // And a non-transactional pending shadow rejects txn decisions.
+        d.abort_txn(mine, SimTime::from_secs(1)).unwrap();
+        d.begin_runtime_reconfig(v2(), SimTime::from_secs(2)).unwrap();
+        assert!(matches!(
+            d.commit_txn(mine, SimTime::from_secs(3)),
+            Err(FlexError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn stale_epochs_are_fenced_everywhere() {
+        let mut d = dev();
+        d.observe_epoch(5).unwrap();
+        assert_eq!(d.fence(), 5);
+        // Same epoch is fine (the fence is monotone, not strictly rising).
+        d.observe_epoch(5).unwrap();
+        let zombie = TxnTag { txn_id: 9, epoch: 4 };
+        assert!(matches!(
+            d.prepare_txn_reconfig(v2(), SimTime::ZERO, zombie),
+            Err(FlexError::Fenced { seen: 5, got: 4 })
+        ));
+        assert!(matches!(
+            d.commit_txn(zombie, SimTime::ZERO),
+            Err(FlexError::Fenced { .. })
+        ));
+        assert!(matches!(
+            d.abort_txn(zombie, SimTime::ZERO),
+            Err(FlexError::Fenced { .. })
+        ));
+        assert!(!d.reconfig_in_progress(), "zombie changed nothing");
+        // A newer coordinator raises the fence through its commands.
+        let fresh = TxnTag { txn_id: 9, epoch: 6 };
+        d.prepare_txn_reconfig(v2(), SimTime::ZERO, fresh).unwrap();
+        assert_eq!(d.fence(), 6);
+    }
+
+    #[test]
+    fn fence_survives_crash_and_restart() {
+        let mut d = dev();
+        d.observe_epoch(3).unwrap();
+        let tag = TxnTag { txn_id: 1, epoch: 3 };
+        d.prepare_txn_reconfig(v2(), SimTime::ZERO, tag).unwrap();
+        d.crash(SimTime::from_millis(1));
+        d.restart(SimTime::from_millis(2)).unwrap();
+        assert_eq!(d.pending_txn(), None, "volatile shadow lost in the crash");
+        assert_eq!(d.fence(), 3, "fencing token is persistent");
+        assert!(matches!(
+            d.observe_epoch(2),
+            Err(FlexError::Fenced { seen: 3, got: 2 })
+        ));
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Deterministic chaos schedules: seeded coordinator-kill plans composed
+//! with data-plane fault injection.
+//!
+//! A chaos run is fully described by one `u64` seed. The seed expands —
+//! via a splitmix-style hash, so neighbouring seeds decorrelate — into a
+//! [`ChaosSchedule`]: *which* two-phase-commit phase the coordinator dies
+//! in ([`CrashPhase`]), *which* participant device (if any) crashes along
+//! with it, and how lossy the control fabric is. The controller crate's
+//! chaos harness executes the schedule and checks global invariants; this
+//! module only owns the sim-side vocabulary (the schedule and its
+//! expansion) so the dependency arrow keeps pointing controller → sim.
+
+use crate::faults::FaultPlan;
+use flexnet_types::{NodeId, SimTime};
+
+/// Where in the two-phase-commit protocol the coordinator is killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CrashPhase {
+    /// After the `Intent` record is durable, before any prepare is sent.
+    AfterIntent,
+    /// After some (but not all) participants prepared shadows.
+    MidPrepare,
+    /// After the `Prepared` record is durable, before the flip decision.
+    AfterPrepared,
+    /// After the `FlipScheduled` record is durable, before every commit
+    /// command reached its participant.
+    AfterFlipScheduled,
+}
+
+impl CrashPhase {
+    /// All phases, in protocol order.
+    pub const ALL: [CrashPhase; 4] = [
+        CrashPhase::AfterIntent,
+        CrashPhase::MidPrepare,
+        CrashPhase::AfterPrepared,
+        CrashPhase::AfterFlipScheduled,
+    ];
+
+    /// A short stable label for tables and test output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashPhase::AfterIntent => "after-intent",
+            CrashPhase::MidPrepare => "mid-prepare",
+            CrashPhase::AfterPrepared => "after-prepared",
+            CrashPhase::AfterFlipScheduled => "after-flip-scheduled",
+        }
+    }
+}
+
+/// Everything a chaos run does, derived deterministically from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSchedule {
+    /// The originating seed (kept for reproduction in reports).
+    pub seed: u64,
+    /// Where the coordinator dies.
+    pub crash_phase: CrashPhase,
+    /// Participant index (into the transaction's device list) that crashes
+    /// together with the coordinator, losing its volatile shadow — or
+    /// `None` for a clean coordinator-only crash.
+    pub victim: Option<usize>,
+    /// Drop probability of the controller↔device fabric.
+    pub fabric_loss: f64,
+    /// Seed for the controller Raft cluster.
+    pub raft_seed: u64,
+}
+
+/// splitmix64: decorrelates consecutive seeds into independent streams.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaosSchedule {
+    /// Expands `seed` into a schedule over `participants` devices.
+    ///
+    /// The expansion cycles the crash phase with the seed (so any
+    /// contiguous run of ≥4 seeds covers every phase), crashes a device
+    /// alongside the coordinator in half the runs, and draws fabric loss
+    /// from {0, 10%, 25%}.
+    pub fn from_seed(seed: u64, participants: usize) -> ChaosSchedule {
+        let h = mix(seed);
+        let crash_phase = CrashPhase::ALL[(seed % 4) as usize];
+        let victim = if participants > 0 && h & 1 == 1 {
+            Some(((h >> 1) as usize) % participants)
+        } else {
+            None
+        };
+        let fabric_loss = match (h >> 8) % 3 {
+            0 => 0.0,
+            1 => 0.10,
+            _ => 0.25,
+        };
+        ChaosSchedule {
+            seed,
+            crash_phase,
+            victim,
+            fabric_loss,
+            raft_seed: mix(seed ^ 0xC0FF_EE00),
+        }
+    }
+
+    /// The data-plane half of the schedule as a [`FaultPlan`]: the victim
+    /// device (if any) crashes at `crash_at` and restarts shortly after,
+    /// modelling a power blip that wipes its volatile shadow.
+    pub fn fault_plan(&self, devices: &[NodeId], crash_at: SimTime) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.seed);
+        if let Some(v) = self.victim {
+            if let Some(&node) = devices.get(v) {
+                plan = plan
+                    .crash(crash_at, node)
+                    .restart(crash_at + crate::faults::VICTIM_RESTART_DELAY, node);
+            }
+        }
+        plan
+    }
+}
+
+/// The schedules for a contiguous seed range — the shape every sweep
+/// (bench binary, CI smoke test, property test) iterates over.
+pub fn sweep(first_seed: u64, count: u64, participants: usize) -> Vec<ChaosSchedule> {
+    (first_seed..first_seed.saturating_add(count))
+        .map(|s| ChaosSchedule::from_seed(s, participants))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_in_their_seed() {
+        for seed in [0, 1, 17, u64::MAX - 3] {
+            assert_eq!(
+                ChaosSchedule::from_seed(seed, 3),
+                ChaosSchedule::from_seed(seed, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn any_four_consecutive_seeds_cover_every_phase() {
+        for start in [0u64, 5, 1000] {
+            let mut phases: Vec<CrashPhase> = sweep(start, 4, 3)
+                .iter()
+                .map(|s| s.crash_phase)
+                .collect();
+            phases.sort();
+            phases.dedup();
+            assert_eq!(phases.len(), 4, "seeds {start}..{} miss a phase", start + 4);
+        }
+    }
+
+    #[test]
+    fn victims_stay_in_range_and_sometimes_exist() {
+        let schedules = sweep(0, 64, 3);
+        let with_victim = schedules
+            .iter()
+            .filter(|s| s.victim.is_some())
+            .count();
+        assert!(with_victim > 10, "some runs crash a device: {with_victim}");
+        assert!(with_victim < 54, "some runs are coordinator-only");
+        for s in &schedules {
+            if let Some(v) = s.victim {
+                assert!(v < 3, "victim index {v} out of range (seed {})", s.seed);
+            }
+            assert!((0.0..=0.25).contains(&s.fabric_loss));
+        }
+    }
+
+    #[test]
+    fn zero_participants_never_picks_a_victim() {
+        for s in sweep(0, 16, 0) {
+            assert_eq!(s.victim, None);
+        }
+    }
+
+    #[test]
+    fn fault_plan_matches_the_victim() {
+        let devices = [NodeId(4), NodeId(5), NodeId(6)];
+        let mut seen_crash = false;
+        for s in sweep(0, 16, devices.len()) {
+            let plan = s.fault_plan(&devices, SimTime::from_secs(1));
+            match s.victim {
+                Some(v) => {
+                    assert_eq!(plan.events().len(), 2, "crash + restart");
+                    assert_eq!(
+                        plan.events()[0].kind,
+                        crate::faults::FaultKind::DeviceCrash(devices[v])
+                    );
+                    seen_crash = true;
+                }
+                None => assert!(plan.events().is_empty()),
+            }
+        }
+        assert!(seen_crash);
+    }
+}

@@ -15,6 +15,11 @@ use flexnet_types::{LinkId, NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// How long a chaos-schedule victim device stays down before restarting
+/// (a power blip: long enough to wipe volatile state, short enough that
+/// recovery finds the device back up).
+pub const VICTIM_RESTART_DELAY: SimDuration = SimDuration::from_millis(200);
+
 /// One class of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {

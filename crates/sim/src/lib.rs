@@ -13,16 +13,21 @@
 //! - [`metrics`] — loss accounting by cause, latency percentiles, delivery
 //!   timeseries, disruption windows, and per-version packet counts (used to
 //!   check the paper's old-XOR-new consistency claim).
+//! - [`faults`] — deterministic fault schedules ([`faults::FaultPlan`]).
+//! - [`chaos`] — seeded coordinator-crash schedules composing fault plans
+//!   with two-phase-commit crash points (experiment E13).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod topology;
 pub mod workload;
 
+pub use chaos::{sweep, ChaosSchedule, CrashPhase};
 pub use engine::{Command, Simulation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Bucket, LossKind, Metrics};

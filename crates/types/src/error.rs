@@ -1,6 +1,7 @@
 //! The unified error type for the FlexNet stack.
 
 use crate::resources::ResourceVec;
+use crate::time::SimDuration;
 use std::fmt;
 
 /// Convenience alias used by every FlexNet crate.
@@ -58,6 +59,24 @@ pub enum FlexError {
     Timeout(String),
     /// The target device or service is down / unreachable.
     Unavailable(String),
+    /// A command carried a controller epoch older than one the receiver has
+    /// already accepted: the sender is a deposed (zombie) coordinator and
+    /// must stand down. Fencing makes split-brain flips impossible.
+    Fenced {
+        /// The highest epoch the receiver has accepted.
+        seen: u64,
+        /// The stale epoch the command carried.
+        got: u64,
+    },
+    /// A consensus proposal found no leader. Unlike [`FlexError::Consensus`]
+    /// this is transient: the caller should retry after `retry_after`,
+    /// optionally starting at the hinted last-known leader.
+    NoLeader {
+        /// Index of the last node known to have led, if any.
+        hint: Option<u64>,
+        /// How long to wait before retrying (an election timeout).
+        retry_after: SimDuration,
+    },
 }
 
 impl fmt::Display for FlexError {
@@ -87,6 +106,17 @@ impl fmt::Display for FlexError {
             FlexError::SlaViolation(m) => write!(f, "SLA violation: {m}"),
             FlexError::Timeout(m) => write!(f, "timed out: {m}"),
             FlexError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            FlexError::Fenced { seen, got } => write!(
+                f,
+                "fenced: stale controller epoch {got} (receiver has accepted epoch {seen})"
+            ),
+            FlexError::NoLeader { hint, retry_after } => match hint {
+                Some(h) => write!(
+                    f,
+                    "no leader elected (last known: node {h}; retry after {retry_after})"
+                ),
+                None => write!(f, "no leader elected (retry after {retry_after})"),
+            },
         }
     }
 }
@@ -94,6 +124,18 @@ impl fmt::Display for FlexError {
 impl std::error::Error for FlexError {}
 
 impl FlexError {
+    /// Whether a retry (after backoff) may succeed without any other
+    /// intervention.
+    ///
+    /// Only [`FlexError::NoLeader`] qualifies today: elections converge on
+    /// their own, so waiting an election timeout and re-proposing is the
+    /// correct reaction. `Timeout` is produced *by* the retry layer (its
+    /// budget is already spent), `Unavailable` is resolved by the failure
+    /// detector rather than blind retries, and everything else is semantic.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, FlexError::NoLeader { .. })
+    }
+
     /// Shorthand for a parse error.
     pub fn parse(line: u32, col: u32, msg: impl Into<String>) -> FlexError {
         FlexError::Parse {
@@ -132,6 +174,28 @@ mod tests {
         assert!(s.contains("table acl"));
         assert!(s.contains("128"));
         assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn fencing_and_leader_errors_format_and_classify() {
+        let fenced = FlexError::Fenced { seen: 7, got: 3 };
+        assert!(fenced.to_string().contains("epoch 3"));
+        assert!(fenced.to_string().contains("epoch 7"));
+        assert!(!fenced.is_retryable(), "a zombie must stand down, not retry");
+
+        let no_leader = FlexError::NoLeader {
+            hint: Some(2),
+            retry_after: SimDuration::from_millis(300),
+        };
+        assert!(no_leader.to_string().contains("node 2"));
+        assert!(no_leader.is_retryable(), "elections converge; retry helps");
+        let anon = FlexError::NoLeader {
+            hint: None,
+            retry_after: SimDuration::from_millis(300),
+        };
+        assert!(anon.is_retryable());
+        assert!(!FlexError::Timeout("x".into()).is_retryable());
+        assert!(!FlexError::Unavailable("x".into()).is_retryable());
     }
 
     #[test]

@@ -142,7 +142,7 @@ fn raft_controllers_keep_piloting_after_leader_loss() {
     cluster.propose("tenant 1 arrive vlan100").unwrap();
     cluster.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
 
-    cluster.kill(l1);
+    cluster.kill(l1).unwrap();
     cluster.run_for(SimDuration::from_secs(2), SimDuration::from_millis(10));
     let l2 = cluster.leader().expect("re-elected");
     assert_ne!(l1, l2);
@@ -151,7 +151,7 @@ fn raft_controllers_keep_piloting_after_leader_loss() {
     // The management log survived, and new decisions append to it.
     cluster.propose("tenant 2 arrive vlan101").unwrap();
     cluster.run_for(SimDuration::from_secs(1), SimDuration::from_millis(10));
-    let log = cluster.committed(l2);
+    let log = cluster.committed(l2).unwrap();
     assert_eq!(
         log,
         vec![
