@@ -268,18 +268,23 @@ fn part_b() {
         } else {
             &mut reliable
         };
-        for (node, health) in c.sweep_heartbeats(&sim, fabric, t) {
+        for (node, event) in c.sweep_heartbeats(&sim, fabric, t) {
             if node != sw {
                 continue;
             }
-            match health {
-                Health::Suspect => row(&["partition", &t.to_string(), "switch suspected"]),
-                Health::Dead => row(&["partition", &t.to_string(), "switch declared dead"]),
-                Health::Healthy if t > SimTime::ZERO => {
+            match event {
+                HealthEvent::Graded(Health::Suspect) => {
+                    row(&["partition", &t.to_string(), "switch suspected"])
+                }
+                HealthEvent::Graded(Health::Dead) => {
+                    row(&["partition", &t.to_string(), "switch declared dead"])
+                }
+                HealthEvent::Graded(Health::Healthy) if t > SimTime::ZERO => {
                     recovered_at.get_or_insert(t);
                     row(&["heal", &t.to_string(), "switch healthy again"]);
                 }
-                Health::Healthy => {}
+                // A partition heal resumes the same incarnation: no flap.
+                HealthEvent::Graded(Health::Healthy) | HealthEvent::Flapped { .. } => {}
             }
         }
         t += period;

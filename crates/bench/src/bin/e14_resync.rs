@@ -1,0 +1,125 @@
+//! E14 — device restart recovery under a deterministic resync sweep.
+//!
+//! Restarts 1, half, or all of the line's devices per seed — a third of
+//! the seeds while a two-phase-commit upgrade is in flight — and drives
+//! intended-state reconciliation: boot-id flap detection from heartbeats,
+//! digest-based anti-entropy, re-provisioning through the shadow-program +
+//! atomic-flip path, critical programs before telemetry, admissions
+//! rate-limited so a mass restart cannot stampede. Each run checks every
+//! convergence invariant (digest equality, zero orphan shadows, loss
+//! confined to the downtime window, old-XOR-new on post-convergence
+//! traffic); the table reports per-cohort convergence latency and cost.
+//!
+//! Usage: `e14_resync [seeds]`
+
+use flexnet_bench::{header, row, sep};
+use flexnet_controller::resync::{run_resync_seed, ResyncChaosReport, ResyncOutcome};
+use flexnet_types::SimDuration;
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
+    header(
+        "E14",
+        "restart recovery: intended-state resync with digest anti-entropy",
+        "a runtime-programmable network must re-provision restarted \
+         devices hitlessly — restarts wipe runtime state but not intent",
+    );
+    println!("sweep: seeds 0..{seeds} (restart cohort = seed mod 3)\n");
+
+    let mut failed: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut cohorts: Vec<(usize, &str, Vec<ResyncChaosReport>)> = vec![
+        (1, "one device", Vec::new()),
+        (2, "half (k=2)", Vec::new()),
+        (3, "all devices", Vec::new()),
+    ];
+    for seed in 0..seeds {
+        match run_resync_seed(seed) {
+            Ok(report) => {
+                if !report.passed() {
+                    failed.push((seed, report.violations.clone()));
+                }
+                cohorts
+                    .iter_mut()
+                    .find(|(n, _, _)| *n == report.schedule.restarts)
+                    .expect("cohort bucket exists")
+                    .2
+                    .push(report);
+            }
+            Err(e) => failed.push((seed, vec![format!("harness error: {e}")])),
+        }
+    }
+
+    row(&[
+        "restart cohort",
+        "runs",
+        "mid-txn",
+        "flaps",
+        "reprovisioned",
+        "wiped shadows",
+        "mean loss",
+        "mean converge",
+    ]);
+    sep(8);
+    for (_, label, reports) in &cohorts {
+        let runs = reports.len();
+        let mid_txn = reports.iter().filter(|r| r.schedule.mid_txn).count();
+        let flaps: usize = reports.iter().map(|r| r.flapped.len()).sum();
+        let reprovisioned: usize = reports
+            .iter()
+            .flat_map(|r| &r.resyncs)
+            .filter(|r| matches!(r.outcome, ResyncOutcome::Reprovisioned { .. }))
+            .count();
+        let wiped: usize = reports
+            .iter()
+            .filter_map(|r| r.recovery.as_ref())
+            .map(|rec| rec.wiped_shadows)
+            .sum();
+        let mean_loss = if runs > 0 {
+            reports.iter().map(|r| r.lost).sum::<u64>() / runs as u64
+        } else {
+            0
+        };
+        let mean_ns = if runs > 0 {
+            reports
+                .iter()
+                .map(|r| r.converge_latency.as_nanos() as u128)
+                .sum::<u128>()
+                / runs as u128
+        } else {
+            0
+        };
+        row(&[
+            label,
+            &runs.to_string(),
+            &mid_txn.to_string(),
+            &flaps.to_string(),
+            &reprovisioned.to_string(),
+            &wiped.to_string(),
+            &format!("{mean_loss} pkt"),
+            &format!("{}", SimDuration::from_nanos(mean_ns as u64)),
+        ]);
+    }
+    sep(8);
+
+    let total: usize = cohorts.iter().map(|(_, _, r)| r.len()).sum();
+    println!(
+        "\n{}/{} runs upheld every invariant (digest convergence, zero \
+         orphan shadows, critical-before-telemetry, rate-limited \
+         admissions, loss confined to downtime, old-XOR-new)",
+        total - failed.len(),
+        seeds,
+    );
+    if !failed.is_empty() {
+        println!("\nFAILED SEEDS:");
+        for (seed, violations) in &failed {
+            println!("  seed {seed}:");
+            for v in violations {
+                println!("    - {v}");
+            }
+        }
+        std::process::exit(1);
+    }
+}

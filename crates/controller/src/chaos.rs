@@ -136,6 +136,7 @@ pub fn run_chaos_seed(seed: u64) -> Result<ChaosReport> {
         &policy,
         &mut log,
         Some(schedule.crash_phase),
+        None,
     )?;
     let crash_at = txn_report.finished_at;
     let old_tag = TxnTag {
@@ -183,6 +184,10 @@ pub fn run_chaos_seed(seed: u64) -> Result<ChaosReport> {
     let mut last_per_txn: std::collections::BTreeMap<u64, &IntentRecord> =
         std::collections::BTreeMap::new();
     for rec in &records {
+        // Intended-state records are reconciliation targets, not phases.
+        if matches!(rec, IntentRecord::IntendedState { .. }) {
+            continue;
+        }
         last_per_txn.insert(rec.txn(), rec);
     }
     for (txn, rec) in &last_per_txn {

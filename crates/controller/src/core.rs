@@ -31,6 +31,30 @@ pub enum Health {
     Dead,
 }
 
+/// One typed failure-detector transition.
+///
+/// [`FailureDetector::poll`] used to report bare `(node, Health)` pairs,
+/// which made a device that resumed heartbeating after `Dead`
+/// indistinguishable from one that merely blipped: both surfaced as
+/// `Healthy`. The typed event keeps that grade stream *and* reports a
+/// boot-id advance as its own event, so callers can route a recovered
+/// device straight into resync instead of silently resuming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// The silence grade changed (the pre-existing transition stream).
+    Graded(Health),
+    /// The device resumed heartbeating under a *new* incarnation: it
+    /// restarted and lost its runtime state (entries, counters,
+    /// registers). Recovery is not resumption — the caller must
+    /// reconcile the device against intended state.
+    Flapped {
+        /// The incarnation the detector had last acknowledged.
+        old_boot_id: u64,
+        /// The incarnation the latest heartbeat reported.
+        new_boot_id: u64,
+    },
+}
+
 /// Heartbeat-based failure detection with graceful degradation.
 ///
 /// The controller cannot distinguish a crashed device from a partitioned
@@ -40,12 +64,24 @@ pub enum Health {
 /// Dead devices should be routed around; a heartbeat from a dead device
 /// (crash recovered, partition healed) restores it to [`Health::Healthy`]
 /// on the next [`poll`](FailureDetector::poll).
+///
+/// Heartbeats additionally carry the device's monotone boot id and its
+/// configuration digest ([`FailureDetector::observe_heartbeat`]). A
+/// boot-id advance surfaces as [`HealthEvent::Flapped`]; the digest is
+/// cached per node so the reconciler can check intended-vs-actual
+/// convergence without another control-channel round trip.
 #[derive(Debug, Clone)]
 pub struct FailureDetector {
     suspect_after: SimDuration,
     dead_after: SimDuration,
     last_seen: BTreeMap<NodeId, SimTime>,
     status: BTreeMap<NodeId, Health>,
+    /// Latest boot id each node's heartbeats reported.
+    reported_boot: BTreeMap<NodeId, u64>,
+    /// Boot id last acknowledged by a poll (flap detection edge).
+    acked_boot: BTreeMap<NodeId, u64>,
+    /// Latest config digest each node's heartbeats reported.
+    digests: BTreeMap<NodeId, u64>,
 }
 
 impl FailureDetector {
@@ -57,10 +93,14 @@ impl FailureDetector {
             dead_after: dead_after.max(suspect_after),
             last_seen: BTreeMap::new(),
             status: BTreeMap::new(),
+            reported_boot: BTreeMap::new(),
+            acked_boot: BTreeMap::new(),
+            digests: BTreeMap::new(),
         }
     }
 
-    /// Records a heartbeat from `node` at `now`.
+    /// Records a bare heartbeat from `node` at `now` (liveness only — no
+    /// incarnation or digest payload; flap detection stays quiet).
     pub fn observe(&mut self, node: NodeId, now: SimTime) {
         let seen = self.last_seen.entry(node).or_insert(now);
         if now > *seen {
@@ -68,9 +108,25 @@ impl FailureDetector {
         }
     }
 
-    /// Re-grades every known device at `now` and returns the transitions
-    /// (node, new health) that occurred since the last poll.
-    pub fn poll(&mut self, now: SimTime) -> Vec<(NodeId, Health)> {
+    /// Records a full heartbeat: liveness plus the device's monotone
+    /// `boot_id` and configuration `digest`.
+    pub fn observe_heartbeat(&mut self, node: NodeId, now: SimTime, boot_id: u64, digest: u64) {
+        self.observe(node, now);
+        let reported = self.reported_boot.entry(node).or_insert(boot_id);
+        if boot_id > *reported {
+            *reported = boot_id;
+        }
+        // The first heartbeat establishes the baseline incarnation: a
+        // device the controller has never seen cannot have flapped.
+        self.acked_boot.entry(node).or_insert(boot_id);
+        self.digests.insert(node, digest);
+    }
+
+    /// Re-grades every known device at `now` and returns the typed
+    /// transitions since the last poll: grade changes as
+    /// [`HealthEvent::Graded`], plus one [`HealthEvent::Flapped`] for
+    /// every device whose heartbeats resumed under a new boot id.
+    pub fn poll(&mut self, now: SimTime) -> Vec<(NodeId, HealthEvent)> {
         let mut transitions = Vec::new();
         for (&node, &seen) in &self.last_seen {
             let silence = now.saturating_since(seen);
@@ -83,7 +139,26 @@ impl FailureDetector {
             };
             let prev = self.status.insert(node, health);
             if prev != Some(health) {
-                transitions.push((node, health));
+                transitions.push((node, HealthEvent::Graded(health)));
+            }
+            // A boot-id advance is reported once the device is heartbeating
+            // again — whether or not the detector ever graded it Dead (a
+            // restart faster than one heartbeat period still wipes state).
+            if health == Health::Healthy {
+                let reported = self.reported_boot.get(&node).copied();
+                let acked = self.acked_boot.get(&node).copied();
+                if let (Some(new_boot_id), Some(old_boot_id)) = (reported, acked) {
+                    if new_boot_id > old_boot_id {
+                        self.acked_boot.insert(node, new_boot_id);
+                        transitions.push((
+                            node,
+                            HealthEvent::Flapped {
+                                old_boot_id,
+                                new_boot_id,
+                            },
+                        ));
+                    }
+                }
             }
         }
         transitions
@@ -102,6 +177,16 @@ impl FailureDetector {
             .filter(|(_, h)| **h == grade)
             .map(|(n, _)| *n)
             .collect()
+    }
+
+    /// The latest configuration digest `node`'s heartbeats reported.
+    pub fn digest(&self, node: NodeId) -> Option<u64> {
+        self.digests.get(&node).copied()
+    }
+
+    /// The latest boot id `node`'s heartbeats reported.
+    pub fn boot_id(&self, node: NodeId) -> Option<u64> {
+        self.reported_boot.get(&node).copied()
     }
 }
 
@@ -158,22 +243,30 @@ impl Controller {
     }
 
     /// Collects one round of heartbeats from every device in `sim` over
-    /// `fabric` and returns the health transitions that resulted.
+    /// `fabric` and returns the typed health transitions that resulted.
     ///
     /// A down device does not answer; an up device's heartbeat can still be
     /// lost in the fabric (that is the point — the controller only ever
-    /// sees silence, never its cause). Callers react to `Dead` transitions
-    /// by routing around the device (`Simulation::recompute_routes` already
-    /// excludes down devices; for partitions the caller decides).
+    /// sees silence, never its cause). Each delivered heartbeat carries the
+    /// device's boot id and configuration digest. Callers react to
+    /// [`HealthEvent::Graded`]`(Dead)` by routing around the device
+    /// (`Simulation::recompute_routes` already excludes down devices; for
+    /// partitions the caller decides) and to [`HealthEvent::Flapped`] by
+    /// resynchronizing it against intended state ([`crate::resync`]).
     pub fn sweep_heartbeats(
         &mut self,
         sim: &Simulation,
         fabric: &mut LossyFabric,
         now: SimTime,
-    ) -> Vec<(NodeId, Health)> {
+    ) -> Vec<(NodeId, HealthEvent)> {
         for node in sim.topo.nodes() {
             if node.device.is_up() && fabric.deliver() {
-                self.detector.observe(node.id, now);
+                self.detector.observe_heartbeat(
+                    node.id,
+                    now,
+                    node.device.boot_id(),
+                    node.device.config_digest(),
+                );
             }
         }
         self.detector.poll(now)
@@ -368,15 +461,103 @@ mod tests {
         );
         let n = NodeId(3);
         fd.observe(n, SimTime::ZERO);
-        assert_eq!(fd.poll(SimTime::from_millis(100)), vec![(n, Health::Healthy)]);
-        assert_eq!(fd.poll(SimTime::from_millis(200)), vec![(n, Health::Suspect)]);
-        assert_eq!(fd.poll(SimTime::from_millis(600)), vec![(n, Health::Dead)]);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(100)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))]
+        );
+        assert_eq!(
+            fd.poll(SimTime::from_millis(200)),
+            vec![(n, HealthEvent::Graded(Health::Suspect))]
+        );
+        assert_eq!(
+            fd.poll(SimTime::from_millis(600)),
+            vec![(n, HealthEvent::Graded(Health::Dead))]
+        );
         assert_eq!(fd.graded(Health::Dead), vec![n]);
-        // A heartbeat resurrects it on the next poll.
+        // A heartbeat resurrects it on the next poll. Bare heartbeats
+        // carry no incarnation, so this reads as a blip, never a flap.
         fd.observe(n, SimTime::from_millis(700));
-        assert_eq!(fd.poll(SimTime::from_millis(710)), vec![(n, Health::Healthy)]);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(710)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))]
+        );
         // No change, no transition.
         assert!(fd.poll(SimTime::from_millis(720)).is_empty());
+    }
+
+    #[test]
+    fn dead_device_returning_with_new_boot_id_flaps() {
+        let mut fd = FailureDetector::default();
+        let n = NodeId(4);
+        fd.observe_heartbeat(n, SimTime::ZERO, 1, 0xAAAA);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(10)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))]
+        );
+        assert_eq!(
+            fd.poll(SimTime::from_millis(600)),
+            vec![(n, HealthEvent::Graded(Health::Dead))]
+        );
+        // Heartbeats resume under boot 2: the device restarted, not blipped.
+        fd.observe_heartbeat(n, SimTime::from_millis(700), 2, 0xBBBB);
+        let events = fd.poll(SimTime::from_millis(710));
+        assert!(
+            events.contains(&(n, HealthEvent::Graded(Health::Healthy))),
+            "grade stream still reports recovery: {events:?}"
+        );
+        assert!(
+            events.contains(&(
+                n,
+                HealthEvent::Flapped {
+                    old_boot_id: 1,
+                    new_boot_id: 2
+                }
+            )),
+            "the restart surfaces as a typed flap: {events:?}"
+        );
+        assert_eq!(fd.digest(n), Some(0xBBBB), "latest digest cached");
+        assert_eq!(fd.boot_id(n), Some(2));
+        // The flap is edge-triggered: it is reported exactly once.
+        fd.observe_heartbeat(n, SimTime::from_millis(750), 2, 0xBBBB);
+        assert!(fd.poll(SimTime::from_millis(760)).is_empty());
+    }
+
+    #[test]
+    fn same_boot_id_recovery_is_a_blip_not_a_flap() {
+        let mut fd = FailureDetector::default();
+        let n = NodeId(5);
+        fd.observe_heartbeat(n, SimTime::ZERO, 3, 0xCCCC);
+        fd.poll(SimTime::from_millis(10));
+        fd.poll(SimTime::from_millis(600)); // graded Dead
+        // Same incarnation resumes: a partition healed; state is intact.
+        fd.observe_heartbeat(n, SimTime::from_millis(700), 3, 0xCCCC);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(710)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))],
+            "no flap without a boot-id advance"
+        );
+    }
+
+    #[test]
+    fn restart_faster_than_a_heartbeat_period_still_flaps() {
+        let mut fd = FailureDetector::default();
+        let n = NodeId(6);
+        fd.observe_heartbeat(n, SimTime::ZERO, 1, 0xDDDD);
+        fd.poll(SimTime::from_millis(10));
+        // The next heartbeat already carries boot 2 — the device crashed
+        // and restarted between periods, never missing enough beats to be
+        // suspected. The wiped state must still be reported.
+        fd.observe_heartbeat(n, SimTime::from_millis(50), 2, 0xEEEE);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(60)),
+            vec![(
+                n,
+                HealthEvent::Flapped {
+                    old_boot_id: 1,
+                    new_boot_id: 2
+                }
+            )]
+        );
     }
 
     #[test]
@@ -398,7 +579,10 @@ mod tests {
         let mut dead_at = None;
         for ms in (250..=1000).step_by(50) {
             let tr = c.sweep_heartbeats(&sim, &mut fabric, SimTime::from_millis(ms));
-            if tr.iter().any(|(n, h)| *n == sw && *h == Health::Dead) {
+            if tr
+                .iter()
+                .any(|(n, h)| *n == sw && *h == HealthEvent::Graded(Health::Dead))
+            {
                 dead_at = Some(ms);
                 break;
             }

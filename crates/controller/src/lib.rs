@@ -23,6 +23,9 @@
 //!   in-doubt transaction resolution, orphan-shadow sweep.
 //! - [`chaos`] — deterministic coordinator-crash scenarios with global
 //!   invariant checks (experiment E13).
+//! - [`resync`] — device restart recovery: the replicated intended-state
+//!   store, digest-based anti-entropy, and the rate-limited hitless
+//!   reconciler (experiment E14).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,13 +38,14 @@ pub mod migrate;
 pub mod raft;
 pub mod recovery;
 pub mod replicate;
+pub mod resync;
 pub mod retry;
 pub mod scale;
 pub mod tenant;
 pub mod txn;
 pub mod wal;
 
-pub use crate::core::{Controller, FailureDetector, Health};
+pub use crate::core::{Controller, FailureDetector, Health, HealthEvent};
 pub use apps::{AppRecord, AppRegistry, AppStatus};
 pub use drpc::{ExecutionSite, Invocation, ServiceRegistry};
 pub use migrate::{Migration, MigrationReport, MigrationStrategy};
@@ -51,6 +55,10 @@ pub use retry::{invoke_with_retry, with_retry, LossyFabric, RetryOutcome, RetryP
 pub use scale::{ElasticScaler, ScaleDecision, ScalingPolicy};
 pub use chaos::{run_chaos_seed, ChaosReport};
 pub use recovery::{recover, RecoveryReport, TxnResolution};
+pub use resync::{
+    run_resync_seed, IntendedDevice, IntendedStore, ProgramClass, ResyncChaosReport,
+    ResyncOutcome, ResyncReport, Resyncer,
+};
 pub use tenant::TenantManager;
 pub use txn::{
     logged_transactional_reconfig, transactional_reconfig, transactional_reconfig_over,

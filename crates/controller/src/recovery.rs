@@ -55,6 +55,11 @@ pub struct RecoveryReport {
     pub resolutions: Vec<(u64, TxnResolution)>,
     /// Devices whose lost shadow was re-prepared during roll-forward.
     pub reprepared: usize,
+    /// Shadows the log said existed but that were gone on-device — the
+    /// participant restarted (state wiped) or never received its prepare.
+    /// These are tolerated, not errors: rollback becomes a no-op and
+    /// roll-forward re-prepares from the target directory.
+    pub wiped_shadows: usize,
     /// Orphaned shadows discarded (or released) by the final sweep.
     pub orphans_swept: usize,
     /// Control messages sent (attempts, including lost ones).
@@ -66,7 +71,10 @@ pub struct RecoveryReport {
 impl RecoveryReport {
     /// Whether this pass found nothing to do (the idempotency signature).
     pub fn is_noop(&self) -> bool {
-        self.resolutions.is_empty() && self.orphans_swept == 0 && self.reprepared == 0
+        self.resolutions.is_empty()
+            && self.orphans_swept == 0
+            && self.reprepared == 0
+            && self.wiped_shadows == 0
     }
 }
 
@@ -132,6 +140,11 @@ pub fn recover(
             IntentRecord::Intent { txn, devices } | IntentRecord::Prepared { txn, devices } => {
                 participants.insert(*txn, devices.iter().map(|d| NodeId(*d as u32)).collect());
             }
+            // Intended-state records track reconciliation targets, not 2PC
+            // phases: they must never shadow a transaction's last phase
+            // record (a trailing `IntendedState` would otherwise make a
+            // committed transaction look unresolved).
+            IntentRecord::IntendedState { .. } => continue,
             _ => {}
         }
         last.insert(rec.txn(), rec.clone());
@@ -140,20 +153,24 @@ pub fn recover(
     // Pass 2: resolve every non-terminal transaction, in id order.
     let mut resolutions: Vec<(u64, TxnResolution)> = Vec::new();
     let mut reprepared = 0usize;
+    let mut wiped_shadows = 0usize;
     for (&txn, rec) in &last {
         let tag = TxnTag { txn_id: txn, epoch };
         let nodes = participants.get(&txn).cloned().unwrap_or_default();
         match rec {
-            IntentRecord::Committed { .. } | IntentRecord::Aborted { .. } => {}
+            IntentRecord::Committed { .. }
+            | IntentRecord::Aborted { .. }
+            | IntentRecord::IntendedState { .. } => {}
             IntentRecord::Intent { .. } | IntentRecord::Prepared { .. } => {
                 // No flip was ever scheduled: no participant can have
                 // flipped, so rolling back restores the old program
                 // everywhere. Journal the decision first.
                 log.append(&IntentRecord::Aborted { txn })?;
                 for node in &nodes {
-                    let (m, at) = abort_on(sim, *node, tag, t, fabric, policy);
+                    let (m, at, wiped) = abort_on(sim, *node, tag, t, fabric, policy);
                     messages += m;
                     t = at;
+                    wiped_shadows += usize::from(wiped);
                 }
                 resolutions.push((txn, TxnResolution::RolledBack));
             }
@@ -173,6 +190,9 @@ pub fn recover(
                     messages += m;
                     t = at;
                     reprepared += usize::from(re);
+                    // A roll-forward that had to re-prepare found the
+                    // prepared shadow gone — wiped by a restart.
+                    wiped_shadows += usize::from(re);
                 }
                 resolutions.push((txn, TxnResolution::RolledForward));
             }
@@ -202,7 +222,7 @@ pub fn recover(
             }
             // Aborted, never-logged, or (unreachably) still open: discard.
             _ => {
-                let (m, at) = abort_on(sim, *node, tag, t, fabric, policy);
+                let (m, at, _) = abort_on(sim, *node, tag, t, fabric, policy);
                 messages += m;
                 t = at;
             }
@@ -216,13 +236,18 @@ pub fn recover(
         unreachable,
         resolutions,
         reprepared,
+        wiped_shadows,
         orphans_swept,
         messages,
         finished_at: t,
     })
 }
 
-/// Sends one idempotent abort; returns (messages, finished_at).
+/// Sends one idempotent abort; returns (messages, finished_at, wiped?).
+/// `wiped` is true when the delivered abort found nothing pending: the
+/// shadow the log promised was gone on-device (restart-wiped, or the
+/// prepare itself never arrived). Pre-PR-3 this path silently assumed
+/// the shadow still existed; now it is tolerated and reported.
 fn abort_on(
     sim: &mut Simulation,
     node: NodeId,
@@ -230,8 +255,9 @@ fn abort_on(
     t: SimTime,
     fabric: &mut LossyFabric,
     policy: &RetryPolicy,
-) -> (u32, SimTime) {
+) -> (u32, SimTime, bool) {
     let mut done = false;
+    let mut wiped = false;
     let out = with_retry(policy, fabric, t, command_rtt(), |at| {
         if done {
             return Ok(());
@@ -243,8 +269,9 @@ fn abort_on(
             .device;
         match dev.abort_txn(tag, at) {
             Ok(rep) => {
-                if let Some(rep) = rep {
-                    sim.reconfig_reports.push((at, node, rep));
+                match rep {
+                    Some(rep) => sim.reconfig_reports.push((at, node, rep)),
+                    None => wiped = true,
                 }
                 done = true;
                 Ok(())
@@ -261,7 +288,7 @@ fn abort_on(
         sim.errors
             .push((out.finished_at, format!("recovery abort on {node}: {e}")));
     }
-    (out.attempts, out.finished_at)
+    (out.attempts, out.finished_at, wiped)
 }
 
 /// Sends one idempotent commit, re-preparing a crash-lost shadow from

@@ -30,6 +30,7 @@
 //! [`Device::hold_pending_until`]: flexnet_dataplane::Device::hold_pending_until
 //! [`Device::abort_reconfig`]: flexnet_dataplane::Device::abort_reconfig
 
+use crate::resync::IntendedStore;
 use crate::retry::{command_rtt, with_retry, LossyFabric, RetryPolicy};
 use crate::wal::{IntentRecord, ReplicatedIntentLog};
 use flexnet_dataplane::{ReconfigOutcome, ReconfigReport, TxnTag};
@@ -274,6 +275,11 @@ pub struct LoggedTxnReport {
 /// leaving devices exactly as a real mid-protocol coordinator death would
 /// — shadows prepared but undecided, commits possibly half-delivered.
 /// [`crate::recovery::recover`] then resolves the wreckage from the log.
+///
+/// `intent`, when set, records every committed target in the
+/// intended-state store (journaling a durable
+/// [`IntentRecord::IntendedState`] per device), keeping the
+/// reconciliation baseline for device restart recovery up to date.
 #[allow(clippy::too_many_arguments)]
 pub fn logged_transactional_reconfig(
     sim: &mut Simulation,
@@ -283,6 +289,7 @@ pub fn logged_transactional_reconfig(
     policy: &RetryPolicy,
     log: &mut ReplicatedIntentLog,
     crash: Option<CrashPhase>,
+    intent: Option<&mut IntendedStore>,
 ) -> Result<LoggedTxnReport> {
     let txn = log.next_txn_id();
     let epoch = log.epoch()?;
@@ -472,6 +479,18 @@ pub fn logged_transactional_reconfig(
         sim.errors
             .push((t, format!("txn {txn}: committed record not durable: {e}")));
     }
+    // The transaction is past its point of no return: the targets are now
+    // the per-device intended state (a crash before this point rolls the
+    // txn back or forward from the phase records alone, so the store only
+    // ever describes configurations the network is converging to).
+    if let Some(store) = intent {
+        for (node, bundle) in targets {
+            if let Err(e) = store.commit_target(log, txn, *node, bundle.clone()) {
+                sim.errors
+                    .push((t, format!("txn {txn}: intended state for {node}: {e}")));
+            }
+        }
+    }
     Ok(report(
         LoggedTxnOutcome::Committed,
         prepared,
@@ -652,6 +671,7 @@ mod tests {
             &RetryPolicy::default(),
             log,
             crash,
+            None,
         )
         .unwrap()
     }

@@ -63,6 +63,23 @@ pub enum IntentRecord {
         /// Transaction id.
         txn: u64,
     },
+    /// The controller's intended configuration for one device changed:
+    /// transaction `txn` (0 for out-of-band table-entry updates) left
+    /// `device` with intended-state digest `digest`. Journaled by the
+    /// intended-state store ([`crate::resync::IntendedStore`]) so the
+    /// per-device reconciliation target survives coordinator failover.
+    /// Orthogonal to the 2PC phase machine — recovery's in-doubt
+    /// resolution ignores these records.
+    IntendedState {
+        /// Transaction that produced this intended state (0 = entry-level
+        /// update outside any transaction).
+        txn: u64,
+        /// The device this intent describes.
+        device: u64,
+        /// Digest of the full intended configuration
+        /// ([`flexnet_dataplane::config_digest_of`]).
+        digest: u64,
+    },
 }
 
 impl IntentRecord {
@@ -73,7 +90,8 @@ impl IntentRecord {
             | IntentRecord::Prepared { txn, .. }
             | IntentRecord::FlipScheduled { txn, .. }
             | IntentRecord::Committed { txn }
-            | IntentRecord::Aborted { txn } => *txn,
+            | IntentRecord::Aborted { txn }
+            | IntentRecord::IntendedState { txn, .. } => *txn,
         }
     }
 
@@ -98,6 +116,11 @@ impl IntentRecord {
             }
             IntentRecord::Committed { txn } => format!("committed {txn}"),
             IntentRecord::Aborted { txn } => format!("aborted {txn}"),
+            IntentRecord::IntendedState {
+                txn,
+                device,
+                digest,
+            } => format!("intended {txn} dev {device} digest {digest}"),
         }
     }
 
@@ -139,6 +162,21 @@ impl IntentRecord {
             }
             "committed" => IntentRecord::Committed { txn },
             "aborted" => IntentRecord::Aborted { txn },
+            "intended" => {
+                if parts.next() != Some("dev") {
+                    return Err(bad());
+                }
+                let device: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                if parts.next() != Some("digest") {
+                    return Err(bad());
+                }
+                let digest: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                IntentRecord::IntendedState {
+                    txn,
+                    device,
+                    digest,
+                }
+            }
             _ => return Err(bad()),
         };
         if parts.next().is_some() {
@@ -331,6 +369,16 @@ mod tests {
                 txn: 5,
                 devices: vec![],
             },
+            IntentRecord::IntendedState {
+                txn: 3,
+                device: 2,
+                digest: 0xDEAD_BEEF_u64,
+            },
+            IntentRecord::IntendedState {
+                txn: 0,
+                device: 7,
+                digest: u64::MAX,
+            },
         ]
     }
 
@@ -358,6 +406,10 @@ mod tests {
             "flip 3 at 12 extra",
             "committed 3 extra",
             "exploded 3",
+            "intended 3 dev 2",
+            "intended 3 dev 2 digest",
+            "intended 3 dev 2 digest x",
+            "intended 3 device 2 digest 9",
         ] {
             assert!(
                 matches!(IntentRecord::decode(bad), Err(FlexError::Consensus(_))),

@@ -1,14 +1,18 @@
-//! The chaos smoke suite: a fixed 25-seed slice of the E13 sweep, small
-//! enough for CI, wide enough to cover every crash phase, victim
-//! placement, and fabric-loss tier.
+//! The chaos smoke suite: fixed seed slices of the E13 and E14 sweeps,
+//! small enough for CI, wide enough to cover every crash phase, victim
+//! placement, restart cohort, and fabric-loss tier.
 //!
-//! Each seed expands deterministically into a full scenario (journaled
-//! transaction → coordinator + optional device crash → failover →
-//! recovery → zombie replay → live traffic), so a failure here reproduces
-//! bit-identically with `run_chaos_seed(<seed>)`.
+//! Each seed expands deterministically into a full scenario (E13:
+//! journaled transaction → coordinator + optional device crash →
+//! failover → recovery → zombie replay → live traffic; E14: device
+//! restarts — sometimes mid-transaction — → flap detection →
+//! rate-limited digest resync → convergence), so a failure here
+//! reproduces bit-identically with `run_chaos_seed(<seed>)` or
+//! `run_resync_seed(<seed>)`.
 
 use flexnet_controller::chaos::run_chaos_seed;
-use flexnet_sim::{ChaosSchedule, CrashPhase};
+use flexnet_controller::resync::{run_resync_seed, ResyncOutcome};
+use flexnet_sim::{ChaosSchedule, CrashPhase, RestartSchedule};
 
 /// The pinned CI seed set. Contiguous so phase coverage is guaranteed
 /// (seeds cycle phases mod 4); pinned so CI failures are reproducible
@@ -72,6 +76,85 @@ fn every_smoke_seed_upholds_every_invariant() {
         "{} of {} smoke seeds failed:\n{}",
         failures.len(),
         SMOKE_SEEDS.len(),
+        failures.join("\n")
+    );
+}
+
+/// The pinned E14 restart-smoke seed set. Contiguous so restart-cohort
+/// coverage is guaranteed (cohorts cycle mod 3); 12 seeds keeps the
+/// suite CI-sized while hitting every cohort, both fault timings
+/// (steady-state and mid-transaction), and lossy fabrics.
+const RESTART_SMOKE_SEEDS: [u64; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+
+#[test]
+fn the_restart_smoke_seed_set_covers_the_scenario_space() {
+    let schedules: Vec<RestartSchedule> = RESTART_SMOKE_SEEDS
+        .iter()
+        .map(|&s| RestartSchedule::from_seed(s, 3))
+        .collect();
+    for cohort in [1, 2, 3] {
+        assert!(
+            schedules.iter().any(|s| s.restarts == cohort),
+            "no restart smoke seed restarts {cohort} device(s)"
+        );
+    }
+    assert!(
+        schedules.iter().any(|s| s.mid_txn),
+        "no restart smoke seed restarts mid-transaction"
+    );
+    assert!(
+        schedules.iter().any(|s| !s.mid_txn),
+        "no restart smoke seed restarts in steady state"
+    );
+    assert!(
+        schedules.iter().any(|s| s.fabric_loss > 0.0),
+        "no restart smoke seed has a lossy fabric"
+    );
+}
+
+#[test]
+fn every_restart_smoke_seed_converges_with_every_invariant() {
+    let mut failures = Vec::new();
+    for &seed in &RESTART_SMOKE_SEEDS {
+        match run_resync_seed(seed) {
+            Ok(report) if report.passed() => {
+                assert_eq!(
+                    report.flapped.len(),
+                    report.schedule.restarts,
+                    "seed {seed}: every restarted device flaps exactly once"
+                );
+                let reprovisioned = report
+                    .resyncs
+                    .iter()
+                    .filter(|r| matches!(r.outcome, ResyncOutcome::Reprovisioned { .. }))
+                    .count();
+                assert!(
+                    reprovisioned >= report.schedule.restarts,
+                    "seed {seed}: a restart wipes entries, so resync must \
+                     re-provision (got {reprovisioned} of {})",
+                    report.schedule.restarts
+                );
+                if report.schedule.mid_txn {
+                    let rec = report.recovery.as_ref().expect("mid-txn runs recovery");
+                    assert!(
+                        rec.wiped_shadows >= report.schedule.restarts,
+                        "seed {seed}: restarted participants lost their \
+                         prepared shadows: {rec:?}"
+                    );
+                }
+            }
+            Ok(report) => failures.push(format!(
+                "seed {seed} (restarts {}, mid_txn {}): {:?}",
+                report.schedule.restarts, report.schedule.mid_txn, report.violations
+            )),
+            Err(e) => failures.push(format!("seed {seed}: harness error: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} restart smoke seeds failed:\n{}",
+        failures.len(),
+        RESTART_SMOKE_SEEDS.len(),
         failures.join("\n")
     );
 }

@@ -8,7 +8,7 @@
 //! (c) dRPC invocations succeed under ≤30% control-message loss via
 //!     retry with exponential backoff.
 
-use flexnet_controller::core::{Controller, Health};
+use flexnet_controller::core::{Controller, Health, HealthEvent};
 use flexnet_controller::drpc::{ExecutionSite, ServiceRegistry};
 use flexnet_controller::retry::{invoke_with_retry, LossyFabric, RetryPolicy};
 use flexnet_controller::txn::{transactional_reconfig, TxnOutcome};
@@ -129,11 +129,12 @@ fn partition_heal_recovers_within_bound() {
         } else {
             &mut healthy
         };
-        for (node, health) in c.sweep_heartbeats(&sim, fabric, t) {
-            if node == sw && health == Health::Dead {
+        for (node, event) in c.sweep_heartbeats(&sim, fabric, t) {
+            if node == sw && event == HealthEvent::Graded(Health::Dead) {
                 dead_seen_at.get_or_insert(t);
             }
-            if node == sw && health == Health::Healthy && dead_seen_at.is_some() {
+            if node == sw && event == HealthEvent::Graded(Health::Healthy) && dead_seen_at.is_some()
+            {
                 recovered_at.get_or_insert(t);
             }
         }

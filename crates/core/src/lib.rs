@@ -68,9 +68,9 @@ pub mod prelude {
     };
     pub use flexnet_controller::{
         invoke_with_retry, transactional_reconfig, transactional_reconfig_over, Controller,
-        ElasticScaler, FailureDetector, Health, LossyFabric, Migration, MigrationStrategy,
-        RaftCluster, ReplicationGroup, RetryPolicy, ScaleDecision, ScalingPolicy,
-        ServiceRegistry, TxnOutcome, TxnReport,
+        ElasticScaler, FailureDetector, Health, HealthEvent, LossyFabric, Migration,
+        MigrationStrategy, RaftCluster, ReplicationGroup, RetryPolicy, ScaleDecision,
+        ScalingPolicy, ServiceRegistry, TxnOutcome, TxnReport,
     };
     pub use flexnet_dataplane::{
         ArchClass, Architecture, CostModel, Device, Hyper4Device, KeyMatch, MantisDevice,

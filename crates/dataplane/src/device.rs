@@ -27,6 +27,52 @@ use flexnet_types::{
 /// recirculation to protect the pipeline).
 pub const MAX_RECIRCULATIONS: u32 = 4;
 
+/// The content digest of a device with no program installed.
+///
+/// Distinct from every real digest (which folds at least the program
+/// source through FNV-1a from a non-zero offset basis), so a
+/// never-provisioned or fully-wiped device is distinguishable from any
+/// provisioned one.
+pub const EMPTY_CONFIG_DIGEST: u64 = 0;
+
+/// FNV-1a 64-bit fold of `bytes` into `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cheap deterministic content digest over one device's *configuration*:
+/// the program bundle (headers + pretty-printed source) and every
+/// installed table entry, grouped per table and order-insensitive within
+/// a table (controllers and devices may install entries in different
+/// orders).
+///
+/// Volatile runtime state (counters, registers, map contents) and
+/// device-local version numbers are deliberately excluded: the digest
+/// must be computable by the controller from its intended-state record
+/// alone, and restarts legitimately reset both. Two equal digests mean
+/// "same program, same entries" — the anti-entropy equality the resync
+/// protocol checks in every heartbeat.
+pub fn config_digest_of(bundle: &ProgramBundle, entries: &[(String, TableEntry)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for hdr in &bundle.headers {
+        h = fnv1a(h, format!("{hdr:?}").as_bytes());
+    }
+    h = fnv1a(h, bundle.program.to_source().as_bytes());
+    let mut lines: Vec<String> = entries
+        .iter()
+        .map(|(table, e)| format!("{table}|{e:?}"))
+        .collect();
+    lines.sort_unstable();
+    for line in lines {
+        h = fnv1a(h, line.as_bytes());
+    }
+    h
+}
+
 /// One program installed on a device: AST bundle + registry + tables + state.
 #[derive(Debug, Clone)]
 pub struct InstalledProgram {
@@ -231,6 +277,12 @@ pub struct Device {
     pub(crate) drained_until: Option<SimTime>,
     /// Whether the device is powered and reachable (fault injection).
     up: bool,
+    /// Monotone incarnation counter, bumped on every restart. Reported in
+    /// heartbeats so the controller can tell a device that *rebooted*
+    /// (runtime state wiped — resync required) from one whose heartbeats
+    /// were merely delayed (a blip — nothing to do). Stored with the
+    /// program image, like `fence`, so it survives the restart it counts.
+    boot_id: u64,
     /// Highest controller epoch this device has accepted (split-brain
     /// fencing; see `reconfig.rs`). Stored with the program image, so it
     /// survives crashes — a zombie coordinator stays fenced across the
@@ -256,6 +308,7 @@ impl Device {
             pending: None,
             drained_until: None,
             up: true,
+            boot_id: 1,
             fence: 0,
             stats: DeviceStats::default(),
             invocations: Vec::new(),
@@ -368,6 +421,32 @@ impl Device {
         self.up
     }
 
+    /// The current incarnation: 1 for the first boot, +1 per restart.
+    pub fn boot_id(&self) -> u64 {
+        self.boot_id
+    }
+
+    /// Content digest of the running configuration (program + entries),
+    /// or [`EMPTY_CONFIG_DIGEST`] with no program installed. Piggybacked
+    /// on heartbeats for divergence detection (see `config_digest_of`).
+    pub fn config_digest(&self) -> u64 {
+        match &self.active {
+            None => EMPTY_CONFIG_DIGEST,
+            Some(p) => {
+                let entries: Vec<(String, TableEntry)> = p
+                    .tables
+                    .iter()
+                    .flat_map(|t| {
+                        t.entries
+                            .iter()
+                            .map(|e| (t.decl.name.clone(), e.clone()))
+                    })
+                    .collect();
+                config_digest_of(&p.bundle, &entries)
+            }
+        }
+    }
+
     /// Errors with [`FlexError::Unavailable`] when the device is down.
     pub(crate) fn ensure_up(&self) -> Result<()> {
         if self.up {
@@ -395,7 +474,10 @@ impl Device {
     /// The active program image survives (it is flashed), but all runtime
     /// state is wiped: counters, registers, maps, and control-plane table
     /// entries reset to their declared initial values. The program version
-    /// advances — packets can observe that they crossed an incarnation.
+    /// advances — packets can observe that they crossed an incarnation —
+    /// and the monotone `boot_id` rises, so the controller's failure
+    /// detector can distinguish this restart from a heartbeat blip and
+    /// trigger a resync.
     pub fn restart(&mut self, _now: SimTime) -> Result<()> {
         if self.up {
             return Err(FlexError::Sim(format!(
@@ -410,6 +492,7 @@ impl Device {
             p.state = DeviceState::from_decls(&p.bundle.program.states, self.encoding);
         }
         self.version = self.version.next();
+        self.boot_id += 1;
         Ok(())
     }
 
@@ -880,6 +963,97 @@ mod tests {
             "smaller program must use fewer resources"
         );
         assert_eq!(d.version(), ProgramVersion(2));
+    }
+
+    #[test]
+    fn digest_tracks_program_and_entries_only() {
+        let mut d = new_dev();
+        assert_eq!(d.config_digest(), EMPTY_CONFIG_DIGEST, "no program yet");
+        d.install(fw_bundle()).unwrap();
+        let base = d.config_digest();
+        assert_ne!(base, EMPTY_CONFIG_DIGEST);
+
+        // Volatile state does not move the digest...
+        d.program_mut().unwrap().state.map_put("blocked", 7, 1).unwrap();
+        let mut pkt = Packet::tcp(1, 10, 20, 1, 80, 0);
+        d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(d.config_digest(), base, "counters/maps are not config");
+
+        // ...but an installed entry does, and removing it restores it.
+        let entry = TableEntry::exact(
+            &[99],
+            ActionCall {
+                action: "deny".into(),
+                args: vec![],
+            },
+        );
+        d.add_entry("acl", entry.clone()).unwrap();
+        let with_entry = d.config_digest();
+        assert_ne!(with_entry, base);
+        d.remove_entry("acl", &[crate::table::KeyMatch::Exact(99)])
+            .unwrap();
+        assert_eq!(d.config_digest(), base);
+
+        // An identical device computes the identical digest, and the
+        // free function agrees with the device's own fold.
+        let mut d2 = new_dev();
+        d2.install(fw_bundle()).unwrap();
+        assert_eq!(d2.config_digest(), base);
+        d2.add_entry("acl", entry.clone()).unwrap();
+        assert_eq!(d2.config_digest(), with_entry);
+        assert_eq!(
+            config_digest_of(&fw_bundle(), &[("acl".to_string(), entry)]),
+            with_entry,
+            "controller-side digest over (bundle, entries) matches the device"
+        );
+    }
+
+    #[test]
+    fn digest_is_entry_order_insensitive() {
+        let allow = |port: u64| ActionCall {
+            action: "allow".into(),
+            args: vec![port],
+        };
+        let a = ("acl".to_string(), TableEntry::exact(&[1], allow(2)));
+        let b = ("acl".to_string(), TableEntry::exact(&[3], allow(4)));
+        assert_eq!(
+            config_digest_of(&fw_bundle(), &[a.clone(), b.clone()]),
+            config_digest_of(&fw_bundle(), &[b, a]),
+            "install order must not change the digest"
+        );
+    }
+
+    #[test]
+    fn restart_bumps_boot_id_and_reverts_digest_to_program_only() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        let program_only = d.config_digest();
+        d.add_entry(
+            "acl",
+            TableEntry::exact(
+                &[99],
+                ActionCall {
+                    action: "deny".into(),
+                    args: vec![],
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(d.boot_id(), 1);
+        d.crash(SimTime::from_secs(1));
+        d.restart(SimTime::from_secs(2)).unwrap();
+        assert_eq!(d.boot_id(), 2, "restart advances the incarnation");
+        assert_eq!(
+            d.config_digest(),
+            program_only,
+            "entries are wiped: the digest reveals the divergence"
+        );
+        // A never-provisioned device restarts cleanly too.
+        let mut empty = new_dev();
+        empty.crash(SimTime::from_secs(1));
+        empty.restart(SimTime::from_secs(2)).unwrap();
+        assert_eq!(empty.boot_id(), 2);
+        assert_eq!(empty.config_digest(), EMPTY_CONFIG_DIGEST);
     }
 
     #[test]

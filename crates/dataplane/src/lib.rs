@@ -33,7 +33,9 @@ pub mod table;
 pub use arch::{ArchAllocator, ArchClass, Architecture, Location};
 pub use baseline::{Hyper4Device, MantisDevice};
 pub use cost::CostModel;
-pub use device::{Device, DeviceStats, InstalledProgram, ProcessResult};
+pub use device::{
+    config_digest_of, Device, DeviceStats, InstalledProgram, ProcessResult, EMPTY_CONFIG_DIGEST,
+};
 pub use parser::ParserGraph;
 pub use reconfig::{ReconfigMode, ReconfigOutcome, ReconfigReport, TxnTag};
 pub use state::{DeviceState, LogicalState, StateEncoding};

@@ -10,8 +10,10 @@
 //! module only owns the sim-side vocabulary (the schedule and its
 //! expansion) so the dependency arrow keeps pointing controller → sim.
 
+use crate::engine::Simulation;
 use crate::faults::FaultPlan;
 use flexnet_types::{NodeId, SimTime};
+use std::collections::BTreeMap;
 
 /// Where in the two-phase-commit protocol the coordinator is killed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -125,6 +127,119 @@ pub fn sweep(first_seed: u64, count: u64, participants: usize) -> Vec<ChaosSched
         .collect()
 }
 
+/// Everything a device-restart chaos run does, derived from one seed.
+///
+/// Where [`ChaosSchedule`] kills the *coordinator*, a `RestartSchedule`
+/// kills *devices*: a seeded subset of the participants crashes and
+/// restarts (runtime state wiped), optionally in the middle of an
+/// in-flight two-phase-commit transaction. The controller's resync
+/// harness executes the schedule and checks that anti-entropy converges
+/// every victim back to intended state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartSchedule {
+    /// The originating seed (kept for reproduction in reports).
+    pub seed: u64,
+    /// How many devices restart: 1, about half, or all of them
+    /// (the E14 sweep axis — single blip, correlated failure, power event).
+    pub restarts: usize,
+    /// Participant indices (into the device list) that crash + restart,
+    /// distinct, `restarts` of them.
+    pub victims: Vec<usize>,
+    /// Whether the restarts land in the middle of an in-flight
+    /// transaction (between prepare and flip) rather than during steady
+    /// traffic.
+    pub mid_txn: bool,
+    /// Drop probability of the controller↔device fabric.
+    pub fabric_loss: f64,
+    /// Seed for the controller Raft cluster.
+    pub raft_seed: u64,
+}
+
+impl RestartSchedule {
+    /// Expands `seed` into a restart schedule over `participants` devices.
+    ///
+    /// The restart count cycles 1 → ⌈n/2⌉ → n with the seed (so any three
+    /// consecutive seeds cover the whole E14 axis), victims are drawn
+    /// distinct from the mixed seed, every other run restarts mid-
+    /// transaction, and fabric loss comes from {0, 10%, 25%}.
+    pub fn from_seed(seed: u64, participants: usize) -> RestartSchedule {
+        let h = mix(seed ^ 0x5EED_CAFE);
+        let restarts = if participants == 0 {
+            0
+        } else {
+            match seed % 3 {
+                0 => 1,
+                1 => participants.div_ceil(2),
+                _ => participants,
+            }
+        };
+        // Draw distinct victim indices by walking a mixed stream.
+        let mut victims: Vec<usize> = Vec::new();
+        let mut z = h;
+        while victims.len() < restarts {
+            z = mix(z);
+            let v = (z as usize) % participants;
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        victims.sort_unstable();
+        let fabric_loss = match (h >> 8) % 3 {
+            0 => 0.0,
+            1 => 0.10,
+            _ => 0.25,
+        };
+        RestartSchedule {
+            seed,
+            restarts,
+            victims,
+            mid_txn: (h >> 4) & 1 == 1,
+            fabric_loss,
+            raft_seed: mix(seed ^ 0xDEC0_DED0),
+        }
+    }
+
+    /// The data-plane half of the schedule as a [`FaultPlan`]: every
+    /// victim crashes at `crash_at` and restarts after the standard
+    /// victim delay, modelling a correlated power event.
+    pub fn fault_plan(&self, devices: &[NodeId], crash_at: SimTime) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.seed);
+        for &v in &self.victims {
+            if let Some(&node) = devices.get(v) {
+                plan = plan
+                    .crash(crash_at, node)
+                    .restart(crash_at + crate::faults::VICTIM_RESTART_DELAY, node);
+            }
+        }
+        plan
+    }
+}
+
+/// The restart schedules for a contiguous seed range (E14's sweep shape).
+pub fn restart_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<RestartSchedule> {
+    (first_seed..first_seed.saturating_add(count))
+        .map(|s| RestartSchedule::from_seed(s, participants))
+        .collect()
+}
+
+/// The convergence check at the heart of anti-entropy: which of the
+/// devices in `intended` report a configuration digest different from
+/// their intended-state digest? An empty return means the network is
+/// digest-equal to the controller's intent — every chaos seed must end
+/// this way.
+pub fn diverged(sim: &Simulation, intended: &BTreeMap<NodeId, u64>) -> Vec<NodeId> {
+    intended
+        .iter()
+        .filter(|(node, want)| {
+            sim.topo
+                .node(**node)
+                .map(|n| n.device.config_digest() != **want)
+                .unwrap_or(true)
+        })
+        .map(|(node, _)| *node)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +289,59 @@ mod tests {
         for s in sweep(0, 16, 0) {
             assert_eq!(s.victim, None);
         }
+    }
+
+    #[test]
+    fn restart_schedules_cover_the_sweep_axis_and_stay_distinct() {
+        for start in [0u64, 7, 4096] {
+            let counts: Vec<usize> = restart_sweep(start, 3, 4)
+                .iter()
+                .map(|s| s.restarts)
+                .collect();
+            let mut sorted = counts.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                sorted,
+                vec![1, 2, 4],
+                "seeds {start}..{} must cover 1/⌈n/2⌉/all, got {counts:?}",
+                start + 3
+            );
+        }
+        for s in restart_sweep(0, 64, 4) {
+            assert_eq!(s.victims.len(), s.restarts, "seed {}", s.seed);
+            let mut dedup = s.victims.clone();
+            dedup.dedup();
+            assert_eq!(dedup, s.victims, "victims distinct+sorted: {:?}", s.victims);
+            assert!(s.victims.iter().all(|&v| v < 4));
+            assert_eq!(s, RestartSchedule::from_seed(s.seed, 4), "deterministic");
+        }
+        let mid: usize = restart_sweep(0, 64, 4).iter().filter(|s| s.mid_txn).count();
+        assert!(mid > 16 && mid < 48, "both timing modes occur: {mid}/64");
+    }
+
+    #[test]
+    fn restart_fault_plan_crashes_and_restarts_every_victim() {
+        let devices = [NodeId(4), NodeId(5), NodeId(6)];
+        for s in restart_sweep(0, 12, devices.len()) {
+            let plan = s.fault_plan(&devices, SimTime::from_secs(1));
+            assert_eq!(plan.events().len(), 2 * s.restarts, "crash+restart each");
+        }
+    }
+
+    #[test]
+    fn diverged_flags_digest_mismatch_and_unknown_nodes() {
+        let (topo, sw, _hosts) = crate::topology::Topology::single_switch(2);
+        let sim = Simulation::new(topo);
+        let actual = sim.topo.node(sw).unwrap().device.config_digest();
+        let mut intended = BTreeMap::new();
+        intended.insert(sw, actual);
+        assert!(diverged(&sim, &intended).is_empty(), "digest-equal");
+        intended.insert(sw, actual ^ 1);
+        assert_eq!(diverged(&sim, &intended), vec![sw], "mismatch flagged");
+        let ghost = NodeId(9999);
+        intended.insert(sw, actual);
+        intended.insert(ghost, 0);
+        assert_eq!(diverged(&sim, &intended), vec![ghost], "unknown diverges");
     }
 
     #[test]

@@ -762,4 +762,100 @@ mod tests {
             sim.metrics.losses
         );
     }
+
+    #[test]
+    fn restart_during_in_flight_reconfig_discards_shadow_keeps_old_program() {
+        use flexnet_dataplane::config_digest_of;
+        let (topo, sw, _hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        let v1 = forwarding();
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: v1.clone(),
+            },
+        );
+        // The crash lands at the same instant the reconfiguration
+        // starts (commands are sequenced), so the shadow is guaranteed
+        // still in flight — it dies with the device's volatile state.
+        sim.schedule(
+            SimTime::from_millis(10),
+            Command::RuntimeReconfig {
+                node: sw,
+                bundle: bundle(
+                    "program fwd kind any { counter c; handler ingress(pkt) { count(c); forward(0); } }",
+                ),
+            },
+        );
+        sim.schedule(SimTime::from_millis(10), Command::CrashDevice { node: sw });
+        sim.schedule(SimTime::from_millis(20), Command::RestartDevice { node: sw });
+        sim.run_to_completion();
+        assert!(sim.errors.is_empty(), "{:?}", sim.errors);
+        let dev = &sim.topo.node(sw).unwrap().device;
+        assert!(dev.is_up());
+        assert_eq!(dev.boot_id(), 2, "one restart bumps the boot id once");
+        assert!(!dev.reconfig_in_progress(), "the shadow did not survive");
+        assert!(dev.txn_in_doubt().is_none());
+        assert_eq!(
+            dev.config_digest(),
+            config_digest_of(&v1, &[]),
+            "the flashed v1 image survives the restart, v2 does not"
+        );
+    }
+
+    #[test]
+    fn double_restart_bumps_boot_id_monotonically_and_rejects_restart_while_up() {
+        let (topo, sw, hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        sim.schedule(
+            SimTime::ZERO,
+            Command::Install {
+                node: sw,
+                bundle: forwarding(),
+            },
+        );
+        // Two full crash/restart cycles before any reconciliation could
+        // run, plus one bogus restart of an already-up device.
+        sim.schedule(SimTime::from_millis(10), Command::CrashDevice { node: sw });
+        sim.schedule(SimTime::from_millis(20), Command::RestartDevice { node: sw });
+        sim.schedule(SimTime::from_millis(30), Command::CrashDevice { node: sw });
+        sim.schedule(SimTime::from_millis(40), Command::RestartDevice { node: sw });
+        sim.schedule(SimTime::from_millis(50), Command::RestartDevice { node: sw });
+        let flow = FlowSpec::udp_cbr(
+            hosts[0],
+            hosts[1],
+            1000,
+            SimTime::from_millis(60),
+            SimDuration::from_millis(10),
+        );
+        sim.load(generate(&[flow], 1));
+        sim.run_to_completion();
+        let dev = &sim.topo.node(sw).unwrap().device;
+        assert_eq!(dev.boot_id(), 3, "two restarts: 1 -> 2 -> 3");
+        assert_eq!(
+            sim.errors.len(),
+            1,
+            "restarting an up device is an error, not a crash: {:?}",
+            sim.errors
+        );
+        assert_eq!(sim.metrics.delivered, 10, "the final incarnation forwards");
+    }
+
+    #[test]
+    fn never_provisioned_device_restarts_with_empty_digest() {
+        use flexnet_dataplane::EMPTY_CONFIG_DIGEST;
+        let (topo, sw, _hosts) = Topology::single_switch(2);
+        let mut sim = Simulation::new(topo);
+        // No Install: the device has never been provisioned.
+        sim.schedule(SimTime::from_millis(10), Command::CrashDevice { node: sw });
+        sim.schedule(SimTime::from_millis(20), Command::RestartDevice { node: sw });
+        sim.run_to_completion();
+        assert!(sim.errors.is_empty(), "{:?}", sim.errors);
+        let dev = &sim.topo.node(sw).unwrap().device;
+        assert!(dev.is_up());
+        assert_eq!(dev.boot_id(), 2);
+        assert!(dev.program().is_none(), "still nothing installed");
+        assert_eq!(dev.config_digest(), EMPTY_CONFIG_DIGEST);
+    }
 }

@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod topology;
 pub mod workload;
 
-pub use chaos::{sweep, ChaosSchedule, CrashPhase};
+pub use chaos::{diverged, restart_sweep, sweep, ChaosSchedule, CrashPhase, RestartSchedule};
 pub use engine::{Command, Simulation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Bucket, LossKind, Metrics};

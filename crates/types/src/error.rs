@@ -77,6 +77,25 @@ pub enum FlexError {
         /// How long to wait before retrying (an election timeout).
         retry_after: SimDuration,
     },
+    /// After a resync re-provisioned a device, its content digest still
+    /// differs from the controller's intended-state digest: the
+    /// anti-entropy pass failed to converge and must not be reported as
+    /// success.
+    DigestMismatch {
+        /// The device whose configuration diverged.
+        node: u64,
+        /// The intended-state digest the controller expected.
+        want: u64,
+        /// The digest the device actually reported.
+        got: u64,
+    },
+    /// A resync for this device is already in flight. Transient: the
+    /// running resync either converges the device (making the retry a
+    /// no-op) or completes and frees the slot for the retry.
+    ResyncInProgress {
+        /// The device being resynchronized.
+        node: u64,
+    },
 }
 
 impl fmt::Display for FlexError {
@@ -117,6 +136,13 @@ impl fmt::Display for FlexError {
                 ),
                 None => write!(f, "no leader elected (retry after {retry_after})"),
             },
+            FlexError::DigestMismatch { node, want, got } => write!(
+                f,
+                "digest mismatch on node {node}: intended {want:#018x}, device reports {got:#018x}"
+            ),
+            FlexError::ResyncInProgress { node } => {
+                write!(f, "resync already in progress on node {node}")
+            }
         }
     }
 }
@@ -127,13 +153,19 @@ impl FlexError {
     /// Whether a retry (after backoff) may succeed without any other
     /// intervention.
     ///
-    /// Only [`FlexError::NoLeader`] qualifies today: elections converge on
-    /// their own, so waiting an election timeout and re-proposing is the
-    /// correct reaction. `Timeout` is produced *by* the retry layer (its
-    /// budget is already spent), `Unavailable` is resolved by the failure
-    /// detector rather than blind retries, and everything else is semantic.
+    /// [`FlexError::NoLeader`] qualifies: elections converge on their
+    /// own, so waiting an election timeout and re-proposing is the
+    /// correct reaction. [`FlexError::ResyncInProgress`] qualifies: the
+    /// running resync finishes (or converges the device outright), after
+    /// which the retry succeeds or becomes a no-op. `Timeout` is produced
+    /// *by* the retry layer (its budget is already spent), `Unavailable`
+    /// is resolved by the failure detector rather than blind retries, and
+    /// everything else is semantic.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, FlexError::NoLeader { .. })
+        matches!(
+            self,
+            FlexError::NoLeader { .. } | FlexError::ResyncInProgress { .. }
+        )
     }
 
     /// Shorthand for a parse error.
@@ -196,6 +228,30 @@ mod tests {
         assert!(anon.is_retryable());
         assert!(!FlexError::Timeout("x".into()).is_retryable());
         assert!(!FlexError::Unavailable("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn resync_errors_format_and_classify() {
+        let mismatch = FlexError::DigestMismatch {
+            node: 4,
+            want: 0xABCD,
+            got: 0x1234,
+        };
+        let s = mismatch.to_string();
+        assert!(s.contains("node 4"), "{s}");
+        assert!(s.contains("0x000000000000abcd"), "{s}");
+        assert!(s.contains("0x0000000000001234"), "{s}");
+        assert!(
+            !mismatch.is_retryable(),
+            "a failed reconcile needs intervention, not blind retries"
+        );
+
+        let busy = FlexError::ResyncInProgress { node: 9 };
+        assert!(busy.to_string().contains("node 9"));
+        assert!(
+            busy.is_retryable(),
+            "the in-flight resync completes on its own; retrying helps"
+        );
     }
 
     #[test]
