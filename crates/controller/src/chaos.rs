@@ -137,6 +137,7 @@ pub fn run_chaos_seed(seed: u64) -> Result<ChaosReport> {
         &mut log,
         Some(schedule.crash_phase),
         None,
+        None,
     )?;
     let crash_at = txn_report.finished_at;
     let old_tag = TxnTag {

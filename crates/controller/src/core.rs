@@ -17,7 +17,9 @@ use flexnet_compiler::{split_datapath, LogicalDatapath, SplitResult, TargetView}
 use flexnet_lang::compose::tenant_prefix;
 use flexnet_lang::diff::ProgramBundle;
 use flexnet_sim::Simulation;
-use flexnet_types::{AppId, AppUri, NodeId, Result, SimDuration, SimTime, TenantId, VlanId};
+use flexnet_types::{
+    AppId, AppUri, FlexError, NodeId, Result, SimDuration, SimTime, TenantId, VlanId,
+};
 use std::collections::BTreeMap;
 
 /// Liveness of a device as judged by the controller's heartbeats.
@@ -25,10 +27,40 @@ use std::collections::BTreeMap;
 pub enum Health {
     /// Heartbeats arriving on schedule.
     Healthy,
+    /// Heartbeats arriving on schedule, but the data-path health
+    /// counters they carry show the device misbehaving (drop slope over
+    /// the degradation threshold): alive but wrong — the gray-failure
+    /// grade. Excluded from admission like `Suspect`, but *not* routed
+    /// around: the device still forwards most traffic and a resync or
+    /// rollback usually clears it.
+    Degraded,
     /// Heartbeats overdue; the device may be down or partitioned.
     Suspect,
     /// Heartbeats long overdue; the controller routes around the device.
     Dead,
+}
+
+impl Health {
+    /// A short stable label for errors and test output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Suspect => "suspect",
+            Health::Dead => "dead",
+        }
+    }
+}
+
+/// Cumulative data-path counters piggybacked on a heartbeat. The
+/// detector differentiates consecutive observations into a drop slope;
+/// absolute values don't matter (and restart-reset counters re-baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataPathHealth {
+    /// Packets the device processed to a verdict, cumulative.
+    pub processed: u64,
+    /// Packets the device's program dropped, cumulative.
+    pub dropped: u64,
 }
 
 /// One typed failure-detector transition.
@@ -74,6 +106,12 @@ pub enum HealthEvent {
 pub struct FailureDetector {
     suspect_after: SimDuration,
     dead_after: SimDuration,
+    /// Drop slope (dropped/processed between heartbeats, ppm) at or
+    /// above which a punctual device is graded [`Health::Degraded`].
+    degrade_threshold_ppm: u64,
+    /// Minimum processed-packet delta before a slope is judged — a
+    /// handful of packets is noise, not a health signal.
+    degrade_min_sample: u64,
     last_seen: BTreeMap<NodeId, SimTime>,
     status: BTreeMap<NodeId, Health>,
     /// Latest boot id each node's heartbeats reported.
@@ -82,6 +120,10 @@ pub struct FailureDetector {
     acked_boot: BTreeMap<NodeId, u64>,
     /// Latest config digest each node's heartbeats reported.
     digests: BTreeMap<NodeId, u64>,
+    /// Data-path counters at the last judged heartbeat, per node.
+    counters: BTreeMap<NodeId, DataPathHealth>,
+    /// Whether the last judged slope exceeded the degrade threshold.
+    datapath_degraded: BTreeMap<NodeId, bool>,
 }
 
 impl FailureDetector {
@@ -91,12 +133,22 @@ impl FailureDetector {
         FailureDetector {
             suspect_after,
             dead_after: dead_after.max(suspect_after),
+            degrade_threshold_ppm: 200_000,
+            degrade_min_sample: 8,
             last_seen: BTreeMap::new(),
             status: BTreeMap::new(),
             reported_boot: BTreeMap::new(),
             acked_boot: BTreeMap::new(),
             digests: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            datapath_degraded: BTreeMap::new(),
         }
+    }
+
+    /// Overrides the gray-failure drop-slope threshold (ppm of processed
+    /// packets dropped between judged heartbeats).
+    pub fn set_degrade_threshold_ppm(&mut self, ppm: u64) {
+        self.degrade_threshold_ppm = ppm;
     }
 
     /// Records a bare heartbeat from `node` at `now` (liveness only — no
@@ -122,6 +174,43 @@ impl FailureDetector {
         self.digests.insert(node, digest);
     }
 
+    /// Records a full heartbeat that additionally carries the device's
+    /// cumulative data-path counters — the gray-failure signal. The
+    /// detector differentiates against the counters of the last *judged*
+    /// heartbeat: once at least `degrade_min_sample` packets separate the
+    /// two, the drop slope is compared against the degrade threshold and
+    /// the device's data-path verdict updated. Counters that went
+    /// backwards (a restart wiped them) re-baseline and clear the verdict
+    /// — a fresh incarnation has not yet misbehaved.
+    pub fn observe_heartbeat_health(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        boot_id: u64,
+        digest: u64,
+        health: DataPathHealth,
+    ) {
+        self.observe_heartbeat(node, now, boot_id, digest);
+        let prev = *self.counters.entry(node).or_insert(health);
+        if health.processed < prev.processed || health.dropped < prev.dropped {
+            self.counters.insert(node, health);
+            self.datapath_degraded.insert(node, false);
+            return;
+        }
+        let d_processed = health.processed - prev.processed;
+        if d_processed >= self.degrade_min_sample {
+            let d_dropped = health.dropped - prev.dropped;
+            self.counters.insert(node, health);
+            self.datapath_degraded.insert(
+                node,
+                d_dropped * 1_000_000 / d_processed >= self.degrade_threshold_ppm,
+            );
+        }
+        // Under the sample floor: keep both the stored counters and the
+        // previous verdict, so slow trickles still accumulate into a
+        // judgeable delta instead of being re-baselined away.
+    }
+
     /// Re-grades every known device at `now` and returns the typed
     /// transitions since the last poll: grade changes as
     /// [`HealthEvent::Graded`], plus one [`HealthEvent::Flapped`] for
@@ -134,6 +223,9 @@ impl FailureDetector {
                 Health::Dead
             } else if silence >= self.suspect_after {
                 Health::Suspect
+            } else if self.datapath_degraded.get(&node) == Some(&true) {
+                // Punctual heartbeats, misbehaving data path: gray.
+                Health::Degraded
             } else {
                 Health::Healthy
             };
@@ -144,7 +236,8 @@ impl FailureDetector {
             // A boot-id advance is reported once the device is heartbeating
             // again — whether or not the detector ever graded it Dead (a
             // restart faster than one heartbeat period still wipes state).
-            if health == Health::Healthy {
+            // Degraded devices are heartbeating too, so their flaps report.
+            if health <= Health::Degraded {
                 let reported = self.reported_boot.get(&node).copied();
                 let acked = self.acked_boot.get(&node).copied();
                 if let (Some(new_boot_id), Some(old_boot_id)) = (reported, acked) {
@@ -187,6 +280,22 @@ impl FailureDetector {
     /// The latest boot id `node`'s heartbeats reported.
     pub fn boot_id(&self, node: NodeId) -> Option<u64> {
         self.reported_boot.get(&node).copied()
+    }
+
+    /// The admission gate for new transactions, waves, and resyncs: only
+    /// a device whose current grade is [`Health::Healthy`] (or that the
+    /// detector has never heard of — nothing is known against it) may
+    /// participate. `Degraded`/`Suspect`/`Dead` devices are refused with
+    /// the typed, retryable [`FlexError::DegradedDevice`] *before* a
+    /// two-phase commit starts, instead of failing mid-prepare.
+    pub fn admit(&self, node: NodeId) -> Result<()> {
+        match self.status.get(&node) {
+            None | Some(Health::Healthy) => Ok(()),
+            Some(grade) => Err(FlexError::DegradedDevice {
+                node: u64::from(node.raw()),
+                grade: grade.label().to_string(),
+            }),
+        }
     }
 }
 
@@ -261,11 +370,16 @@ impl Controller {
     ) -> Vec<(NodeId, HealthEvent)> {
         for node in sim.topo.nodes() {
             if node.device.is_up() && fabric.deliver() {
-                self.detector.observe_heartbeat(
+                let stats = node.device.stats();
+                self.detector.observe_heartbeat_health(
                     node.id,
                     now,
                     node.device.boot_id(),
                     node.device.config_digest(),
+                    DataPathHealth {
+                        processed: stats.processed,
+                        dropped: stats.dropped,
+                    },
                 );
             }
         }
@@ -558,6 +672,120 @@ mod tests {
                 }
             )]
         );
+    }
+
+    #[test]
+    fn punctual_but_dropping_device_grades_degraded() {
+        let mut fd = FailureDetector::default();
+        let n = NodeId(7);
+        let mut hb = |fd: &mut FailureDetector, ms, processed, dropped| {
+            fd.observe_heartbeat_health(
+                n,
+                SimTime::from_millis(ms),
+                1,
+                0xF00,
+                DataPathHealth { processed, dropped },
+            );
+        };
+        hb(&mut fd, 0, 0, 0);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(10)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))]
+        );
+        // 100 processed since the baseline, 50 dropped: a 50% slope, far
+        // over the 20% threshold — and the heartbeats are on time.
+        hb(&mut fd, 50, 100, 50);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(60)),
+            vec![(n, HealthEvent::Graded(Health::Degraded))],
+            "alive but wrong is its own grade, not Healthy"
+        );
+        let refused = fd.admit(n).unwrap_err();
+        assert!(matches!(refused, FlexError::DegradedDevice { .. }));
+        assert!(refused.is_retryable(), "grades clear; callers may retry");
+        // The next interval forwards cleanly: the grade clears.
+        hb(&mut fd, 100, 300, 50);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(110)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))]
+        );
+        assert!(fd.admit(n).is_ok());
+    }
+
+    #[test]
+    fn degrade_judgment_needs_samples_and_rebaselines_on_restart() {
+        let mut fd = FailureDetector::default();
+        let n = NodeId(8);
+        fd.observe_heartbeat_health(n, SimTime::ZERO, 1, 0, DataPathHealth::default());
+        // 4 packets, all dropped: under the 8-packet sample floor, so no
+        // verdict — a handful of drops is noise.
+        fd.observe_heartbeat_health(
+            n,
+            SimTime::from_millis(50),
+            1,
+            0,
+            DataPathHealth {
+                processed: 4,
+                dropped: 4,
+            },
+        );
+        assert_eq!(
+            fd.poll(SimTime::from_millis(60)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))]
+        );
+        // Four more all-dropped packets accumulate past the floor against
+        // the *original* baseline: now it is a judgeable 100% slope.
+        fd.observe_heartbeat_health(
+            n,
+            SimTime::from_millis(100),
+            1,
+            0,
+            DataPathHealth {
+                processed: 9,
+                dropped: 9,
+            },
+        );
+        assert_eq!(
+            fd.poll(SimTime::from_millis(110)),
+            vec![(n, HealthEvent::Graded(Health::Degraded))]
+        );
+        // A restart wipes the counters (they go backwards): re-baseline
+        // and clear — the new incarnation has not yet misbehaved.
+        fd.observe_heartbeat_health(
+            n,
+            SimTime::from_millis(150),
+            2,
+            0,
+            DataPathHealth {
+                processed: 1,
+                dropped: 0,
+            },
+        );
+        let events = fd.poll(SimTime::from_millis(160));
+        assert!(events.contains(&(n, HealthEvent::Graded(Health::Healthy))));
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, HealthEvent::Flapped { .. })),
+            "the boot-id advance still reports: {events:?}"
+        );
+    }
+
+    #[test]
+    fn admission_gate_refuses_every_unhealthy_grade() {
+        let mut fd = FailureDetector::default();
+        let (a, b) = (NodeId(1), NodeId(2));
+        fd.observe(a, SimTime::ZERO);
+        fd.observe(b, SimTime::ZERO);
+        fd.poll(SimTime::from_millis(200)); // both Suspect
+        for n in [a, b] {
+            let e = fd.admit(n).unwrap_err();
+            assert!(e.to_string().contains("suspect"), "{e}");
+        }
+        fd.poll(SimTime::from_millis(900)); // both Dead
+        assert!(fd.admit(a).unwrap_err().to_string().contains("dead"));
+        // A node the detector has never heard of: nothing against it.
+        assert!(fd.admit(NodeId(99)).is_ok());
     }
 
     #[test]

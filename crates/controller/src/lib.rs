@@ -26,6 +26,9 @@
 //! - [`resync`] — device restart recovery: the replicated intended-state
 //!   store, digest-based anti-entropy, and the rate-limited hitless
 //!   reconciler (experiment E14).
+//! - [`rollout`] — canary rollouts: wave-by-wave deployment with SLO
+//!   guards, gray-failure detection, and automatic journaled rollback
+//!   (experiment E15).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -40,6 +43,7 @@ pub mod recovery;
 pub mod replicate;
 pub mod resync;
 pub mod retry;
+pub mod rollout;
 pub mod scale;
 pub mod tenant;
 pub mod txn;
@@ -55,6 +59,10 @@ pub use retry::{invoke_with_retry, with_retry, LossyFabric, RetryOutcome, RetryP
 pub use scale::{ElasticScaler, ScaleDecision, ScalingPolicy};
 pub use chaos::{run_chaos_seed, ChaosReport};
 pub use recovery::{recover, RecoveryReport, TxnResolution};
+pub use rollout::{
+    resume_rollouts, run_canary_seed, run_rollout, CanaryReport, RolloutCrash, RolloutDirectory,
+    RolloutOutcome, RolloutPlan, RolloutReport, RolloutResume, SloBreach, SloGuards,
+};
 pub use resync::{
     run_resync_seed, IntendedDevice, IntendedStore, ProgramClass, ResyncChaosReport,
     ResyncOutcome, ResyncReport, Resyncer,

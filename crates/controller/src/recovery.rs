@@ -145,6 +145,16 @@ pub fn recover(
             // record (a trailing `IntendedState` would otherwise make a
             // committed transaction look unresolved).
             IntentRecord::IntendedState { .. } => continue,
+            // Rollout records narrate the wave orchestration above the
+            // per-wave transactions; each wave's own 2PC records already
+            // carry everything this pass needs. Resolving rollout-level
+            // obligations (finishing an owed rollback) is the rollout
+            // module's resume path, not 2PC recovery.
+            IntentRecord::RolloutStarted { .. }
+            | IntentRecord::WaveCommitted { .. }
+            | IntentRecord::RolloutAborted { .. }
+            | IntentRecord::RolloutCompleted { .. }
+            | IntentRecord::RolledBack { .. } => continue,
             _ => {}
         }
         last.insert(rec.txn(), rec.clone());
@@ -158,9 +168,15 @@ pub fn recover(
         let tag = TxnTag { txn_id: txn, epoch };
         let nodes = participants.get(&txn).cloned().unwrap_or_default();
         match rec {
+            // Rollout records never enter `last` (skipped in pass 1).
             IntentRecord::Committed { .. }
             | IntentRecord::Aborted { .. }
-            | IntentRecord::IntendedState { .. } => {}
+            | IntentRecord::IntendedState { .. }
+            | IntentRecord::RolloutStarted { .. }
+            | IntentRecord::WaveCommitted { .. }
+            | IntentRecord::RolloutAborted { .. }
+            | IntentRecord::RolloutCompleted { .. }
+            | IntentRecord::RolledBack { .. } => {}
             IntentRecord::Intent { .. } | IntentRecord::Prepared { .. } => {
                 // No flip was ever scheduled: no participant can have
                 // flipped, so rolling back restores the old program

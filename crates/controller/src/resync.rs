@@ -356,6 +356,15 @@ impl Resyncer {
     /// through [`flexnet_dataplane::Device::begin_runtime_reconfig`] —
     /// the shadow-program + atomic-flip path, *never* in-place — even
     /// when the image is unchanged and only entries must be replayed.
+    ///
+    /// `gate`, when set, health-gates admission: a node the detector
+    /// grades worse than [`Health::Healthy`](crate::core::Health) is
+    /// refused up front with the retryable
+    /// [`FlexError::DegradedDevice`] — before any fabric traffic or
+    /// shadow provisioning. Pass `None` for remedial passes (post-crash
+    /// recovery, rollback cleanup) whose whole point is to repair a
+    /// device the detector has written off.
+    #[allow(clippy::too_many_arguments)]
     pub fn start(
         &mut self,
         sim: &mut Simulation,
@@ -364,9 +373,13 @@ impl Resyncer {
         now: SimTime,
         fabric: &mut LossyFabric,
         policy: &RetryPolicy,
+        gate: Option<&FailureDetector>,
     ) -> Result<ResyncTicket> {
         if self.in_progress.contains(&node) {
             return Err(FlexError::ResyncInProgress { node: node.0 as u64 });
+        }
+        if let Some(detector) = gate {
+            detector.admit(node)?;
         }
         let intended = store.get(node).ok_or_else(|| {
             FlexError::NotFound(format!("no intended state for node {node}"))
@@ -492,7 +505,10 @@ impl Resyncer {
 
     /// Reconciles every node in `nodes`, critical programs first, one at
     /// a time (sequential + admission gap = no stampede). Returns the
-    /// per-device reports in execution order.
+    /// per-device reports in execution order. `gate` is forwarded to
+    /// each [`Resyncer::start`]: an unhealthy node fails the whole batch
+    /// up front rather than mid-sequence.
+    #[allow(clippy::too_many_arguments)]
     pub fn resync_all(
         &mut self,
         sim: &mut Simulation,
@@ -501,14 +517,20 @@ impl Resyncer {
         now: SimTime,
         fabric: &mut LossyFabric,
         policy: &RetryPolicy,
+        gate: Option<&FailureDetector>,
     ) -> Result<Vec<ResyncReport>> {
         let mut ordered: Vec<NodeId> = nodes.to_vec();
         ordered.sort_by_key(|n| (store.class(*n), *n));
         ordered.dedup();
+        if let Some(detector) = gate {
+            for node in &ordered {
+                detector.admit(*node)?;
+            }
+        }
         let mut t = now;
         let mut reports = Vec::new();
         for node in ordered {
-            let ticket = self.start(sim, store, node, t, fabric, policy)?;
+            let ticket = self.start(sim, store, node, t, fabric, policy, gate)?;
             let report = self.complete(sim, store, ticket, fabric, policy)?;
             if report.finished_at > t {
                 t = report.finished_at;
@@ -867,6 +889,7 @@ pub fn run_resync_seed(seed: u64) -> Result<ResyncChaosReport> {
             &mut log,
             Some(CrashPhase::AfterPrepared),
             Some(&mut store),
+            None,
         )?;
         fault_at = txn_report.finished_at;
         for &v in &schedule.victims {
@@ -950,7 +973,7 @@ pub fn run_resync_seed(seed: u64) -> Result<ResyncChaosReport> {
         }
         if !batch.is_empty() {
             let reports =
-                resyncer.resync_all(&mut sim, &store, &batch, t, &mut fabric, &policy)?;
+                resyncer.resync_all(&mut sim, &store, &batch, t, &mut fabric, &policy, None)?;
             for r in &reports {
                 if r.finished_at > converged_at {
                     converged_at = r.finished_at;
@@ -1198,7 +1221,7 @@ mod tests {
 
         let mut r = Resyncer::default();
         let now = SimTime::from_secs(2);
-        let ticket = r.start(&mut sim, &store, sw, now, &mut fabric, &policy).unwrap();
+        let ticket = r.start(&mut sim, &store, sw, now, &mut fabric, &policy, None).unwrap();
         let report = r.complete(&mut sim, &store, ticket, &mut fabric, &policy).unwrap();
         assert!(
             matches!(report.outcome, ResyncOutcome::Reprovisioned { entries: 1, .. }),
@@ -1214,7 +1237,7 @@ mod tests {
         let (mut fabric, policy) = reliable_env();
         let mut r = Resyncer::default();
         let ticket = r
-            .start(&mut sim, &store, devices[0], SimTime::from_secs(1), &mut fabric, &policy)
+            .start(&mut sim, &store, devices[0], SimTime::from_secs(1), &mut fabric, &policy, None)
             .unwrap();
         let report = r
             .complete(&mut sim, &store, ticket, &mut fabric, &policy)
@@ -1229,17 +1252,70 @@ mod tests {
         let (mut fabric, policy) = reliable_env();
         let mut r = Resyncer::default();
         let ticket = r
-            .start(&mut sim, &store, sw, SimTime::from_secs(1), &mut fabric, &policy)
+            .start(&mut sim, &store, sw, SimTime::from_secs(1), &mut fabric, &policy, None)
             .unwrap();
         let err = r
-            .start(&mut sim, &store, sw, SimTime::from_secs(1), &mut fabric, &policy)
+            .start(&mut sim, &store, sw, SimTime::from_secs(1), &mut fabric, &policy, None)
             .unwrap_err();
         assert!(matches!(err, FlexError::ResyncInProgress { .. }));
         assert!(err.is_retryable(), "the slot frees itself");
         // Completing frees the slot.
         r.complete(&mut sim, &store, ticket, &mut fabric, &policy).unwrap();
         assert!(r
-            .start(&mut sim, &store, sw, SimTime::from_secs(2), &mut fabric, &policy)
+            .start(&mut sim, &store, sw, SimTime::from_secs(2), &mut fabric, &policy, None)
+            .is_ok());
+    }
+
+    #[test]
+    fn health_gate_refuses_suspect_node_before_any_fabric_traffic() {
+        let (mut sim, devices, store, _log) = provisioned();
+        let sw = devices[1];
+        let (mut fabric, policy) = reliable_env();
+        // The detector last heard from the switch a long silence ago.
+        let mut detector = FailureDetector::default();
+        for d in devices {
+            detector.observe(d, SimTime::ZERO);
+        }
+        detector.observe(devices[0], SimTime::from_millis(800));
+        detector.observe(devices[2], SimTime::from_millis(800));
+        detector.poll(SimTime::from_millis(850));
+        let mut r = Resyncer::default();
+        let err = r
+            .start(
+                &mut sim,
+                &store,
+                sw,
+                SimTime::from_secs(1),
+                &mut fabric,
+                &policy,
+                Some(&detector),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, FlexError::DegradedDevice { .. }),
+            "typed refusal, got {err:?}"
+        );
+        assert!(err.is_retryable());
+        // Refused before admission: no start was journaled, the slot is
+        // free, and the device holds no shadow.
+        assert!(r.starts().is_empty());
+        assert!(!sim.topo.node(sw).unwrap().device.reconfig_in_progress());
+        // A batch containing the suspect node fails whole, up front.
+        let err = r
+            .resync_all(
+                &mut sim,
+                &store,
+                &devices,
+                SimTime::from_secs(1),
+                &mut fabric,
+                &policy,
+                Some(&detector),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FlexError::DegradedDevice { .. }));
+        // A remedial pass (gate = None) still reaches the device.
+        assert!(r
+            .start(&mut sim, &store, sw, SimTime::from_secs(1), &mut fabric, &policy, None)
             .is_ok());
     }
 
@@ -1254,7 +1330,7 @@ mod tests {
 
         let mut r = Resyncer::default();
         let ticket = r
-            .start(&mut sim, &store, sw, SimTime::from_secs(2), &mut fabric, &policy)
+            .start(&mut sim, &store, sw, SimTime::from_secs(2), &mut fabric, &policy, None)
             .unwrap();
         // The device restarts again while the resync's shadow is in
         // flight — the shadow dies with the incarnation.
@@ -1271,7 +1347,7 @@ mod tests {
         );
         // The follow-up resync against the new incarnation converges.
         let ticket = r
-            .start(&mut sim, &store, sw, SimTime::from_secs(3), &mut fabric, &policy)
+            .start(&mut sim, &store, sw, SimTime::from_secs(3), &mut fabric, &policy, None)
             .unwrap();
         let report = r
             .complete(&mut sim, &store, ticket, &mut fabric, &policy)
@@ -1291,7 +1367,7 @@ mod tests {
         }
         let mut r = Resyncer::default();
         let reports = r
-            .resync_all(&mut sim, &store, &devices, SimTime::from_secs(2), &mut fabric, &policy)
+            .resync_all(&mut sim, &store, &devices, SimTime::from_secs(2), &mut fabric, &policy, None)
             .unwrap();
         assert_eq!(reports.len(), 3);
         assert_eq!(

@@ -1,0 +1,1523 @@
+//! Canary rollouts: wave-by-wave program deployment with SLO guards,
+//! gray-failure detection, and automatic rollback (experiment E15).
+//!
+//! The paper's runtime-programmable network only earns its keep if
+//! *changing* the network is safe: a bad program pushed everywhere at
+//! once is an outage, not an evolution. This module deploys a candidate
+//! program in widening waves (canonically 1 → 2 → 4 → all devices), each
+//! wave an ordinary journaled two-phase-commit transaction
+//! ([`logged_transactional_reconfig`] — shadow + aligned atomic flip,
+//! never in-place). After each wave flips, the orchestrator *soaks*: it
+//! holds the rollout for a fixed window, feeding device heartbeats (with
+//! data-path counters) to the [`FailureDetector`] and comparing live
+//! metrics against the pre-rollout baseline. Four guards are evaluated,
+//! most specific first:
+//!
+//! 1. **consistency** — every device's config digest is exactly the old
+//!    XOR the new image, and nobody is stuck mid-reconfiguration;
+//! 2. **drop-slope** — no flipped device's per-packet drop rate over the
+//!    soak exceeds the gray threshold (catches the device-scoped bad
+//!    build whose heartbeats stay punctual);
+//! 3. **loss-delta** — fleet-wide loss rate minus the baseline's stays
+//!    under the budget (catches uniform and slow-burn regressions: a
+//!    per-device trickle too small for the slope guard crosses this one
+//!    as waves widen exposure);
+//! 4. **p99-delta** — fleet p99 latency minus the baseline's stays under
+//!    the budget (catches pure compute inflation that loses nothing).
+//!
+//! A breach halts the rollout, journals a `RolloutAborted` record, and
+//! rolls every flipped device back to its pre-rollout program — one
+//! two-phase transaction per device (so one dead device cannot strand
+//! its wave-mates on the candidate), shadow + flip, never in-place. A
+//! device whose rollback transaction fails is **quarantined** by name in
+//! the report — visibly diverged, never silently. The whole state
+//! machine is journaled in the replicated intent log (`RolloutStarted`,
+//! `WaveCommitted`, `RolloutAborted`, `RolloutCompleted`, `RolledBack`),
+//! so a failed-over coordinator can finish an owed rollback with
+//! [`resume_rollouts`].
+//!
+//! [`run_canary_seed`] is the seeded chaos harness: one seed expands to
+//! a [`RolloutSchedule`] (which way the candidate is bad, which device
+//! gets the gray build, how lossy the control fabric is) and a full
+//! scenario on the 8-lane parallel topology with live traffic, returning
+//! every invariant violation as a string.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::core::{DataPathHealth, FailureDetector, Health, HealthEvent};
+use crate::retry::{LossyFabric, RetryPolicy};
+use crate::txn::{logged_transactional_reconfig, LoggedTxnOutcome};
+use crate::wal::{IntentRecord, ReplicatedIntentLog};
+use flexnet_lang::diff::ProgramBundle;
+use flexnet_lang::parser::parse_source;
+use flexnet_sim::metrics::{WindowDelta, WindowStats};
+use flexnet_sim::{generate, FlowSpec, RolloutFault, RolloutSchedule, Simulation, Topology};
+use flexnet_types::{FlexError, NodeId, Result, SimDuration, SimTime};
+
+/// Heartbeat period during soak windows (matches the failure detector's
+/// default suspect window of a few missed 50 ms periods).
+fn heartbeat_period() -> SimDuration {
+    SimDuration::from_millis(50)
+}
+
+/// The SLO budgets a wave must stay inside during its soak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloGuards {
+    /// Fleet loss rate minus baseline loss rate, parts per million.
+    pub loss_delta_ppm: u64,
+    /// Fleet p99 latency minus baseline p99, nanoseconds.
+    pub p99_delta_ns: u64,
+    /// Per-device drop slope (dropped/processed over the soak), ppm —
+    /// the gray-failure threshold.
+    pub drop_slope_ppm: u64,
+}
+
+impl Default for SloGuards {
+    /// 2% extra loss, 1 µs extra p99, 20% per-device drop slope.
+    fn default() -> SloGuards {
+        SloGuards {
+            loss_delta_ppm: 20_000,
+            p99_delta_ns: 1_000,
+            drop_slope_ppm: 200_000,
+        }
+    }
+}
+
+/// A wave plan: which devices flip in which order, how long each wave
+/// soaks, and the guard budgets.
+#[derive(Debug, Clone)]
+pub struct RolloutPlan {
+    /// Disjoint device groups, in flip order.
+    pub waves: Vec<Vec<NodeId>>,
+    /// How long each wave (and the pre-rollout baseline) is observed.
+    pub soak: SimDuration,
+    /// The SLO budgets.
+    pub guards: SloGuards,
+}
+
+impl RolloutPlan {
+    /// The canonical doubling plan: cumulative exposure 1 → 2 → 4 → …
+    /// until the whole fleet is covered (8 devices → waves of 1, 1, 2, 4).
+    pub fn canonical(fleet: &[NodeId], soak: SimDuration, guards: SloGuards) -> RolloutPlan {
+        let mut waves = Vec::new();
+        let mut done = 0usize;
+        let mut cumulative = 1usize;
+        while done < fleet.len() {
+            let upto = cumulative.min(fleet.len());
+            waves.push(fleet[done..upto].to_vec());
+            done = upto;
+            cumulative *= 2;
+        }
+        RolloutPlan {
+            waves,
+            soak,
+            guards,
+        }
+    }
+}
+
+/// Where the coordinator is killed mid-rollout (test instrumentation,
+/// mirroring [`flexnet_sim::CrashPhase`] for single transactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutCrash {
+    /// Right after the given wave's `WaveCommitted` record is durable —
+    /// flipped devices are live on the candidate, no verdict journaled.
+    AfterWaveCommit(u32),
+    /// Right after the `RolloutAborted` record is durable, before any
+    /// rollback transaction runs — the rollback is owed to the log.
+    AfterAbortRecord,
+}
+
+/// A guard breach: which budget, what was observed, what was allowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloBreach {
+    /// 1-based wave the breach was observed in.
+    pub wave: u32,
+    /// Guard label: `consistency`, `drop-slope`, `loss-delta`,
+    /// `p99-delta`, `admission`, or `wave-txn`.
+    pub guard: String,
+    /// Observed value (ppm or ns, per the guard).
+    pub observed: u64,
+    /// The budget it exceeded.
+    pub threshold: u64,
+}
+
+impl SloBreach {
+    /// The breach as the typed error the rest of the stack speaks.
+    pub fn to_error(&self) -> FlexError {
+        FlexError::SloViolation {
+            guard: self.guard.clone(),
+            observed: self.observed,
+            threshold: self.threshold,
+        }
+    }
+}
+
+/// How a rollout ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RolloutOutcome {
+    /// Every wave committed and soaked clean.
+    Completed,
+    /// A guard breached in the given wave; every flipped device was
+    /// driven back to its pre-rollout program (or quarantined).
+    RolledBack {
+        /// The wave the breach was observed in.
+        wave: u32,
+        /// The guard that fired.
+        guard: String,
+    },
+    /// The coordinator died mid-rollout; [`resume_rollouts`] on the
+    /// successor finishes the job from the journal.
+    Crashed(RolloutCrash),
+}
+
+/// The orchestrator's account of one canary rollout.
+#[derive(Debug, Clone)]
+pub struct RolloutReport {
+    /// Rollout id allocated from the intent log (shares the txn id space).
+    pub rollout: u64,
+    /// How it ended.
+    pub outcome: RolloutOutcome,
+    /// Waves that committed (and therefore flipped) before the end.
+    pub waves_committed: u32,
+    /// The per-wave transaction ids, in commit order.
+    pub wave_txns: Vec<u64>,
+    /// The pre-rollout baseline window.
+    pub baseline: WindowStats,
+    /// Per-wave soak deltas against the baseline, in wave order.
+    pub deltas: Vec<(u32, WindowDelta)>,
+    /// The breach that halted the rollout, if any.
+    pub breach: Option<SloBreach>,
+    /// Devices the failure detector graded [`Health::Degraded`] at any
+    /// point during the rollout (punctual heartbeats, bad data path).
+    pub degraded_seen: Vec<NodeId>,
+    /// Abort decision → last rollback transaction finished.
+    pub rollback_latency: Option<SimDuration>,
+    /// Devices successfully driven back to their pre-rollout program.
+    pub rolled_back: Vec<NodeId>,
+    /// Devices whose rollback transaction failed: left on the candidate,
+    /// named here — never silently diverged.
+    pub quarantined: Vec<NodeId>,
+    /// Control messages sent (attempts, including lost ones).
+    pub messages: u32,
+    /// When the orchestrator stopped working on the rollout.
+    pub finished_at: SimTime,
+}
+
+/// Per-rollout pre-rollout targets, for rollback after a failover:
+/// `rollout id → [(device, pre-rollout bundle)]`. Coordinators persist
+/// this next to the log, exactly like the transaction-level
+/// [`crate::recovery::TargetDirectory`].
+pub type RolloutDirectory = BTreeMap<u64, Vec<(NodeId, ProgramBundle)>>;
+
+/// Runs heartbeats over `[from, until]`: advances the simulation in
+/// heartbeat steps and feeds every fleet device's liveness + data-path
+/// counters to the detector.
+fn soak_with_heartbeats(
+    sim: &mut Simulation,
+    fleet: &[NodeId],
+    detector: &mut FailureDetector,
+    from: SimTime,
+    until: SimTime,
+) {
+    let mut t = from;
+    while t < until {
+        let next = t + heartbeat_period();
+        t = if next > until { until } else { next };
+        sim.run(t);
+        for &d in fleet {
+            let Some(node) = sim.topo.node(d) else { continue };
+            let dev = &node.device;
+            if !dev.is_up() {
+                continue;
+            }
+            let stats = dev.stats();
+            detector.observe_heartbeat_health(
+                d,
+                t,
+                dev.boot_id(),
+                dev.config_digest(),
+                DataPathHealth {
+                    processed: stats.processed,
+                    dropped: stats.dropped,
+                },
+            );
+        }
+    }
+}
+
+/// Drains a detector poll into `degraded_seen`, keeping it sorted-unique.
+fn note_degraded(
+    detector: &mut FailureDetector,
+    now: SimTime,
+    degraded_seen: &mut Vec<NodeId>,
+) {
+    for (node, event) in detector.poll(now) {
+        if matches!(event, HealthEvent::Graded(Health::Degraded))
+            && !degraded_seen.contains(&node)
+        {
+            degraded_seen.push(node);
+        }
+    }
+    degraded_seen.sort_unstable();
+}
+
+/// Evaluates the four guards for one soaked wave. Returns the window
+/// delta (for the report) and the first breached guard, most specific
+/// first: consistency, drop-slope, loss-delta, p99-delta.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_guards(
+    sim: &Simulation,
+    fleet: &[NodeId],
+    flipped: &BTreeSet<NodeId>,
+    old_digest: &BTreeMap<NodeId, u64>,
+    new_digest: &BTreeMap<NodeId, u64>,
+    pre_soak: &BTreeMap<NodeId, (u64, u64)>,
+    guards: &SloGuards,
+    baseline_window: (SimTime, SimTime),
+    soak_window: (SimTime, SimTime),
+) -> (WindowDelta, Option<(&'static str, u64, u64)>) {
+    let delta = sim
+        .metrics
+        .window_delta(baseline_window, soak_window);
+
+    // Consistency: old XOR new everywhere, nobody stuck mid-flip.
+    let mut inconsistent = 0u64;
+    for &d in fleet {
+        let Some(node) = sim.topo.node(d) else {
+            inconsistent += 1;
+            continue;
+        };
+        let dev = &node.device;
+        if !dev.is_up() {
+            // A down device is a liveness problem for the detector, not
+            // a version-consistency violation.
+            continue;
+        }
+        let digest = dev.config_digest();
+        let ok = if flipped.contains(&d) {
+            new_digest.get(&d) == Some(&digest)
+        } else {
+            old_digest.get(&d) == Some(&digest)
+        };
+        if !ok || dev.reconfig_in_progress() {
+            inconsistent += 1;
+        }
+    }
+    if inconsistent > 0 {
+        return (delta, Some(("consistency", inconsistent, 0)));
+    }
+
+    // Drop slope, per flipped device over this soak only.
+    let mut worst_slope = 0u64;
+    for &d in flipped {
+        let Some(node) = sim.topo.node(d) else { continue };
+        let stats = node.device.stats();
+        let (pre_processed, pre_dropped) =
+            pre_soak.get(&d).copied().unwrap_or((0, 0));
+        let d_processed = stats.processed.saturating_sub(pre_processed);
+        let d_dropped = stats.dropped.saturating_sub(pre_dropped);
+        if d_processed >= 8 {
+            let slope = d_dropped * 1_000_000 / d_processed;
+            if slope > worst_slope {
+                worst_slope = slope;
+            }
+        }
+    }
+    if worst_slope >= guards.drop_slope_ppm {
+        return (delta, Some(("drop-slope", worst_slope, guards.drop_slope_ppm)));
+    }
+
+    if delta.loss_delta_ppm > guards.loss_delta_ppm as i64 {
+        return (
+            delta,
+            Some(("loss-delta", delta.loss_delta_ppm as u64, guards.loss_delta_ppm)),
+        );
+    }
+    if delta.p99_delta_ns > guards.p99_delta_ns as i64 {
+        return (
+            delta,
+            Some(("p99-delta", delta.p99_delta_ns as u64, guards.p99_delta_ns)),
+        );
+    }
+    (delta, None)
+}
+
+/// Rolls `devices` (already in rollback order) back to their pre-rollout
+/// bundles, one journaled transaction per device — shadow + flip, never
+/// in-place, and one unreachable device cannot strand the others. A
+/// device whose transaction does not commit is quarantined.
+fn rollback_devices(
+    sim: &mut Simulation,
+    devices: &[NodeId],
+    baseline_of: &BTreeMap<NodeId, ProgramBundle>,
+    mut t: SimTime,
+    fabric: &mut LossyFabric,
+    policy: &RetryPolicy,
+    log: &mut ReplicatedIntentLog,
+) -> (SimTime, u32, Vec<NodeId>, Vec<NodeId>) {
+    let mut messages = 0u32;
+    let mut rolled_back = Vec::new();
+    let mut quarantined = Vec::new();
+    for &d in devices {
+        let Some(bundle) = baseline_of.get(&d) else {
+            quarantined.push(d);
+            continue;
+        };
+        // A crashed coordinator may have left this device with its wave
+        // flip armed but never materialized; settle it so the rollback's
+        // prepare doesn't see a reconfiguration in progress.
+        if let Some(node) = sim.topo.node_mut(d) {
+            node.device.tick(t);
+        }
+        // Remedial: no health gate — a breached or gray device must be
+        // rollback-able, or quarantine would be forever.
+        match logged_transactional_reconfig(
+            sim,
+            &[(d, bundle.clone())],
+            t,
+            fabric,
+            policy,
+            log,
+            None,
+            None,
+            None,
+        ) {
+            Ok(rep) => {
+                messages += rep.messages;
+                let mut done = rep.finished_at;
+                if let Some(commit_at) = rep.commit_at {
+                    if commit_at > done {
+                        done = commit_at;
+                    }
+                }
+                if done > t {
+                    t = done;
+                }
+                if rep.outcome == LoggedTxnOutcome::Committed {
+                    rolled_back.push(d);
+                } else {
+                    quarantined.push(d);
+                }
+            }
+            Err(_) => quarantined.push(d),
+        }
+    }
+    // Materialize the rollback flips so digest probes see them.
+    t += heartbeat_period();
+    for &d in devices {
+        if let Some(node) = sim.topo.node_mut(d) {
+            node.device.tick(t);
+        }
+    }
+    (t, messages, rolled_back, quarantined)
+}
+
+/// Runs a canary rollout of `candidate` over `plan`'s waves.
+///
+/// `baseline` names each device's pre-rollout bundle (the rollback
+/// target); `candidate` names what each device should run afterwards —
+/// per-device, so a device-scoped bad build is expressible. Traffic must
+/// already be loaded into `sim`; the orchestrator advances simulated
+/// time itself (baseline soak, then flip + soak per wave).
+///
+/// The first `plan.soak` window starting at `now` measures the
+/// pre-rollout baseline; every wave's soak is judged against it. Wave
+/// transactions are health-gated through `detector` (a degraded device
+/// is refused admission → the rollout aborts); rollback transactions are
+/// not. `crash`, when set, kills the coordinator at that point,
+/// returning [`RolloutOutcome::Crashed`] with the journal exactly as a
+/// real death would leave it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rollout(
+    sim: &mut Simulation,
+    plan: &RolloutPlan,
+    baseline: &[(NodeId, ProgramBundle)],
+    candidate: &[(NodeId, ProgramBundle)],
+    now: SimTime,
+    fabric: &mut LossyFabric,
+    policy: &RetryPolicy,
+    log: &mut ReplicatedIntentLog,
+    detector: &mut FailureDetector,
+    crash: Option<RolloutCrash>,
+) -> Result<RolloutReport> {
+    let fleet: Vec<NodeId> = plan.waves.iter().flatten().copied().collect();
+    let baseline_of: BTreeMap<NodeId, ProgramBundle> = baseline.iter().cloned().collect();
+    let candidate_of: BTreeMap<NodeId, ProgramBundle> = candidate.iter().cloned().collect();
+    for &d in &fleet {
+        if !candidate_of.contains_key(&d) || !baseline_of.contains_key(&d) {
+            return Err(FlexError::NotFound(format!(
+                "rollout: no baseline/candidate bundle for device {d}"
+            )));
+        }
+    }
+
+    // Pre-rollout baseline soak: establish the SLO reference and give
+    // the detector a first judgement of every device.
+    let mut degraded_seen: Vec<NodeId> = Vec::new();
+    let baseline_window = (now, now + plan.soak);
+    soak_with_heartbeats(sim, &fleet, detector, baseline_window.0, baseline_window.1);
+    note_degraded(detector, baseline_window.1, &mut degraded_seen);
+    let baseline_stats = sim.metrics.window_stats(baseline_window.0, baseline_window.1);
+    let old_digest: BTreeMap<NodeId, u64> = fleet
+        .iter()
+        .filter_map(|&d| sim.topo.node(d).map(|n| (d, n.device.config_digest())))
+        .collect();
+
+    let rollout = log.next_txn_id();
+    log.append(&IntentRecord::RolloutStarted {
+        rollout,
+        waves: plan
+            .waves
+            .iter()
+            .map(|w| w.iter().map(|n| n.0 as u64).collect())
+            .collect(),
+    })?;
+
+    let mut t = baseline_window.1;
+    let mut messages = 0u32;
+    let mut wave_txns: Vec<u64> = Vec::new();
+    let mut deltas: Vec<(u32, WindowDelta)> = Vec::new();
+    let mut flipped: BTreeSet<NodeId> = BTreeSet::new();
+    let mut flip_order: Vec<NodeId> = Vec::new();
+    let mut new_digest: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let mut breach: Option<SloBreach> = None;
+
+    for (i, wave) in plan.waves.iter().enumerate() {
+        let wave_no = (i + 1) as u32;
+        let targets: Vec<(NodeId, ProgramBundle)> = wave
+            .iter()
+            .map(|d| (*d, candidate_of[d].clone()))
+            .collect();
+        let rep = match logged_transactional_reconfig(
+            sim, &targets, t, fabric, policy, log, None, None,
+            Some(detector),
+        ) {
+            Ok(rep) => rep,
+            Err(FlexError::DegradedDevice { node, .. }) => {
+                // Health-gated admission refused the wave: halt and roll
+                // back what already flipped.
+                breach = Some(SloBreach {
+                    wave: wave_no,
+                    guard: "admission".into(),
+                    observed: node,
+                    threshold: 0,
+                });
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        messages += rep.messages;
+        if rep.finished_at > t {
+            t = rep.finished_at;
+        }
+        if rep.outcome != LoggedTxnOutcome::Committed {
+            // The wave's own 2PC aborted (and rolled its devices back):
+            // treat as a breach of the rollout, not a silent retry.
+            breach = Some(SloBreach {
+                wave: wave_no,
+                guard: "wave-txn".into(),
+                observed: rep.txn,
+                threshold: 0,
+            });
+            break;
+        }
+        log.append(&IntentRecord::WaveCommitted {
+            rollout,
+            wave: wave_no,
+            txn: rep.txn,
+        })?;
+        wave_txns.push(rep.txn);
+        flipped.extend(wave.iter().copied());
+        flip_order.extend(wave.iter().copied());
+        if crash == Some(RolloutCrash::AfterWaveCommit(wave_no)) {
+            return Ok(RolloutReport {
+                rollout,
+                outcome: RolloutOutcome::Crashed(RolloutCrash::AfterWaveCommit(wave_no)),
+                waves_committed: wave_no,
+                wave_txns,
+                baseline: baseline_stats,
+                deltas,
+                breach: None,
+                degraded_seen,
+                rollback_latency: None,
+                rolled_back: Vec::new(),
+                quarantined: Vec::new(),
+                messages,
+                finished_at: t,
+            });
+        }
+
+        // Let the aligned flip land, then record the wave's new digests.
+        let mut settle = rep.commit_at.unwrap_or(t);
+        if t > settle {
+            settle = t;
+        }
+        settle += heartbeat_period();
+        sim.run(settle);
+        for &d in wave {
+            if let Some(node) = sim.topo.node_mut(d) {
+                node.device.tick(settle);
+                new_digest.insert(d, node.device.config_digest());
+            }
+        }
+        // Per-device counter snapshot: the drop slope is judged over
+        // this soak alone, not device lifetime.
+        let pre_soak: BTreeMap<NodeId, (u64, u64)> = flipped
+            .iter()
+            .filter_map(|&d| {
+                sim.topo.node(d).map(|n| {
+                    let s = n.device.stats();
+                    (d, (s.processed, s.dropped))
+                })
+            })
+            .collect();
+
+        let soak_window = (settle, settle + plan.soak);
+        soak_with_heartbeats(sim, &fleet, detector, soak_window.0, soak_window.1);
+        note_degraded(detector, soak_window.1, &mut degraded_seen);
+        t = soak_window.1;
+
+        let (delta, verdict) = evaluate_guards(
+            sim,
+            &fleet,
+            &flipped,
+            &old_digest,
+            &new_digest,
+            &pre_soak,
+            &plan.guards,
+            baseline_window,
+            soak_window,
+        );
+        deltas.push((wave_no, delta));
+        if let Some((guard, observed, threshold)) = verdict {
+            breach = Some(SloBreach {
+                wave: wave_no,
+                guard: guard.into(),
+                observed,
+                threshold,
+            });
+            break;
+        }
+    }
+
+    let waves_committed = wave_txns.len() as u32;
+    let Some(breach) = breach else {
+        // Every wave soaked clean.
+        log.append(&IntentRecord::RolloutCompleted { rollout })?;
+        return Ok(RolloutReport {
+            rollout,
+            outcome: RolloutOutcome::Completed,
+            waves_committed,
+            wave_txns,
+            baseline: baseline_stats,
+            deltas,
+            breach: None,
+            degraded_seen,
+            rollback_latency: None,
+            rolled_back: Vec::new(),
+            quarantined: Vec::new(),
+            messages,
+            finished_at: t,
+        });
+    };
+
+    // Halt: journal the verdict, then unwind every flipped device in
+    // reverse flip order.
+    log.append(&IntentRecord::RolloutAborted {
+        rollout,
+        wave: breach.wave,
+        guard: breach.guard.clone(),
+    })?;
+    if crash == Some(RolloutCrash::AfterAbortRecord) {
+        return Ok(RolloutReport {
+            rollout,
+            outcome: RolloutOutcome::Crashed(RolloutCrash::AfterAbortRecord),
+            waves_committed,
+            wave_txns,
+            baseline: baseline_stats,
+            deltas,
+            breach: Some(breach),
+            degraded_seen,
+            rollback_latency: None,
+            rolled_back: Vec::new(),
+            quarantined: Vec::new(),
+            messages,
+            finished_at: t,
+        });
+    }
+    let abort_at = t;
+    flip_order.reverse();
+    let (t, rb_messages, rolled_back, quarantined) =
+        rollback_devices(sim, &flip_order, &baseline_of, t, fabric, policy, log);
+    messages += rb_messages;
+    log.append(&IntentRecord::RolledBack { rollout })?;
+    note_degraded(detector, t, &mut degraded_seen);
+
+    Ok(RolloutReport {
+        rollout,
+        outcome: RolloutOutcome::RolledBack {
+            wave: breach.wave,
+            guard: breach.guard.clone(),
+        },
+        waves_committed,
+        wave_txns,
+        baseline: baseline_stats,
+        deltas,
+        breach: Some(breach),
+        degraded_seen,
+        rollback_latency: Some(t.saturating_since(abort_at)),
+        rolled_back,
+        quarantined,
+        messages,
+        finished_at: t,
+    })
+}
+
+/// One rollout obligation the successor coordinator settled.
+#[derive(Debug, Clone)]
+pub struct RolloutResume {
+    /// The rollout id.
+    pub rollout: u64,
+    /// Whether this pass had to journal the abort itself (the old
+    /// coordinator died mid-rollout with no verdict on record).
+    pub aborted_now: bool,
+    /// Devices driven back to their pre-rollout program.
+    pub rolled_back: Vec<NodeId>,
+    /// Devices whose rollback failed — left on the candidate, by name.
+    pub quarantined: Vec<NodeId>,
+    /// Control messages sent.
+    pub messages: u32,
+    /// When this obligation was settled.
+    pub finished_at: SimTime,
+}
+
+/// Scans the intent log for rollouts the dead coordinator left
+/// unfinished and settles them.
+///
+/// Two obligations exist: a rollout with waves committed but no terminal
+/// record (the coordinator died mid-soak — the candidate is unproven, so
+/// the conservative resolution is abort + rollback), and a rollout whose
+/// `RolloutAborted` is on record but whose `RolledBack` is not (the
+/// rollback itself is owed). Both end with every flipped device driven
+/// back to the `baselines` directory's bundle and a terminal
+/// `RolledBack` record. Individual wave *transactions* left in doubt are
+/// [`crate::recovery::recover`]'s job and must be resolved first.
+///
+/// Idempotent: a second pass finds only terminal rollouts and does
+/// nothing.
+pub fn resume_rollouts(
+    sim: &mut Simulation,
+    log: &mut ReplicatedIntentLog,
+    baselines: &RolloutDirectory,
+    now: SimTime,
+    fabric: &mut LossyFabric,
+    policy: &RetryPolicy,
+) -> Result<Vec<RolloutResume>> {
+    struct State {
+        waves: Vec<Vec<u64>>,
+        committed: u32,
+        aborted: bool,
+        terminal: bool,
+    }
+    let mut states: BTreeMap<u64, State> = BTreeMap::new();
+    for rec in log.records()? {
+        match rec {
+            IntentRecord::RolloutStarted { rollout, waves } => {
+                states.insert(
+                    rollout,
+                    State {
+                        waves,
+                        committed: 0,
+                        aborted: false,
+                        terminal: false,
+                    },
+                );
+            }
+            IntentRecord::WaveCommitted { rollout, wave, .. } => {
+                if let Some(s) = states.get_mut(&rollout) {
+                    if wave > s.committed {
+                        s.committed = wave;
+                    }
+                }
+            }
+            IntentRecord::RolloutAborted { rollout, .. } => {
+                if let Some(s) = states.get_mut(&rollout) {
+                    s.aborted = true;
+                }
+            }
+            IntentRecord::RolloutCompleted { rollout }
+            | IntentRecord::RolledBack { rollout } => {
+                if let Some(s) = states.get_mut(&rollout) {
+                    s.terminal = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut resumed = Vec::new();
+    let mut t = now;
+    for (rollout, state) in states {
+        if state.terminal {
+            continue;
+        }
+        let aborted_now = !state.aborted;
+        if aborted_now {
+            // No verdict ever journaled: the candidate died unproven.
+            log.append(&IntentRecord::RolloutAborted {
+                rollout,
+                wave: state.committed,
+                guard: "coordinator-failover".into(),
+            })?;
+        }
+        let flipped: Vec<NodeId> = state
+            .waves
+            .iter()
+            .take(state.committed as usize)
+            .flatten()
+            .rev()
+            .map(|&id| NodeId(id as u32))
+            .collect();
+        let baseline_of: BTreeMap<NodeId, ProgramBundle> = baselines
+            .get(&rollout)
+            .map(|ts| ts.iter().cloned().collect())
+            .unwrap_or_default();
+        let (done, messages, rolled_back, quarantined) =
+            rollback_devices(sim, &flipped, &baseline_of, t, fabric, policy, log);
+        t = done;
+        log.append(&IntentRecord::RolledBack { rollout })?;
+        resumed.push(RolloutResume {
+            rollout,
+            aborted_now,
+            rolled_back,
+            quarantined,
+            messages,
+            finished_at: t,
+        });
+    }
+    Ok(resumed)
+}
+
+// ---------------------------------------------------------------------
+// The seeded chaos harness (experiment E15).
+// ---------------------------------------------------------------------
+
+/// Controller nodes in the scenario's Raft cluster.
+const CONTROLLERS: usize = 3;
+
+/// Lanes (and therefore switches) in the canary fleet.
+const LANES: usize = 8;
+
+/// Packets per second per lane.
+const LANE_PPS: u64 = 500;
+
+/// Everything one canary chaos run observed.
+#[derive(Debug, Clone)]
+pub struct CanaryReport {
+    /// The schedule the seed expanded to.
+    pub schedule: RolloutSchedule,
+    /// The orchestrator's account.
+    pub rollout: RolloutReport,
+    /// Packets delivered over the whole scenario.
+    pub delivered: u64,
+    /// Packets lost over the whole scenario.
+    pub lost: u64,
+    /// Every invariant violation observed (empty = the run passed).
+    pub violations: Vec<String>,
+}
+
+impl CanaryReport {
+    /// Whether the run upheld every invariant.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn bundle(src: &str) -> ProgramBundle {
+    let file = parse_source(src).expect("canary program parses");
+    ProgramBundle {
+        headers: file.headers,
+        program: file.programs.into_iter().next().expect("one program"),
+    }
+}
+
+/// The pre-rollout program: plain forwarding down the lane.
+fn lane_base() -> ProgramBundle {
+    bundle("program lane kind any { handler ingress(pkt) { forward(1); } }")
+}
+
+/// The correct candidate: forwarding plus a counter — a real diff with
+/// negligible cost.
+fn lane_good() -> ProgramBundle {
+    bundle(
+        "program lane kind any {
+           counter upgraded;
+           handler ingress(pkt) { count(upgraded); forward(1); }
+         }",
+    )
+}
+
+/// Uniform drop: the loudest regression — every packet dies.
+fn lane_drop_all() -> ProgramBundle {
+    bundle("program lane kind any { handler ingress(pkt) { drop(); } }")
+}
+
+/// Latency inflation: ~2 µs of busy work per packet, zero loss.
+fn lane_latency() -> ProgramBundle {
+    bundle(
+        "program lane kind any {
+           register burn : u64[1];
+           handler ingress(pkt) {
+             repeat (64) {
+               repeat (8) { reg_write(burn, 0, reg_read(burn, 0) + 1); }
+             }
+             forward(1);
+           }
+         }",
+    )
+}
+
+/// Slow burn: a stateful 1-in-8 drop — per-device slope 12.5%, under
+/// the 20% gray threshold, so only widening fleet exposure reveals it.
+fn lane_slow_burn() -> ProgramBundle {
+    bundle(
+        "program lane kind any {
+           counter seen;
+           handler ingress(pkt) {
+             count(seen);
+             if (counter_read(seen) % 8 == 0) { drop(); }
+             forward(1);
+           }
+         }",
+    )
+}
+
+/// The candidate bundle each device receives under `schedule`.
+fn candidate_targets(
+    schedule: &RolloutSchedule,
+    switches: &[NodeId],
+) -> Vec<(NodeId, ProgramBundle)> {
+    switches
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let bundle = match schedule.fault {
+                RolloutFault::Clean => lane_good(),
+                RolloutFault::UniformDrop => lane_drop_all(),
+                RolloutFault::GrayDrop => {
+                    if Some(i) == schedule.gray_victim {
+                        lane_drop_all()
+                    } else {
+                        lane_good()
+                    }
+                }
+                RolloutFault::LatencyInflation => lane_latency(),
+                RolloutFault::SlowBurn => lane_slow_burn(),
+            };
+            (d, bundle)
+        })
+        .collect()
+}
+
+/// The wave (1-based) in which fleet index `i` flips under the canonical
+/// 8-device plan (waves of 1, 1, 2, 4).
+fn wave_of_index(i: usize) -> u32 {
+    match i {
+        0 => 1,
+        1 => 2,
+        2 | 3 => 3,
+        _ => 4,
+    }
+}
+
+/// Runs the full canary scenario for one seed.
+///
+/// Errors only on harness plumbing failures; protocol misbehaviour is
+/// reported as violations, so sweeps keep going and count.
+pub fn run_canary_seed(seed: u64) -> Result<CanaryReport> {
+    // -- setup: 8 parallel lanes, the baseline program everywhere -------
+    let (topo, switches, lanes) = Topology::parallel_lanes(LANES);
+    let mut sim = Simulation::new(topo);
+    for &d in &switches {
+        sim.topo
+            .node_mut(d)
+            .expect("lane switch exists")
+            .device
+            .install(lane_base())
+            .map_err(|e| FlexError::Sim(format!("seed {seed}: install base on {d}: {e}")))?;
+    }
+    let schedule = RolloutSchedule::from_seed(seed, switches.len());
+    let mut log = ReplicatedIntentLog::new(CONTROLLERS, schedule.raft_seed)?;
+    let mut fabric = LossyFabric::new(schedule.fabric_loss, seed);
+    let policy = RetryPolicy {
+        max_attempts: 16,
+        deadline: SimDuration::from_secs(60),
+        ..RetryPolicy::default()
+    };
+    let mut detector = FailureDetector::default();
+    let mut violations: Vec<String> = Vec::new();
+
+    // Live traffic over the whole scenario: one CBR flow per lane.
+    let flow_start = SimTime::from_millis(500);
+    let flow_end = SimTime::from_secs(8);
+    let flows: Vec<FlowSpec> = lanes
+        .iter()
+        .map(|&(src, dst)| {
+            FlowSpec::udp_cbr(
+                src,
+                dst,
+                LANE_PPS,
+                flow_start,
+                flow_end.saturating_since(flow_start),
+            )
+        })
+        .collect();
+    sim.load(generate(&flows, seed));
+    sim.run(SimTime::from_secs(1));
+
+    // -- the rollout -----------------------------------------------------
+    let plan = RolloutPlan::canonical(
+        &switches,
+        SimDuration::from_secs(1),
+        SloGuards::default(),
+    );
+    let baseline: Vec<(NodeId, ProgramBundle)> =
+        switches.iter().map(|&d| (d, lane_base())).collect();
+    let candidate = candidate_targets(&schedule, &switches);
+    let old_digests: BTreeMap<NodeId, u64> = switches
+        .iter()
+        .map(|&d| (d, sim.topo.node(d).expect("switch").device.config_digest()))
+        .collect();
+    let report = run_rollout(
+        &mut sim,
+        &plan,
+        &baseline,
+        &candidate,
+        SimTime::from_secs(1),
+        &mut fabric,
+        &policy,
+        &mut log,
+        &mut detector,
+        None,
+    )?;
+
+    // Post-rollout convergence window, then drain the remaining traffic.
+    let post_from = report.finished_at + SimDuration::from_millis(300);
+    sim.run_to_completion();
+
+    // -- invariants ------------------------------------------------------
+    let total_waves = plan.waves.len() as u32;
+    let flipped: BTreeSet<NodeId> = plan
+        .waves
+        .iter()
+        .take(report.waves_committed as usize)
+        .flatten()
+        .copied()
+        .collect();
+
+    match schedule.fault {
+        RolloutFault::Clean => {
+            if report.outcome != RolloutOutcome::Completed {
+                violations.push(format!(
+                    "clean candidate did not complete: {:?} (false positive)",
+                    report.outcome
+                ));
+            }
+            if sim.metrics.total_lost() != 0 {
+                violations.push(format!(
+                    "clean rollout lost {} packets (must be zero)",
+                    sim.metrics.total_lost()
+                ));
+            }
+        }
+        fault => {
+            let (guard, wave) = match (&report.outcome, &report.breach) {
+                (RolloutOutcome::RolledBack { .. }, Some(b)) => {
+                    (b.guard.clone(), b.wave)
+                }
+                other => {
+                    violations.push(format!(
+                        "{} candidate was not rolled back: {other:?}",
+                        fault.label()
+                    ));
+                    (String::new(), 0)
+                }
+            };
+            if report.waves_committed >= total_waves {
+                violations.push(format!(
+                    "{} breached only after full-fleet exposure ({} waves)",
+                    fault.label(),
+                    report.waves_committed
+                ));
+            }
+            // Each fault class must trip its designed guard in its
+            // designed wave — detection before the blast radius grows.
+            let expect: Option<(&str, u32)> = match fault {
+                RolloutFault::UniformDrop => Some(("drop-slope", 1)),
+                RolloutFault::LatencyInflation => Some(("p99-delta", 1)),
+                RolloutFault::SlowBurn => Some(("loss-delta", 2)),
+                RolloutFault::GrayDrop => {
+                    let v = schedule.gray_victim.expect("gray runs pick a victim");
+                    if !report.degraded_seen.contains(&switches[v]) {
+                        violations.push(format!(
+                            "gray victim {} was never graded Degraded",
+                            switches[v]
+                        ));
+                    }
+                    Some(("drop-slope", wave_of_index(v)))
+                }
+                RolloutFault::Clean => None,
+            };
+            if let Some((want_guard, want_wave)) = expect {
+                if !guard.is_empty() && (guard != want_guard || wave != want_wave) {
+                    violations.push(format!(
+                        "{} tripped {guard} in wave {wave}, designed for {want_guard} in wave {want_wave}",
+                        fault.label()
+                    ));
+                }
+            }
+            // Blast radius: every lost packet was dropped by a flipped
+            // device; untouched waves never pay.
+            let mut flipped_drops = 0u64;
+            for &d in &switches {
+                let dropped = sim.topo.node(d).expect("switch").device.stats().dropped;
+                if flipped.contains(&d) {
+                    flipped_drops += dropped;
+                } else if dropped > 0 {
+                    violations.push(format!(
+                        "unflipped device {d} dropped {dropped} packets: blast radius leaked"
+                    ));
+                }
+            }
+            if sim.metrics.total_lost() != flipped_drops {
+                violations.push(format!(
+                    "{} packets lost but flipped devices only account for {}",
+                    sim.metrics.total_lost(),
+                    flipped_drops
+                ));
+            }
+            if !report.quarantined.is_empty() {
+                violations.push(format!(
+                    "no device crashed, yet rollback quarantined {:?}",
+                    report.quarantined
+                ));
+            }
+            // Rollback converges: every device is digest-equal to its
+            // pre-rollout baseline again.
+            for &d in &switches {
+                let got = sim.topo.node(d).expect("switch").device.config_digest();
+                if Some(&got) != old_digests.get(&d) {
+                    violations.push(format!(
+                        "{d} not back on the baseline digest after rollback"
+                    ));
+                }
+            }
+            // And the network is clean again: the post-rollback window
+            // pays no loss and its p99 is back at the baseline.
+            let post = sim.metrics.window_stats(post_from, flow_end);
+            if post.attempts() == 0 {
+                violations.push("no post-rollback traffic observed".into());
+            } else if post.lost > 0 {
+                violations.push(format!(
+                    "post-rollback window still losing: {}/{} packets",
+                    post.lost,
+                    post.attempts()
+                ));
+            }
+            let post_delta = sim
+                .metrics
+                .window_delta((SimTime::from_secs(1), SimTime::from_secs(2)), (post_from, flow_end));
+            if post_delta.p99_delta_ns.unsigned_abs() > plan.guards.p99_delta_ns {
+                violations.push(format!(
+                    "post-rollback p99 off baseline by {} ns",
+                    post_delta.p99_delta_ns
+                ));
+            }
+        }
+    }
+
+    // Journal coherence: the rollout's records tell the same story.
+    let records = log.records()?;
+    let mut started = 0usize;
+    let mut waves_on_record = 0u32;
+    let mut terminal: Vec<&'static str> = Vec::new();
+    for rec in &records {
+        match rec {
+            IntentRecord::RolloutStarted { rollout, .. } if *rollout == report.rollout => {
+                started += 1;
+            }
+            IntentRecord::WaveCommitted { rollout, .. } if *rollout == report.rollout => {
+                waves_on_record += 1;
+            }
+            IntentRecord::RolloutCompleted { rollout } if *rollout == report.rollout => {
+                terminal.push("completed");
+            }
+            IntentRecord::RolledBack { rollout } if *rollout == report.rollout => {
+                terminal.push("rolled-back");
+            }
+            _ => {}
+        }
+    }
+    if started != 1 {
+        violations.push(format!("{started} RolloutStarted records (want 1)"));
+    }
+    if waves_on_record != report.waves_committed {
+        violations.push(format!(
+            "journal has {waves_on_record} committed waves, report says {}",
+            report.waves_committed
+        ));
+    }
+    let want_terminal = match report.outcome {
+        RolloutOutcome::Completed => "completed",
+        RolloutOutcome::RolledBack { .. } => "rolled-back",
+        RolloutOutcome::Crashed(_) => "",
+    };
+    if terminal != vec![want_terminal] {
+        violations.push(format!(
+            "terminal records {terminal:?}, want [{want_terminal}]"
+        ));
+    }
+
+    Ok(CanaryReport {
+        schedule,
+        rollout: report,
+        delivered: sim.metrics.delivered,
+        lost: sim.metrics.total_lost(),
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexnet_sim::rollout_sweep;
+
+    /// A reliable-control-plane environment over `n` lanes, with the
+    /// baseline program installed and traffic loaded.
+    fn lanes_env(
+        n: usize,
+        seconds: u64,
+    ) -> (Simulation, Vec<NodeId>, ReplicatedIntentLog, LossyFabric, RetryPolicy) {
+        let (topo, switches, lanes) = Topology::parallel_lanes(n);
+        let mut sim = Simulation::new(topo);
+        for &d in &switches {
+            sim.topo
+                .node_mut(d)
+                .unwrap()
+                .device
+                .install(lane_base())
+                .unwrap();
+        }
+        let flows: Vec<FlowSpec> = lanes
+            .iter()
+            .map(|&(src, dst)| {
+                FlowSpec::udp_cbr(
+                    src,
+                    dst,
+                    LANE_PPS,
+                    SimTime::from_millis(500),
+                    SimDuration::from_millis(seconds * 1000 - 500),
+                )
+            })
+            .collect();
+        sim.load(generate(&flows, 7));
+        let log = ReplicatedIntentLog::new(3, 41).unwrap();
+        let fabric = LossyFabric::reliable();
+        let policy = RetryPolicy::default();
+        (sim, switches, log, fabric, policy)
+    }
+
+    fn pairs(switches: &[NodeId], bundle: ProgramBundle) -> Vec<(NodeId, ProgramBundle)> {
+        switches.iter().map(|&d| (d, bundle.clone())).collect()
+    }
+
+    #[test]
+    fn canonical_plan_doubles_exposure() {
+        let fleet: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let plan =
+            RolloutPlan::canonical(&fleet, SimDuration::from_secs(1), SloGuards::default());
+        let sizes: Vec<usize> = plan.waves.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![1, 1, 2, 4]);
+        let flat: Vec<NodeId> = plan.waves.iter().flatten().copied().collect();
+        assert_eq!(flat, fleet, "every device flips exactly once");
+        let tiny = RolloutPlan::canonical(&fleet[..3], SimDuration::from_secs(1), SloGuards::default());
+        assert_eq!(tiny.waves.iter().map(Vec::len).collect::<Vec<_>>(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn clean_candidate_completes_every_wave_with_zero_loss() {
+        let report = run_canary_seed(0).unwrap();
+        assert_eq!(report.schedule.fault, RolloutFault::Clean);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.rollout.outcome, RolloutOutcome::Completed);
+        assert_eq!(report.rollout.waves_committed, 4);
+        assert_eq!(report.lost, 0);
+        assert!(report.rollout.breach.is_none());
+    }
+
+    #[test]
+    fn uniform_drop_is_caught_in_wave_one() {
+        let report = run_canary_seed(1).unwrap();
+        assert_eq!(report.schedule.fault, RolloutFault::UniformDrop);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.rollout.waves_committed, 1, "one canary, not the fleet");
+        let breach = report.rollout.breach.as_ref().unwrap();
+        assert_eq!(breach.guard, "drop-slope");
+        assert!(breach.observed >= 200_000, "a full drop: {}", breach.observed);
+        assert!(report.rollout.rollback_latency.unwrap() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gray_victim_is_graded_degraded_and_never_reaches_the_fleet() {
+        let report = run_canary_seed(2).unwrap();
+        assert_eq!(report.schedule.fault, RolloutFault::GrayDrop);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.rollout.waves_committed < 4);
+        assert!(!report.rollout.degraded_seen.is_empty());
+    }
+
+    #[test]
+    fn latency_inflation_trips_the_p99_guard_without_losing_a_packet() {
+        let report = run_canary_seed(3).unwrap();
+        assert_eq!(report.schedule.fault, RolloutFault::LatencyInflation);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        let breach = report.rollout.breach.as_ref().unwrap();
+        assert_eq!(breach.guard, "p99-delta");
+        assert_eq!(report.lost, 0, "inflation loses nothing; the guard still fires");
+    }
+
+    #[test]
+    fn slow_burn_breaches_only_as_waves_widen_exposure() {
+        let report = run_canary_seed(4).unwrap();
+        assert_eq!(report.schedule.fault, RolloutFault::SlowBurn);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        // Wave 1's exposure (1/8 of the fleet at a 12.5% device rate) is
+        // under the 2% budget; wave 2's is over: a multi-wave abort.
+        assert_eq!(report.rollout.waves_committed, 2);
+        assert_eq!(report.rollout.rolled_back.len(), 2);
+        let lat = report.rollout.rollback_latency.unwrap();
+        assert!(lat > SimDuration::ZERO, "two waves of rollback cost RTTs");
+    }
+
+    #[test]
+    fn canary_runs_are_deterministic() {
+        let a = run_canary_seed(9).unwrap();
+        let b = run_canary_seed(9).unwrap();
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.lost, b.lost);
+        assert_eq!(a.rollout.waves_committed, b.rollout.waves_committed);
+    }
+
+    #[test]
+    fn degraded_device_is_excluded_from_wave_admission() {
+        // Lane 1's device is gray from the start: its *baseline* program
+        // already drops everything, so the baseline soak grades it
+        // Degraded. The rollout must refuse the wave containing it and
+        // roll wave 1 back — the candidate never reaches a sick device.
+        let (mut sim, switches, mut log, mut fabric, policy) = lanes_env(4, 8);
+        sim.topo
+            .node_mut(switches[1])
+            .unwrap()
+            .device
+            .install(lane_drop_all())
+            .unwrap();
+        let mut baseline = pairs(&switches, lane_base());
+        baseline[1].1 = lane_drop_all();
+        let candidate = pairs(&switches, lane_good());
+        let plan = RolloutPlan::canonical(
+            &switches,
+            SimDuration::from_secs(1),
+            SloGuards::default(),
+        );
+        let mut detector = FailureDetector::default();
+        let report = run_rollout(
+            &mut sim,
+            &plan,
+            &baseline,
+            &candidate,
+            SimTime::from_secs(1),
+            &mut fabric,
+            &policy,
+            &mut log,
+            &mut detector,
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            report.outcome,
+            RolloutOutcome::RolledBack {
+                wave: 2,
+                guard: "admission".into()
+            },
+            "the sick device sits in wave 2"
+        );
+        assert!(report.degraded_seen.contains(&switches[1]));
+        assert_eq!(report.rolled_back, vec![switches[0]], "wave 1 unwound");
+        // Wave 1's device is back on the baseline image.
+        assert_eq!(
+            sim.topo.node(switches[0]).unwrap().device.program().unwrap().bundle,
+            lane_base()
+        );
+    }
+
+    #[test]
+    fn failed_rollback_quarantines_the_device_not_silently_diverges() {
+        // A uniform-drop rollout breaches in wave 1; the coordinator dies
+        // right after journaling the abort. Before the successor resumes,
+        // the flipped device crashes — its rollback transaction cannot
+        // prepare. It must come out *quarantined by name*, while the log
+        // still closes with RolledBack.
+        let (mut sim, switches, mut log, mut fabric, policy) = lanes_env(4, 8);
+        let baseline = pairs(&switches, lane_base());
+        let candidate = pairs(&switches, lane_drop_all());
+        let plan = RolloutPlan::canonical(
+            &switches,
+            SimDuration::from_secs(1),
+            SloGuards::default(),
+        );
+        let mut detector = FailureDetector::default();
+        let report = run_rollout(
+            &mut sim,
+            &plan,
+            &baseline,
+            &candidate,
+            SimTime::from_secs(1),
+            &mut fabric,
+            &policy,
+            &mut log,
+            &mut detector,
+            Some(RolloutCrash::AfterAbortRecord),
+        )
+        .unwrap();
+        assert_eq!(
+            report.outcome,
+            RolloutOutcome::Crashed(RolloutCrash::AfterAbortRecord)
+        );
+        assert_eq!(report.waves_committed, 1);
+
+        // Failover; the flipped device dies before the rollback reaches it.
+        log.kill_leader().unwrap();
+        log.elect().unwrap();
+        sim.topo
+            .node_mut(switches[0])
+            .unwrap()
+            .device
+            .crash(report.finished_at);
+        let mut directory = RolloutDirectory::new();
+        directory.insert(report.rollout, baseline.clone());
+        let resumed = resume_rollouts(
+            &mut sim,
+            &mut log,
+            &directory,
+            report.finished_at + SimDuration::from_secs(1),
+            &mut fabric,
+            &policy,
+        )
+        .unwrap();
+        assert_eq!(resumed.len(), 1);
+        assert!(!resumed[0].aborted_now, "the abort was already on record");
+        assert_eq!(
+            resumed[0].quarantined,
+            vec![switches[0]],
+            "the dead device is named, not silently diverged"
+        );
+        assert!(resumed[0].rolled_back.is_empty(), "nothing else had flipped");
+        // The log is terminal; a second resume pass is a no-op.
+        let again = resume_rollouts(
+            &mut sim,
+            &mut log,
+            &directory,
+            resumed[0].finished_at,
+            &mut fabric,
+            &policy,
+        )
+        .unwrap();
+        assert!(again.is_empty(), "resume is idempotent");
+    }
+
+    #[test]
+    fn failed_over_coordinator_rolls_back_an_unproven_rollout() {
+        // The coordinator dies right after wave 2's commit record, with
+        // no verdict journaled. The successor must conservatively abort
+        // and drive both flipped devices back to the baseline.
+        let (mut sim, switches, mut log, mut fabric, policy) = lanes_env(4, 8);
+        let baseline = pairs(&switches, lane_base());
+        let candidate = pairs(&switches, lane_good());
+        let plan = RolloutPlan::canonical(
+            &switches,
+            SimDuration::from_secs(1),
+            SloGuards::default(),
+        );
+        let mut detector = FailureDetector::default();
+        let report = run_rollout(
+            &mut sim,
+            &plan,
+            &baseline,
+            &candidate,
+            SimTime::from_secs(1),
+            &mut fabric,
+            &policy,
+            &mut log,
+            &mut detector,
+            Some(RolloutCrash::AfterWaveCommit(2)),
+        )
+        .unwrap();
+        assert_eq!(report.waves_committed, 2);
+
+        log.kill_leader().unwrap();
+        log.elect().unwrap();
+        let mut directory = RolloutDirectory::new();
+        directory.insert(report.rollout, baseline.clone());
+        let resumed = resume_rollouts(
+            &mut sim,
+            &mut log,
+            &directory,
+            report.finished_at + SimDuration::from_secs(1),
+            &mut fabric,
+            &policy,
+        )
+        .unwrap();
+        assert_eq!(resumed.len(), 1);
+        assert!(resumed[0].aborted_now, "the successor journals the verdict");
+        assert_eq!(
+            resumed[0].rolled_back,
+            vec![switches[1], switches[0]],
+            "reverse flip order"
+        );
+        assert!(resumed[0].quarantined.is_empty());
+        for &d in &switches[..2] {
+            assert_eq!(
+                sim.topo.node(d).unwrap().device.program().unwrap().bundle,
+                lane_base(),
+                "{d} back on the baseline"
+            );
+        }
+        // The journal closed with an abort + rollback pair.
+        let records = log.records().unwrap();
+        assert!(records.iter().any(|r| matches!(
+            r,
+            IntentRecord::RolloutAborted { rollout, guard, .. }
+                if *rollout == report.rollout && guard == "coordinator-failover"
+        )));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, IntentRecord::RolledBack { rollout } if *rollout == report.rollout)));
+    }
+
+    #[test]
+    fn every_fault_class_is_caught_before_full_fleet_exposure() {
+        // One contiguous block of 5 seeds covers every fault class.
+        for schedule in rollout_sweep(10, 5, LANES) {
+            let report = run_canary_seed(schedule.seed).unwrap();
+            assert!(
+                report.passed(),
+                "seed {} ({}) violations: {:?}",
+                schedule.seed,
+                schedule.fault.label(),
+                report.violations
+            );
+        }
+    }
+}

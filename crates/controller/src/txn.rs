@@ -30,6 +30,7 @@
 //! [`Device::hold_pending_until`]: flexnet_dataplane::Device::hold_pending_until
 //! [`Device::abort_reconfig`]: flexnet_dataplane::Device::abort_reconfig
 
+use crate::core::FailureDetector;
 use crate::resync::IntendedStore;
 use crate::retry::{command_rtt, with_retry, LossyFabric, RetryPolicy};
 use crate::wal::{IntentRecord, ReplicatedIntentLog};
@@ -280,6 +281,14 @@ pub struct LoggedTxnReport {
 /// intended-state store (journaling a durable
 /// [`IntentRecord::IntendedState`] per device), keeping the
 /// reconciliation baseline for device restart recovery up to date.
+///
+/// `gate`, when set, health-gates admission: every participant must be
+/// graded Healthy by the failure detector or the transaction is refused
+/// up front with the typed, retryable [`FlexError::DegradedDevice`] —
+/// *before* anything is journaled or any shadow prepared, instead of
+/// discovering a suspect/dead/gray participant mid-2PC. Pass `None` for
+/// remedial transactions (rollback, resync) whose whole point is to fix
+/// an unhealthy device.
 #[allow(clippy::too_many_arguments)]
 pub fn logged_transactional_reconfig(
     sim: &mut Simulation,
@@ -290,7 +299,13 @@ pub fn logged_transactional_reconfig(
     log: &mut ReplicatedIntentLog,
     crash: Option<CrashPhase>,
     intent: Option<&mut IntendedStore>,
+    gate: Option<&FailureDetector>,
 ) -> Result<LoggedTxnReport> {
+    if let Some(detector) = gate {
+        for (node, _) in targets {
+            detector.admit(*node)?;
+        }
+    }
     let txn = log.next_txn_id();
     let epoch = log.epoch()?;
     let tag = TxnTag { txn_id: txn, epoch };
@@ -672,8 +687,101 @@ mod tests {
             log,
             crash,
             None,
+            None,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn unhealthy_participant_is_refused_before_the_protocol_starts() {
+        use crate::core::FailureDetector;
+        let (mut sim, devices) = prepared_sim();
+        let targets: Vec<_> = devices.iter().map(|d| (*d, v2())).collect();
+        let mut log = ReplicatedIntentLog::new(3, 17).unwrap();
+        // The detector has seen the middle device go silent: Suspect.
+        let mut detector = FailureDetector::default();
+        for d in devices {
+            detector.observe(d, SimTime::ZERO);
+        }
+        detector.observe(devices[0], SimTime::from_millis(800));
+        detector.observe(devices[2], SimTime::from_millis(800));
+        detector.poll(SimTime::from_millis(850));
+        let mut fabric = LossyFabric::reliable();
+        let err = logged_transactional_reconfig(
+            &mut sim,
+            &targets,
+            SimTime::from_secs(1),
+            &mut fabric,
+            &RetryPolicy::default(),
+            &mut log,
+            None,
+            None,
+            Some(&detector),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FlexError::DegradedDevice { .. }),
+            "typed refusal, got {err:?}"
+        );
+        assert!(err.is_retryable(), "the grade clears; callers may retry");
+        // Refused up front: nothing journaled, no shadows anywhere.
+        assert!(log.records().unwrap().is_empty(), "no Intent was logged");
+        for d in devices {
+            assert!(
+                !sim.topo.node(d).unwrap().device.reconfig_in_progress(),
+                "{d} must hold no shadow after an up-front refusal"
+            );
+        }
+        // With every device healthy again, the same transaction commits.
+        detector.observe(devices[1], SimTime::from_millis(900));
+        detector.poll(SimTime::from_millis(910));
+        let report = logged_transactional_reconfig(
+            &mut sim,
+            &targets,
+            SimTime::from_secs(1),
+            &mut fabric,
+            &RetryPolicy::default(),
+            &mut log,
+            None,
+            None,
+            Some(&detector),
+        )
+        .unwrap();
+        assert_eq!(report.outcome, LoggedTxnOutcome::Committed);
+    }
+
+    #[test]
+    fn multi_wave_aborts_report_rollback_latency_per_wave() {
+        // Two consecutive wave transactions abort (their last participant
+        // is down). Each wave's report must carry its own rollback
+        // latency, and the second wave's rollback must not disturb the
+        // first wave's already-rolled-back devices.
+        let (mut sim, devices) = prepared_sim();
+        sim.topo
+            .node_mut(devices[2])
+            .unwrap()
+            .device
+            .crash(SimTime::from_millis(500));
+        let wave1: Vec<_> = vec![(devices[0], v2()), (devices[2], v2())];
+        let wave2: Vec<_> = vec![(devices[1], v2()), (devices[2], v2())];
+        let r1 = transactional_reconfig(&mut sim, &wave1, SimTime::from_secs(1));
+        assert_eq!(r1.outcome, TxnOutcome::Aborted);
+        let lat1 = r1.rollback_latency.expect("wave 1 rolled back");
+        assert!(lat1 > SimDuration::ZERO, "rollback costs control RTTs");
+        let r2 = transactional_reconfig(&mut sim, &wave2, r1.finished_at);
+        assert_eq!(r2.outcome, TxnOutcome::Aborted);
+        let lat2 = r2.rollback_latency.expect("wave 2 rolled back");
+        assert!(lat2 > SimDuration::ZERO);
+        assert!(
+            r2.finished_at > r1.finished_at,
+            "waves abort in sequence, not on top of each other"
+        );
+        // Both live devices still run v1 — neither wave leaked its shadow.
+        for d in &devices[..2] {
+            let dev = &sim.topo.node(*d).unwrap().device;
+            assert!(!dev.reconfig_in_progress(), "{d} rolled back");
+            assert_eq!(dev.program().unwrap().bundle, v1());
+        }
     }
 
     #[test]

@@ -80,6 +80,53 @@ pub enum IntentRecord {
         /// ([`flexnet_dataplane::config_digest_of`]).
         digest: u64,
     },
+    /// A canary rollout started. Logged with the full wave plan before
+    /// the first wave deploys, so a failed-over coordinator knows the
+    /// membership of every wave without the originator's memory. Rollout
+    /// ids share the transaction-id space (one allocator, so they stay
+    /// unique and monotone across failover).
+    RolloutStarted {
+        /// Rollout id.
+        rollout: u64,
+        /// The wave plan: `waves[k]` is the device set of wave `k+1`.
+        waves: Vec<Vec<u64>>,
+    },
+    /// Wave `wave` (1-based) of `rollout` flipped to the candidate via
+    /// per-wave transaction `txn`. The set of `WaveCommitted` records is
+    /// exactly the set of waves a rollback must un-flip.
+    WaveCommitted {
+        /// Rollout id.
+        rollout: u64,
+        /// 1-based wave number.
+        wave: u32,
+        /// The logged 2PC transaction that deployed the wave.
+        txn: u64,
+    },
+    /// A soak-window SLO guard breached: the rollout halted at `wave`
+    /// and rollback of every committed wave is owed. Logged before the
+    /// first rollback command, so a coordinator that dies mid-rollback
+    /// leaves an `Aborted`-without-`RolledBack` suffix for its successor
+    /// to finish.
+    RolloutAborted {
+        /// Rollout id.
+        rollout: u64,
+        /// 1-based wave whose soak breached.
+        wave: u32,
+        /// Single-token guard label (e.g. `loss-delta`, `p99-delta`).
+        guard: String,
+    },
+    /// Every wave committed and every soak stayed under its guards: the
+    /// candidate is fleet-wide. Terminal for the rollout.
+    RolloutCompleted {
+        /// Rollout id.
+        rollout: u64,
+    },
+    /// Every committed wave was rolled back to the prior program.
+    /// Terminal for the rollout.
+    RolledBack {
+        /// Rollout id.
+        rollout: u64,
+    },
 }
 
 impl IntentRecord {
@@ -92,6 +139,13 @@ impl IntentRecord {
             | IntentRecord::Committed { txn }
             | IntentRecord::Aborted { txn }
             | IntentRecord::IntendedState { txn, .. } => *txn,
+            // Rollout ids share the allocator, so they count here too —
+            // a failed-over coordinator must not reuse them.
+            IntentRecord::RolloutStarted { rollout, .. }
+            | IntentRecord::RolloutAborted { rollout, .. }
+            | IntentRecord::RolloutCompleted { rollout }
+            | IntentRecord::RolledBack { rollout } => *rollout,
+            IntentRecord::WaveCommitted { rollout, txn, .. } => (*rollout).max(*txn),
         }
     }
 
@@ -121,6 +175,26 @@ impl IntentRecord {
                 device,
                 digest,
             } => format!("intended {txn} dev {device} digest {digest}"),
+            IntentRecord::RolloutStarted { rollout, waves } => {
+                let plan = waves
+                    .iter()
+                    .map(|w| devs(w))
+                    .collect::<Vec<_>>()
+                    .join(";");
+                format!("rollout-started {rollout} waves {plan}")
+            }
+            IntentRecord::WaveCommitted { rollout, wave, txn } => {
+                format!("wave-committed {rollout} wave {wave} txn {txn}")
+            }
+            IntentRecord::RolloutAborted {
+                rollout,
+                wave,
+                guard,
+            } => format!("rollout-aborted {rollout} wave {wave} guard {guard}"),
+            IntentRecord::RolloutCompleted { rollout } => {
+                format!("rollout-completed {rollout}")
+            }
+            IntentRecord::RolledBack { rollout } => format!("rolled-back {rollout}"),
         }
     }
 
@@ -162,6 +236,55 @@ impl IntentRecord {
             }
             "committed" => IntentRecord::Committed { txn },
             "aborted" => IntentRecord::Aborted { txn },
+            "rollout-started" => {
+                if parts.next() != Some("waves") {
+                    return Err(bad());
+                }
+                let plan = parts.next().ok_or_else(bad)?;
+                let waves = plan
+                    .split(';')
+                    .map(parse_devs)
+                    .collect::<Result<Vec<Vec<u64>>>>()?;
+                if waves.iter().any(Vec::is_empty) {
+                    return Err(bad());
+                }
+                IntentRecord::RolloutStarted {
+                    rollout: txn,
+                    waves,
+                }
+            }
+            "wave-committed" => {
+                if parts.next() != Some("wave") {
+                    return Err(bad());
+                }
+                let wave: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                if parts.next() != Some("txn") {
+                    return Err(bad());
+                }
+                let wave_txn: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                IntentRecord::WaveCommitted {
+                    rollout: txn,
+                    wave,
+                    txn: wave_txn,
+                }
+            }
+            "rollout-aborted" => {
+                if parts.next() != Some("wave") {
+                    return Err(bad());
+                }
+                let wave: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                if parts.next() != Some("guard") {
+                    return Err(bad());
+                }
+                let guard = parts.next().ok_or_else(bad)?.to_string();
+                IntentRecord::RolloutAborted {
+                    rollout: txn,
+                    wave,
+                    guard,
+                }
+            }
+            "rollout-completed" => IntentRecord::RolloutCompleted { rollout: txn },
+            "rolled-back" => IntentRecord::RolledBack { rollout: txn },
             "intended" => {
                 if parts.next() != Some("dev") {
                     return Err(bad());
@@ -379,6 +502,22 @@ mod tests {
                 device: 7,
                 digest: u64::MAX,
             },
+            IntentRecord::RolloutStarted {
+                rollout: 6,
+                waves: vec![vec![1], vec![2, 4], vec![5, 6, 7]],
+            },
+            IntentRecord::WaveCommitted {
+                rollout: 6,
+                wave: 2,
+                txn: 9,
+            },
+            IntentRecord::RolloutAborted {
+                rollout: 6,
+                wave: 3,
+                guard: "loss-delta".into(),
+            },
+            IntentRecord::RolloutCompleted { rollout: 8 },
+            IntentRecord::RolledBack { rollout: 6 },
         ]
     }
 
@@ -410,6 +549,16 @@ mod tests {
             "intended 3 dev 2 digest",
             "intended 3 dev 2 digest x",
             "intended 3 device 2 digest 9",
+            "rollout-started 6",
+            "rollout-started 6 waves",
+            "rollout-started 6 waves 1;;2",
+            "rollout-started 6 waves 1,x",
+            "wave-committed 6 wave 2",
+            "wave-committed 6 wave 2 txn x",
+            "rollout-aborted 6 wave 3",
+            "rollout-aborted 6 wave 3 guard",
+            "rollout-completed",
+            "rolled-back 6 extra",
         ] {
             assert!(
                 matches!(IntentRecord::decode(bad), Err(FlexError::Consensus(_))),

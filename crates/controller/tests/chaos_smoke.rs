@@ -1,18 +1,21 @@
-//! The chaos smoke suite: fixed seed slices of the E13 and E14 sweeps,
-//! small enough for CI, wide enough to cover every crash phase, victim
-//! placement, restart cohort, and fabric-loss tier.
+//! The chaos smoke suite: fixed seed slices of the E13, E14, and E15
+//! sweeps, small enough for CI, wide enough to cover every crash phase,
+//! victim placement, restart cohort, candidate fault class, and
+//! fabric-loss tier.
 //!
 //! Each seed expands deterministically into a full scenario (E13:
 //! journaled transaction → coordinator + optional device crash →
 //! failover → recovery → zombie replay → live traffic; E14: device
 //! restarts — sometimes mid-transaction — → flap detection →
-//! rate-limited digest resync → convergence), so a failure here
-//! reproduces bit-identically with `run_chaos_seed(<seed>)` or
-//! `run_resync_seed(<seed>)`.
+//! rate-limited digest resync → convergence; E15: canary rollout of a
+//! seeded-bad candidate → SLO guard breach → automatic rollback), so a
+//! failure here reproduces bit-identically with `run_chaos_seed(<seed>)`,
+//! `run_resync_seed(<seed>)`, or `run_canary_seed(<seed>)`.
 
 use flexnet_controller::chaos::run_chaos_seed;
 use flexnet_controller::resync::{run_resync_seed, ResyncOutcome};
-use flexnet_sim::{ChaosSchedule, CrashPhase, RestartSchedule};
+use flexnet_controller::rollout::{run_canary_seed, RolloutOutcome};
+use flexnet_sim::{ChaosSchedule, CrashPhase, RestartSchedule, RolloutFault, RolloutSchedule};
 
 /// The pinned CI seed set. Contiguous so phase coverage is guaranteed
 /// (seeds cycle phases mod 4); pinned so CI failures are reproducible
@@ -155,6 +158,77 @@ fn every_restart_smoke_seed_converges_with_every_invariant() {
         "{} of {} restart smoke seeds failed:\n{}",
         failures.len(),
         RESTART_SMOKE_SEEDS.len(),
+        failures.join("\n")
+    );
+}
+
+/// The pinned E15 canary-smoke seed set. Contiguous so fault-class
+/// coverage is guaranteed (classes cycle mod 5); 12 seeds keeps the
+/// suite CI-sized while hitting every candidate class at least twice,
+/// gray victims in more than one wave, and lossy control fabrics.
+const CANARY_SMOKE_SEEDS: [u64; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+
+#[test]
+fn the_canary_smoke_seed_set_covers_the_scenario_space() {
+    let schedules: Vec<RolloutSchedule> = CANARY_SMOKE_SEEDS
+        .iter()
+        .map(|&s| RolloutSchedule::from_seed(s, 8))
+        .collect();
+    for fault in RolloutFault::ALL {
+        assert!(
+            schedules.iter().any(|s| s.fault == fault),
+            "no canary smoke seed deploys a {} candidate",
+            fault.label()
+        );
+    }
+    assert!(
+        schedules.iter().any(|s| s.gray_victim.is_some()),
+        "no canary smoke seed places a gray build"
+    );
+    assert!(
+        schedules.iter().any(|s| s.fabric_loss > 0.0),
+        "no canary smoke seed has a lossy control fabric"
+    );
+}
+
+#[test]
+fn every_canary_smoke_seed_upholds_every_invariant() {
+    let mut failures = Vec::new();
+    for &seed in &CANARY_SMOKE_SEEDS {
+        match run_canary_seed(seed) {
+            Ok(report) if report.passed() => match report.schedule.fault {
+                RolloutFault::Clean => {
+                    assert_eq!(
+                        report.rollout.outcome,
+                        RolloutOutcome::Completed,
+                        "seed {seed}: clean candidate must complete"
+                    );
+                    assert_eq!(report.lost, 0, "seed {seed}: clean rollout pays loss");
+                }
+                _ => {
+                    assert!(
+                        matches!(report.rollout.outcome, RolloutOutcome::RolledBack { .. }),
+                        "seed {seed}: bad candidate must roll back"
+                    );
+                    assert!(
+                        report.rollout.rollback_latency.is_some(),
+                        "seed {seed}: rollback must report its latency"
+                    );
+                }
+            },
+            Ok(report) => failures.push(format!(
+                "seed {seed} ({}): {:?}",
+                report.schedule.fault.label(),
+                report.violations
+            )),
+            Err(e) => failures.push(format!("seed {seed}: harness error: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} canary smoke seeds failed:\n{}",
+        failures.len(),
+        CANARY_SMOKE_SEEDS.len(),
         failures.join("\n")
     );
 }

@@ -258,6 +258,11 @@ pub struct DeviceStats {
     pub punted: u64,
     /// Packets dropped because recirculation exceeded the bound.
     pub recirc_dropped: u64,
+    /// Packets dropped by a program verdict. The data-path health
+    /// signal piggybacked on heartbeats: a rising dropped/processed
+    /// slope on a device that still heartbeats on time is the
+    /// gray-failure signature.
+    pub dropped: u64,
 }
 
 /// A runtime-programmable network device.
@@ -711,6 +716,9 @@ impl Device {
         self.stats.processed += 1;
         if verdict == Verdict::ToController {
             self.stats.punted += 1;
+        }
+        if verdict == Verdict::Drop {
+            self.stats.dropped += 1;
         }
 
         Ok(ProcessResult {

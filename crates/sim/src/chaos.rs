@@ -222,6 +222,115 @@ pub fn restart_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<Re
         .collect()
 }
 
+/// How a canary rollout's *candidate program* misbehaves.
+///
+/// Where [`ChaosSchedule`] and [`RestartSchedule`] break the substrate
+/// (coordinator, devices), a rollout fault ships a *bad program*: the
+/// infrastructure works perfectly and the payload itself regresses the
+/// SLOs. Each variant is designed to trip a different guard in the
+/// controller's canary orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RolloutFault {
+    /// The candidate is correct: the rollout must complete every wave
+    /// with zero loss and no guard false-positive.
+    Clean,
+    /// The candidate drops every packet it sees — the loudest possible
+    /// regression; the fleet loss-delta guard must fire in wave 1.
+    UniformDrop,
+    /// One specific device (and only it) receives a pathological build
+    /// of the candidate — a device-scoped miscompile. The device keeps
+    /// heartbeating on time; only its data-path drop slope betrays it
+    /// (the paper's gray failure).
+    GrayDrop,
+    /// The candidate burns ~2 µs of extra per-packet work: no loss at
+    /// all, but the p99 latency-delta guard must catch it.
+    LatencyInflation,
+    /// The candidate drops 1 packet in 8, per device: fleet-level loss
+    /// stays under the guard while only one wave's devices run it, and
+    /// crosses the threshold as later waves widen exposure — the
+    /// slow-burn regression that only late waves reveal.
+    SlowBurn,
+}
+
+impl RolloutFault {
+    /// All faults, cycled by the sweep.
+    pub const ALL: [RolloutFault; 5] = [
+        RolloutFault::Clean,
+        RolloutFault::UniformDrop,
+        RolloutFault::GrayDrop,
+        RolloutFault::LatencyInflation,
+        RolloutFault::SlowBurn,
+    ];
+
+    /// A short stable label for tables and test output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RolloutFault::Clean => "clean",
+            RolloutFault::UniformDrop => "uniform-drop",
+            RolloutFault::GrayDrop => "gray-drop",
+            RolloutFault::LatencyInflation => "latency-inflation",
+            RolloutFault::SlowBurn => "slow-burn",
+        }
+    }
+}
+
+/// Everything a canary-rollout chaos run does, derived from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutSchedule {
+    /// The originating seed (kept for reproduction in reports).
+    pub seed: u64,
+    /// Which way the candidate program is bad (or [`RolloutFault::Clean`]).
+    pub fault: RolloutFault,
+    /// For [`RolloutFault::GrayDrop`]: the fleet index of the device that
+    /// receives the pathological build. Drawn from the first
+    /// `min(4, participants)` indices so — under the canonical cumulative
+    /// wave plan 1 → 2 → 4 → all — the victim always flips *before* the
+    /// final wave, and a guard that works must catch it short of
+    /// full-fleet exposure. `None` for every other fault.
+    pub gray_victim: Option<usize>,
+    /// Drop probability of the controller↔device fabric (the control
+    /// plane retries through it; the rollout must still resolve).
+    pub fabric_loss: f64,
+    /// Seed for the controller Raft cluster.
+    pub raft_seed: u64,
+}
+
+impl RolloutSchedule {
+    /// Expands `seed` into a rollout schedule over `participants` devices.
+    ///
+    /// The fault cycles with the seed (any contiguous run of ≥5 seeds
+    /// covers every fault class), the gray victim is drawn from the
+    /// early-wave indices, and fabric loss comes from {0, 10%, 25%}.
+    pub fn from_seed(seed: u64, participants: usize) -> RolloutSchedule {
+        let h = mix(seed ^ 0x0BAD_CA5E);
+        let fault = RolloutFault::ALL[(seed % 5) as usize];
+        let gray_victim = if fault == RolloutFault::GrayDrop && participants > 0 {
+            Some(((h >> 3) as usize) % participants.min(4))
+        } else {
+            None
+        };
+        let fabric_loss = match (h >> 8) % 3 {
+            0 => 0.0,
+            1 => 0.10,
+            _ => 0.25,
+        };
+        RolloutSchedule {
+            seed,
+            fault,
+            gray_victim,
+            fabric_loss,
+            raft_seed: mix(seed ^ 0xCAFE_F11B),
+        }
+    }
+}
+
+/// The rollout schedules for a contiguous seed range (E15's sweep shape).
+pub fn rollout_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<RolloutSchedule> {
+    (first_seed..first_seed.saturating_add(count))
+        .map(|s| RolloutSchedule::from_seed(s, participants))
+        .collect()
+}
+
 /// The convergence check at the heart of anti-entropy: which of the
 /// devices in `intended` report a configuration digest different from
 /// their intended-state digest? An empty return means the network is
@@ -325,6 +434,46 @@ mod tests {
         for s in restart_sweep(0, 12, devices.len()) {
             let plan = s.fault_plan(&devices, SimTime::from_secs(1));
             assert_eq!(plan.events().len(), 2 * s.restarts, "crash+restart each");
+        }
+    }
+
+    #[test]
+    fn rollout_schedules_cycle_faults_and_keep_gray_victims_early() {
+        for start in [0u64, 13, 777] {
+            let mut faults: Vec<RolloutFault> = rollout_sweep(start, 5, 8)
+                .iter()
+                .map(|s| s.fault)
+                .collect();
+            faults.sort();
+            faults.dedup();
+            assert_eq!(faults.len(), 5, "seeds {start}..{} miss a fault", start + 5);
+        }
+        for s in rollout_sweep(0, 120, 8) {
+            assert_eq!(s, RolloutSchedule::from_seed(s.seed, 8), "deterministic");
+            assert!((0.0..=0.25).contains(&s.fabric_loss));
+            match s.fault {
+                RolloutFault::GrayDrop => {
+                    let v = s.gray_victim.expect("gray runs pick a victim");
+                    assert!(
+                        v < 4,
+                        "gray victim {v} must flip before the final wave (seed {})",
+                        s.seed
+                    );
+                }
+                _ => assert_eq!(s.gray_victim, None, "seed {}", s.seed),
+            }
+        }
+    }
+
+    #[test]
+    fn gray_victim_respects_small_fleets() {
+        for s in rollout_sweep(0, 40, 2) {
+            if let Some(v) = s.gray_victim {
+                assert!(v < 2);
+            }
+        }
+        for s in rollout_sweep(0, 40, 0) {
+            assert_eq!(s.gray_victim, None);
         }
     }
 

@@ -27,9 +27,12 @@ pub mod metrics;
 pub mod topology;
 pub mod workload;
 
-pub use chaos::{diverged, restart_sweep, sweep, ChaosSchedule, CrashPhase, RestartSchedule};
+pub use chaos::{
+    diverged, restart_sweep, rollout_sweep, sweep, ChaosSchedule, CrashPhase, RestartSchedule,
+    RolloutFault, RolloutSchedule,
+};
 pub use engine::{Command, Simulation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
-pub use metrics::{Bucket, LossKind, Metrics};
+pub use metrics::{Bucket, LossKind, Metrics, WindowDelta, WindowStats};
 pub use topology::{Link, Node, NodeKind, Topology};
 pub use workload::{generate, syn_flood, tenant_churn, ChurnEvent, Departure, FlowSpec, Pattern};

@@ -36,6 +36,50 @@ pub struct Bucket {
     pub refused: u64,
 }
 
+/// Delivery/loss/latency statistics over a half-open time window
+/// (see [`Metrics::window_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Packets delivered within the window.
+    pub delivered: u64,
+    /// Packets lost (all causes) within the window.
+    pub lost: u64,
+    /// p99 latency over deliveries in the window, `None` if none.
+    pub p99: Option<SimDuration>,
+}
+
+impl WindowStats {
+    /// Delivery attempts observed in the window.
+    pub fn attempts(&self) -> u64 {
+        self.delivered + self.lost
+    }
+
+    /// Loss fraction of attempts, in parts per million. Integer so guard
+    /// thresholds and [`flexnet_types`] errors stay `Eq`-comparable.
+    /// 0 for an empty window — no evidence is not evidence of loss.
+    pub fn loss_ppm(&self) -> u64 {
+        (self.lost * 1_000_000).checked_div(self.attempts()).unwrap_or(0)
+    }
+}
+
+/// Baseline-vs-observation deltas (see [`Metrics::window_delta`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowDelta {
+    /// Observed loss ppm minus baseline loss ppm (positive = worse).
+    pub loss_delta_ppm: i64,
+    /// Observed p99 minus baseline p99 in ns (positive = slower); 0 when
+    /// either window had no deliveries.
+    pub p99_delta_ns: i64,
+}
+
+fn percentile_of_sorted(sorted: &[u64], p: f64) -> Option<SimDuration> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    Some(SimDuration::from_nanos(sorted[rank.min(sorted.len() - 1)]))
+}
+
 /// Collected simulation metrics.
 #[derive(Debug)]
 pub struct Metrics {
@@ -47,8 +91,12 @@ pub struct Metrics {
     pub losses: BTreeMap<LossKind, u64>,
     /// Packets punted to the controller.
     pub punted: u64,
-    /// End-to-end latencies of delivered packets (ns).
-    latencies_ns: Vec<u64>,
+    /// End-to-end latencies of delivered packets as `(delivery time,
+    /// latency ns)` — timestamped so rollout guards can compute
+    /// percentiles over a soak window, not just the whole run.
+    latencies_ns: Vec<(SimTime, u64)>,
+    /// Timestamps of every loss (all causes), for windowed loss rates.
+    lost_at: Vec<(SimTime, LossKind)>,
     /// Delivery/loss timeseries.
     buckets: BTreeMap<u64, Bucket>,
     bucket_width: SimDuration,
@@ -77,6 +125,7 @@ impl Metrics {
             losses: BTreeMap::new(),
             punted: 0,
             latencies_ns: Vec::new(),
+            lost_at: Vec::new(),
             buckets: BTreeMap::new(),
             bucket_width,
             version_counts: BTreeMap::new(),
@@ -100,7 +149,7 @@ impl Metrics {
     pub fn record_delivered(&mut self, pkt: &Packet, at: SimTime) {
         self.delivered += 1;
         let latency = at.saturating_since(pkt.ingress_time);
-        self.latencies_ns.push(latency.as_nanos());
+        self.latencies_ns.push((at, latency.as_nanos()));
         self.bucket(at).delivered += 1;
         for (node, version) in &pkt.trace {
             *self.version_counts.entry((*node, *version)).or_insert(0) += 1;
@@ -113,6 +162,7 @@ impl Metrics {
     /// Records a loss.
     pub fn record_lost(&mut self, kind: LossKind, at: SimTime) {
         *self.losses.entry(kind).or_insert(0) += 1;
+        self.lost_at.push((at, kind));
         let b = self.bucket(at);
         b.lost += 1;
         if kind == LossKind::Refused {
@@ -144,13 +194,9 @@ impl Metrics {
 
     /// A latency percentile (p in [0, 100]) over delivered packets.
     pub fn latency_percentile(&self, p: f64) -> Option<SimDuration> {
-        if self.latencies_ns.is_empty() {
-            return None;
-        }
-        let mut v = self.latencies_ns.clone();
+        let mut v: Vec<u64> = self.latencies_ns.iter().map(|&(_, l)| l).collect();
         v.sort_unstable();
-        let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
-        Some(SimDuration::from_nanos(v[rank.min(v.len() - 1)]))
+        percentile_of_sorted(&v, p)
     }
 
     /// Mean delivery latency.
@@ -158,10 +204,57 @@ impl Metrics {
         if self.latencies_ns.is_empty() {
             return None;
         }
-        let sum: u128 = self.latencies_ns.iter().map(|&x| x as u128).sum();
+        let sum: u128 = self.latencies_ns.iter().map(|&(_, l)| l as u128).sum();
         Some(SimDuration::from_nanos(
             (sum / self.latencies_ns.len() as u128) as u64,
         ))
+    }
+
+    /// Delivery, loss, and latency statistics over the half-open window
+    /// `[from, to)`. Exact — computed from per-event timestamps, not the
+    /// coarser timeseries buckets — so SLO guards can compare a soak
+    /// window against a pre-rollout baseline without bucket-edge noise.
+    pub fn window_stats(&self, from: SimTime, to: SimTime) -> WindowStats {
+        let mut lat: Vec<u64> = self
+            .latencies_ns
+            .iter()
+            .filter(|(at, _)| *at >= from && *at < to)
+            .map(|&(_, l)| l)
+            .collect();
+        let delivered = lat.len() as u64;
+        let lost = self
+            .lost_at
+            .iter()
+            .filter(|(at, _)| *at >= from && *at < to)
+            .count() as u64;
+        lat.sort_unstable();
+        WindowStats {
+            delivered,
+            lost,
+            p99: percentile_of_sorted(&lat, 99.0),
+        }
+    }
+
+    /// The change between a baseline window and an observation window:
+    /// loss-rate delta in parts per million and p99 latency delta in
+    /// nanoseconds (both signed; positive means the observation window is
+    /// worse). When either window delivered nothing the p99 delta is 0 —
+    /// an empty window proves nothing about latency.
+    pub fn window_delta(
+        &self,
+        baseline: (SimTime, SimTime),
+        observed: (SimTime, SimTime),
+    ) -> WindowDelta {
+        let base = self.window_stats(baseline.0, baseline.1);
+        let obs = self.window_stats(observed.0, observed.1);
+        let p99_delta_ns = match (base.p99, obs.p99) {
+            (Some(b), Some(o)) => o.as_nanos() as i64 - b.as_nanos() as i64,
+            _ => 0,
+        };
+        WindowDelta {
+            loss_delta_ppm: obs.loss_ppm() as i64 - base.loss_ppm() as i64,
+            p99_delta_ns,
+        }
     }
 
     /// The observed service-disruption window: the span between the first
@@ -263,6 +356,71 @@ mod tests {
         assert_eq!(ts[0].1.delivered, 1);
         assert_eq!(ts[1].1.delivered, 1);
         assert_eq!(ts[1].1.lost, 1);
+    }
+
+    #[test]
+    fn empty_window_is_neutral() {
+        let mut m = Metrics::default();
+        m.record_delivered(&pkt_at(1, SimTime::ZERO), SimTime::from_millis(5));
+        m.record_lost(LossKind::PolicyDrop, SimTime::from_millis(5));
+        // A window covering no events at all.
+        let w = m.window_stats(SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(w.delivered, 0);
+        assert_eq!(w.lost, 0);
+        assert_eq!(w.attempts(), 0);
+        assert_eq!(w.loss_ppm(), 0, "no evidence is not evidence of loss");
+        assert!(w.p99.is_none());
+        // A delta against an empty observation window must not claim a
+        // latency regression.
+        let d = m.window_delta(
+            (SimTime::ZERO, SimTime::from_millis(10)),
+            (SimTime::from_secs(1), SimTime::from_secs(2)),
+        );
+        assert_eq!(d.p99_delta_ns, 0);
+        assert_eq!(d.loss_delta_ppm, -500_000, "baseline lost half its attempts");
+    }
+
+    #[test]
+    fn single_bucket_window_edges_are_half_open() {
+        // All events inside one timeseries bucket (width 10ms): window
+        // math must still be exact, and [from, to) must include `from`
+        // but exclude `to`.
+        let mut m = Metrics::new(SimDuration::from_millis(10));
+        m.record_delivered(&pkt_at(1, SimTime::ZERO), SimTime::from_millis(2));
+        m.record_delivered(&pkt_at(2, SimTime::ZERO), SimTime::from_millis(4));
+        m.record_lost(LossKind::PolicyDrop, SimTime::from_millis(4));
+        let w = m.window_stats(SimTime::from_millis(2), SimTime::from_millis(4));
+        assert_eq!(w.delivered, 1, "2ms included, 4ms excluded");
+        assert_eq!(w.lost, 0, "loss at the exclusive edge not counted");
+        assert_eq!(w.p99, Some(SimDuration::from_millis(2)));
+        let all = m.window_stats(SimTime::from_millis(2), SimTime::from_millis(5));
+        assert_eq!(all.delivered, 2);
+        assert_eq!(all.lost, 1);
+        assert_eq!(all.loss_ppm(), 333_333);
+    }
+
+    #[test]
+    fn window_delta_flags_regressions() {
+        let mut m = Metrics::default();
+        // Baseline [0, 10ms): fast, lossless.
+        for i in 0..10u64 {
+            m.record_delivered(&pkt_at(i, SimTime::from_millis(i)), SimTime::from_millis(i) + SimDuration::from_micros(100));
+        }
+        // Observation [100ms, 110ms): slower and lossy.
+        for i in 0..8u64 {
+            m.record_delivered(
+                &pkt_at(100 + i, SimTime::from_millis(100 + i)),
+                SimTime::from_millis(100 + i) + SimDuration::from_micros(300),
+            );
+        }
+        m.record_lost(LossKind::PolicyDrop, SimTime::from_millis(105));
+        m.record_lost(LossKind::PolicyDrop, SimTime::from_millis(106));
+        let d = m.window_delta(
+            (SimTime::ZERO, SimTime::from_millis(10)),
+            (SimTime::from_millis(100), SimTime::from_millis(110)),
+        );
+        assert_eq!(d.loss_delta_ppm, 200_000, "2 of 10 attempts lost");
+        assert_eq!(d.p99_delta_ns, 200_000, "p99 rose 200µs");
     }
 
     #[test]

@@ -245,6 +245,31 @@ impl Topology {
         (t, sw, hosts)
     }
 
+    /// `n` independent src-host → switch → dst-host lanes. Each lane's
+    /// traffic crosses exactly one switch, so a misbehaving program on
+    /// one switch affects only its own lane — the topology used by the
+    /// canary-rollout harness to make blast radius measurable per wave.
+    /// Returns `(topology, switches, lanes)` where `lanes[i]` is the
+    /// `(src, dst)` host pair behind `switches[i]`.
+    #[allow(clippy::type_complexity)]
+    pub fn parallel_lanes(n: usize) -> (Topology, Vec<NodeId>, Vec<(NodeId, NodeId)>) {
+        let mut t = Topology::new();
+        let lat = SimDuration::from_micros(1);
+        let bw = 10_000_000_000u64;
+        let mut switches = Vec::new();
+        let mut lanes = Vec::new();
+        for _ in 0..n {
+            let src = t.add_node(NodeKind::Host, Architecture::host_default());
+            let sw = t.add_node(NodeKind::Switch, Architecture::drmt_default());
+            let dst = t.add_node(NodeKind::Host, Architecture::host_default());
+            t.connect(src, 1, sw, 0, lat, bw).expect("nodes exist");
+            t.connect(sw, 1, dst, 0, lat, bw).expect("nodes exist");
+            switches.push(sw);
+            lanes.push((src, dst));
+        }
+        (t, switches, lanes)
+    }
+
     /// A host → NIC → switch → NIC → host line (the vertical stack).
     #[allow(clippy::type_complexity)]
     pub fn host_nic_switch_line() -> (Topology, [NodeId; 5]) {

@@ -96,6 +96,40 @@ pub enum FlexError {
         /// The device being resynchronized.
         node: u64,
     },
+    /// A rollout SLO guard breached during a soak window. Units are
+    /// integer so the error stays `Eq`-comparable: rates are parts per
+    /// million, latencies are nanoseconds.
+    SloViolation {
+        /// Which guard fired (e.g. `loss-delta`, `p99-delta`,
+        /// `drop-slope`, `version-xor`).
+        guard: String,
+        /// The observed value (ppm for rates, ns for latencies).
+        observed: u64,
+        /// The configured threshold in the same unit.
+        threshold: u64,
+    },
+    /// A canary rollout halted before completing: some waves may have
+    /// committed and are being (or have been) rolled back. Not
+    /// retryable — the new program itself is suspect and needs a human
+    /// or a fixed build, not another attempt.
+    RolloutAborted {
+        /// The wave (1-based) whose soak breached a guard.
+        wave: u32,
+        /// Single-token reason, typically the guard label.
+        reason: String,
+    },
+    /// A device is excluded from admission because its health grade is
+    /// not `Healthy` — it may be silent (suspect/dead) or gray-failing
+    /// (heartbeats on time, data path degraded). Retryable: the failure
+    /// detector clears the grade when the device recovers or a resync
+    /// converges it.
+    DegradedDevice {
+        /// The excluded device.
+        node: u64,
+        /// The health grade that blocked admission (single token:
+        /// `degraded`, `suspect`, or `dead`).
+        grade: String,
+    },
 }
 
 impl fmt::Display for FlexError {
@@ -143,6 +177,20 @@ impl fmt::Display for FlexError {
             FlexError::ResyncInProgress { node } => {
                 write!(f, "resync already in progress on node {node}")
             }
+            FlexError::SloViolation {
+                guard,
+                observed,
+                threshold,
+            } => write!(
+                f,
+                "SLO guard {guard} breached: observed {observed} > threshold {threshold}"
+            ),
+            FlexError::RolloutAborted { wave, reason } => {
+                write!(f, "rollout aborted at wave {wave}: {reason}")
+            }
+            FlexError::DegradedDevice { node, grade } => {
+                write!(f, "node {node} excluded from admission: health grade {grade}")
+            }
         }
     }
 }
@@ -161,10 +209,19 @@ impl FlexError {
     /// *by* the retry layer (its budget is already spent), `Unavailable`
     /// is resolved by the failure detector rather than blind retries, and
     /// everything else is semantic.
+    ///
+    /// [`FlexError::DegradedDevice`] qualifies: the grade is cleared when
+    /// the device recovers, resyncs, or a rollback restores its old
+    /// program, so a later admission attempt can succeed. A breached
+    /// guard ([`FlexError::SloViolation`]) or an aborted rollout
+    /// ([`FlexError::RolloutAborted`]) indicts the *program*, not the
+    /// moment — retrying the same bundle reproduces the breach.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            FlexError::NoLeader { .. } | FlexError::ResyncInProgress { .. }
+            FlexError::NoLeader { .. }
+                | FlexError::ResyncInProgress { .. }
+                | FlexError::DegradedDevice { .. }
         )
     }
 
@@ -251,6 +308,42 @@ mod tests {
         assert!(
             busy.is_retryable(),
             "the in-flight resync completes on its own; retrying helps"
+        );
+    }
+
+    #[test]
+    fn rollout_errors_format_and_classify() {
+        let slo = FlexError::SloViolation {
+            guard: "loss-delta".into(),
+            observed: 31_250,
+            threshold: 20_000,
+        };
+        let s = slo.to_string();
+        assert!(s.contains("loss-delta"), "{s}");
+        assert!(s.contains("31250"), "{s}");
+        assert!(s.contains("20000"), "{s}");
+        assert!(
+            !slo.is_retryable(),
+            "a breached guard indicts the program; retrying reproduces it"
+        );
+
+        let aborted = FlexError::RolloutAborted {
+            wave: 2,
+            reason: "p99-delta".into(),
+        };
+        assert!(aborted.to_string().contains("wave 2"));
+        assert!(aborted.to_string().contains("p99-delta"));
+        assert!(!aborted.is_retryable(), "the bundle is suspect, not the moment");
+
+        let degraded = FlexError::DegradedDevice {
+            node: 5,
+            grade: "degraded".into(),
+        };
+        assert!(degraded.to_string().contains("node 5"));
+        assert!(degraded.to_string().contains("degraded"));
+        assert!(
+            degraded.is_retryable(),
+            "grades clear on recovery/resync; a later admission can succeed"
         );
     }
 
