@@ -94,143 +94,156 @@ fn fmt_opt(d: Option<SimDuration>) -> String {
     d.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
 }
 
+// Baseline: no fault; the two-device transaction commits.
+fn fault_baseline() -> Vec<String> {
+    let (mut sim, sw, hosts) = scenario();
+    sim.run(SimTime::from_secs(2));
+    let targets = vec![(sw, new_program()), (hosts[2], side_new())];
+    let rep = transactional_reconfig(&mut sim, &targets, SimTime::from_secs(2));
+    sim.run_to_completion();
+    vec![
+        "none (baseline)".into(),
+        format!("{:?}", rep.outcome),
+        format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+        "-".into(),
+        "-".into(),
+    ]
+}
+
+// Device crash during the prepare phase: participant host 2 dies just
+// before its prepare arrives → the coordinator rolls the switch back;
+// traffic on the old program never notices.
+fn fault_crash_in_prepare() -> Vec<String> {
+    let (mut sim, sw, hosts) = scenario();
+    sim.run(SimTime::from_secs(2));
+    let t = SimTime::from_secs(2);
+    sim.topo.node_mut(hosts[2]).unwrap().device.crash(t);
+    let targets = vec![(sw, new_program()), (hosts[2], side_new())];
+    let rep = transactional_reconfig(&mut sim, &targets, t);
+    sim.run_to_completion();
+    vec![
+        "crash in prepare".into(),
+        format!("{:?}", rep.outcome),
+        format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+        fmt_opt(rep.rollback_latency),
+        "-".into(),
+    ]
+}
+
+// Mid-reconfig abort: the transition is deliberately cancelled halfway
+// through its window; the switch keeps serving the old program.
+fn fault_mid_reconfig_abort() -> Vec<String> {
+    let (mut sim, sw, _hosts) = scenario();
+    sim.schedule(
+        SimTime::from_secs(2),
+        Command::RuntimeReconfig {
+            node: sw,
+            bundle: new_program(),
+        },
+    );
+    FaultPlan::new(12)
+        .abort_reconfig(SimTime::from_secs(2) + SimDuration::from_millis(1), sw)
+        .apply(&mut sim);
+    sim.run_to_completion();
+    let abort = sim
+        .reconfig_reports
+        .iter()
+        .find(|(_, _, r)| r.outcome == ReconfigOutcome::Aborted);
+    vec![
+        "mid-reconfig abort".into(),
+        "Aborted".into(),
+        format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+        fmt_opt(abort.map(|(_, _, r)| r.duration)),
+        "-".into(),
+    ]
+}
+
+// Crash of the on-path switch itself (with restart): the txn aborts
+// AND roughly one second of traffic is lost while it is down; the
+// restarted switch comes back with wiped runtime state.
+fn fault_crash_on_path() -> Vec<String> {
+    let (mut sim, sw, hosts) = scenario();
+    sim.run(SimTime::from_secs(2));
+    let t = SimTime::from_secs(2);
+    sim.topo.node_mut(sw).unwrap().device.crash(t);
+    sim.recompute_routes();
+    let targets = vec![(sw, new_program()), (hosts[2], side_new())];
+    let rep = transactional_reconfig(&mut sim, &targets, t);
+    FaultPlan::new(12)
+        .restart(SimTime::from_secs(3), sw)
+        .apply(&mut sim);
+    sim.run_to_completion();
+    // First 10 ms timeseries bucket with deliveries after the restart
+    // bounds recovery from above at bucket granularity.
+    let recovery = sim
+        .metrics
+        .timeseries()
+        .iter()
+        .find(|(at, b)| *at >= SimTime::from_secs(3) && b.delivered > 0)
+        .map(|(at, _)| {
+            at.saturating_since(SimTime::from_secs(3)) + SimDuration::from_millis(10)
+        });
+    vec![
+        "crash on-path".into(),
+        format!("{:?}", rep.outcome),
+        format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+        fmt_opt(rep.rollback_latency),
+        recovery
+            .map(|d| format!("<{d}"))
+            .unwrap_or_else(|| "-".into()),
+    ]
+}
+
+// Link flap during the transition: loss only while the link is down;
+// the (single-device) reconfiguration still commits.
+fn fault_link_flap() -> Vec<String> {
+    let (mut sim, sw, _hosts) = scenario();
+    let cut = sim.topo.node(sw).unwrap().ports[&1];
+    sim.schedule(
+        SimTime::from_secs(2),
+        Command::RuntimeReconfig {
+            node: sw,
+            bundle: new_program(),
+        },
+    );
+    FaultPlan::new(12)
+        .flap_link(
+            cut,
+            SimTime::from_millis(1900),
+            SimTime::from_millis(2300),
+            SimDuration::from_millis(40),
+        )
+        .apply(&mut sim);
+    sim.run_to_completion();
+    let committed = sim
+        .reconfig_reports
+        .iter()
+        .any(|(_, _, r)| r.outcome != ReconfigOutcome::Aborted);
+    vec![
+        "link flap".into(),
+        (if committed { "Committed" } else { "Aborted" }).into(),
+        format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
+        "-".into(),
+        "-".into(),
+    ]
+}
+
 fn part_a() {
     println!("\n--- Part A: fault classes vs. transactional hitless reconfig (10 kpps) ---\n");
     row(&["fault", "txn-outcome", "lost/sent", "rollback", "recovery"]);
     sep(5);
 
-    // Baseline: no fault; the two-device transaction commits.
-    {
-        let (mut sim, sw, hosts) = scenario();
-        sim.run(SimTime::from_secs(2));
-        let targets = vec![(sw, new_program()), (hosts[2], side_new())];
-        let rep = transactional_reconfig(&mut sim, &targets, SimTime::from_secs(2));
-        sim.run_to_completion();
-        row(&[
-            "none (baseline)",
-            &format!("{:?}", rep.outcome),
-            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
-            "-",
-            "-",
-        ]);
-    }
-
-    // Device crash during the prepare phase: participant host 2 dies just
-    // before its prepare arrives → the coordinator rolls the switch back;
-    // traffic on the old program never notices.
-    {
-        let (mut sim, sw, hosts) = scenario();
-        sim.run(SimTime::from_secs(2));
-        let t = SimTime::from_secs(2);
-        sim.topo.node_mut(hosts[2]).unwrap().device.crash(t);
-        let targets = vec![(sw, new_program()), (hosts[2], side_new())];
-        let rep = transactional_reconfig(&mut sim, &targets, t);
-        sim.run_to_completion();
-        row(&[
-            "crash in prepare",
-            &format!("{:?}", rep.outcome),
-            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
-            &fmt_opt(rep.rollback_latency),
-            "-",
-        ]);
-    }
-
-    // Mid-reconfig abort: the transition is deliberately cancelled halfway
-    // through its window; the switch keeps serving the old program.
-    {
-        let (mut sim, sw, _hosts) = scenario();
-        sim.schedule(
-            SimTime::from_secs(2),
-            Command::RuntimeReconfig {
-                node: sw,
-                bundle: new_program(),
-            },
-        );
-        FaultPlan::new(12)
-            .abort_reconfig(SimTime::from_secs(2) + SimDuration::from_millis(1), sw)
-            .apply(&mut sim);
-        sim.run_to_completion();
-        let abort = sim
-            .reconfig_reports
-            .iter()
-            .find(|(_, _, r)| r.outcome == ReconfigOutcome::Aborted);
-        row(&[
-            "mid-reconfig abort",
-            "Aborted",
-            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
-            &fmt_opt(abort.map(|(_, _, r)| r.duration)),
-            "-",
-        ]);
-    }
-
-    // Crash of the on-path switch itself (with restart): the txn aborts
-    // AND roughly one second of traffic is lost while it is down; the
-    // restarted switch comes back with wiped runtime state.
-    {
-        let (mut sim, sw, hosts) = scenario();
-        sim.run(SimTime::from_secs(2));
-        let t = SimTime::from_secs(2);
-        sim.topo.node_mut(sw).unwrap().device.crash(t);
-        sim.recompute_routes();
-        let targets = vec![(sw, new_program()), (hosts[2], side_new())];
-        let rep = transactional_reconfig(&mut sim, &targets, t);
-        FaultPlan::new(12)
-            .restart(SimTime::from_secs(3), sw)
-            .apply(&mut sim);
-        sim.run_to_completion();
-        // First 10 ms timeseries bucket with deliveries after the restart
-        // bounds recovery from above at bucket granularity.
-        let recovery = sim
-            .metrics
-            .timeseries()
-            .iter()
-            .find(|(at, b)| *at >= SimTime::from_secs(3) && b.delivered > 0)
-            .map(|(at, _)| {
-                at.saturating_since(SimTime::from_secs(3)) + SimDuration::from_millis(10)
-            });
-        row(&[
-            "crash on-path",
-            &format!("{:?}", rep.outcome),
-            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
-            &fmt_opt(rep.rollback_latency),
-            &recovery
-                .map(|d| format!("<{d}"))
-                .unwrap_or_else(|| "-".into()),
-        ]);
-    }
-
-    // Link flap during the transition: loss only while the link is down;
-    // the (single-device) reconfiguration still commits.
-    {
-        let (mut sim, sw, _hosts) = scenario();
-        let cut = sim.topo.node(sw).unwrap().ports[&1];
-        sim.schedule(
-            SimTime::from_secs(2),
-            Command::RuntimeReconfig {
-                node: sw,
-                bundle: new_program(),
-            },
-        );
-        FaultPlan::new(12)
-            .flap_link(
-                cut,
-                SimTime::from_millis(1900),
-                SimTime::from_millis(2300),
-                SimDuration::from_millis(40),
-            )
-            .apply(&mut sim);
-        sim.run_to_completion();
-        let committed = sim
-            .reconfig_reports
-            .iter()
-            .any(|(_, _, r)| r.outcome != ReconfigOutcome::Aborted);
-        row(&[
-            "link flap",
-            if committed { "Committed" } else { "Aborted" },
-            &format!("{}/{}", sim.metrics.total_lost(), sim.metrics.sent),
-            "-",
-            "-",
-        ]);
+    // Each fault scenario runs its own simulation: independent, so they
+    // run across cores; rows print in the fixed scenario order.
+    let scenarios: [fn() -> Vec<String>; 5] = [
+        fault_baseline,
+        fault_crash_in_prepare,
+        fault_mid_reconfig_abort,
+        fault_crash_on_path,
+        fault_link_flap,
+    ];
+    for cols in flexnet_bench::par_sweep(scenarios.len() as u64, |i| scenarios[i as usize]()) {
+        row(&cols.iter().map(String::as_str).collect::<Vec<_>>());
     }
 }
 

@@ -32,8 +32,13 @@ fn main() {
     let mut failed: Vec<(u64, Vec<String>)> = Vec::new();
     let mut by_phase: Vec<(CrashPhase, Vec<ChaosReport>)> =
         CrashPhase::ALL.iter().map(|p| (*p, Vec::new())).collect();
-    for seed in 0..seeds {
-        match run_chaos_seed(seed) {
+    // Seeds are independent: run them across all cores, aggregate in order.
+    for (seed, result) in flexnet_bench::par_sweep(seeds, run_chaos_seed)
+        .into_iter()
+        .enumerate()
+    {
+        let seed = seed as u64;
+        match result {
             Ok(report) => {
                 if !report.passed() {
                     failed.push((seed, report.violations.clone()));

@@ -35,8 +35,13 @@ fn main() {
         (2, "half (k=2)", Vec::new()),
         (3, "all devices", Vec::new()),
     ];
-    for seed in 0..seeds {
-        match run_resync_seed(seed) {
+    // Seeds are independent: run them across all cores, aggregate in order.
+    for (seed, result) in flexnet_bench::par_sweep(seeds, run_resync_seed)
+        .into_iter()
+        .enumerate()
+    {
+        let seed = seed as u64;
+        match result {
             Ok(report) => {
                 if !report.passed() {
                     failed.push((seed, report.violations.clone()));

@@ -36,8 +36,13 @@ fn main() {
     let mut failed: Vec<(u64, Vec<String>)> = Vec::new();
     let mut cohorts: Vec<(RolloutFault, Vec<CanaryReport>)> =
         RolloutFault::ALL.iter().map(|&f| (f, Vec::new())).collect();
-    for seed in 0..seeds {
-        match run_canary_seed(seed) {
+    // Seeds are independent: run them across all cores, aggregate in order.
+    for (seed, result) in flexnet_bench::par_sweep(seeds, run_canary_seed)
+        .into_iter()
+        .enumerate()
+    {
+        let seed = seed as u64;
+        match result {
             Ok(report) => {
                 if !report.passed() {
                     failed.push((seed, report.violations.clone()));
@@ -98,7 +103,7 @@ fn main() {
         let rb: Vec<u64> = reports
             .iter()
             .filter_map(|r| r.rollout.rollback_latency)
-            .map(|d| d.as_nanos() as u64)
+            .map(|d| d.as_nanos())
             .collect();
         let mean_rb = if rb.is_empty() {
             "-".into()

@@ -1,4 +1,4 @@
-//! Shared harness utilities for the FlexNet experiment binaries (E1–E13).
+//! Shared harness utilities for the FlexNet experiment binaries (E1–E16).
 //!
 //! Each `src/bin/eN_*.rs` binary regenerates one experiment from
 //! EXPERIMENTS.md, printing the rows recorded there. This library holds the
@@ -72,6 +72,52 @@ pub fn times(a: f64, b: f64) -> String {
     format!("{:.1}x", a / b)
 }
 
+/// Runs `f(seed)` for every seed in `0..seeds` across all available cores
+/// and returns the results **in seed order**.
+///
+/// Seeds are handed out through an atomic counter (work stealing), so
+/// uneven per-seed cost doesn't idle workers; determinism is preserved
+/// because each seed's run is independent and results are reassembled by
+/// seed, never by completion order. Uses `std::thread::scope` — no
+/// dependencies, and on a single-core host it degrades to the sequential
+/// loop it replaced.
+pub fn par_sweep<T, F>(seeds: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(seeds.max(1) as usize);
+    if workers <= 1 {
+        return (0..seeds).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let mut indexed: Vec<(u64, T)> = Vec::with_capacity(seeds as usize);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if seed >= seeds {
+                            break;
+                        }
+                        local.push((seed, f(seed)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(seed, _)| *seed);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +133,14 @@ mod tests {
         assert_eq!(b.program.name, "p");
         let (sim, _) = switch_scenario(10, 1, b);
         assert_eq!(sim.metrics.sent, 0, "nothing run yet");
+    }
+
+    #[test]
+    fn par_sweep_preserves_seed_order() {
+        let got = par_sweep(50, |seed| seed * seed);
+        let want: Vec<u64> = (0..50).map(|s| s * s).collect();
+        assert_eq!(got, want);
+        assert!(par_sweep(0, |s| s).is_empty());
+        assert_eq!(par_sweep(1, |s| s + 7), vec![7]);
     }
 }

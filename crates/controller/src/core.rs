@@ -678,7 +678,7 @@ mod tests {
     fn punctual_but_dropping_device_grades_degraded() {
         let mut fd = FailureDetector::default();
         let n = NodeId(7);
-        let mut hb = |fd: &mut FailureDetector, ms, processed, dropped| {
+        let hb = |fd: &mut FailureDetector, ms, processed, dropped| {
             fd.observe_heartbeat_health(
                 n,
                 SimTime::from_millis(ms),

@@ -13,6 +13,9 @@ use crate::parser::ParserGraph;
 use crate::state::{DeviceState, LogicalState, StateEncoding};
 use crate::table::{TableEntry, TableSet};
 use flexnet_lang::ast::ActionCall;
+use flexnet_lang::bytecode::{
+    self, CompiledProgram, SlotEnv, SlotResolver, SymbolKind,
+};
 use flexnet_lang::diff::{ProgramBundle, ReconfigOp};
 use flexnet_lang::headers::HeaderRegistry;
 use flexnet_lang::interp::{execute, ExecEnv};
@@ -73,7 +76,33 @@ pub fn config_digest_of(bundle: &ProgramBundle, entries: &[(String, TableEntry)]
     h
 }
 
-/// One program installed on a device: AST bundle + registry + tables + state.
+/// Resolves program symbols to the dense slots a specific device's tables
+/// and state plane actually assigned — the layout the bytecode VM indexes.
+struct DeviceResolver<'a> {
+    tables: &'a TableSet,
+    state: &'a DeviceState,
+    services: &'a [flexnet_lang::ast::ServiceDecl],
+}
+
+impl SlotResolver for DeviceResolver<'_> {
+    fn resolve(&self, kind: SymbolKind, name: &str) -> Option<u16> {
+        match kind {
+            SymbolKind::Table => self.tables.slot_of(name),
+            SymbolKind::Map => self.state.map_slot(name),
+            SymbolKind::Register => self.state.register_slot(name),
+            SymbolKind::Counter => self.state.counter_slot(name),
+            SymbolKind::Meter => self.state.meter_slot(name),
+            SymbolKind::Service => self
+                .services
+                .iter()
+                .position(|s| s.name == name)
+                .map(|i| i as u16),
+        }
+    }
+}
+
+/// One program installed on a device: AST bundle + registry + tables + state,
+/// plus the slot-resolved bytecode image the fast path executes.
 #[derive(Debug, Clone)]
 pub struct InstalledProgram {
     /// The installed bundle (headers + program).
@@ -84,22 +113,50 @@ pub struct InstalledProgram {
     pub tables: TableSet,
     /// Stateful storage.
     pub state: DeviceState,
+    /// The compiled image, lowered against this instance's slot layout.
+    /// `None` after a structural reconfiguration op until the next rebuild
+    /// (entry-level changes never invalidate it — entries are data, not
+    /// layout).
+    compiled: Option<CompiledProgram>,
 }
 
 impl InstalledProgram {
-    /// Checks, verifies, and materializes a bundle.
+    /// Checks, verifies, and materializes a bundle — including lowering it
+    /// to bytecode, so a program that references an unresolvable symbol is
+    /// rejected at install time ([`FlexError::UnresolvedSymbol`]), not when
+    /// a packet first reaches the dangling reference.
     pub fn new(bundle: ProgramBundle, encoding: StateEncoding) -> Result<InstalledProgram> {
         let registry = HeaderRegistry::with_user_headers(&bundle.headers)?;
         check_program(&bundle.program, &registry)?;
         verify_program(&bundle.program, &registry)?;
         let tables = TableSet::from_decls(&bundle.program.tables);
         let state = DeviceState::from_decls(&bundle.program.states, encoding);
-        Ok(InstalledProgram {
+        let mut p = InstalledProgram {
             bundle,
             registry,
             tables,
             state,
-        })
+            compiled: None,
+        };
+        p.recompile()?;
+        Ok(p)
+    }
+
+    /// Rebuilds the bytecode image against the current slot layout.
+    pub fn recompile(&mut self) -> Result<()> {
+        let resolver = DeviceResolver {
+            tables: &self.tables,
+            state: &self.state,
+            services: &self.bundle.program.services,
+        };
+        let compiled = bytecode::compile(&self.bundle.program, &self.registry, &resolver)?;
+        self.compiled = Some(compiled);
+        Ok(())
+    }
+
+    /// The current bytecode image, if one is built.
+    pub fn compiled(&self) -> Option<&CompiledProgram> {
+        self.compiled.as_ref()
     }
 
     /// Applies one reconfiguration op to this instance's structures.
@@ -175,6 +232,9 @@ impl InstalledProgram {
                 self.bundle.program.services.retain(|s| &s.name != n);
             }
         }
+        // Structural ops can move slots (removals shift later slots down);
+        // drop the image and rebuild lazily against the new layout.
+        self.compiled = None;
         Ok(())
     }
 }
@@ -229,6 +289,78 @@ impl ExecEnv for DeviceEnv<'_> {
     fn invoke_service(&mut self, service: &str, args: &[u64]) {
         self.invocations.push((service.to_string(), args.to_vec()));
     }
+}
+
+/// SlotEnv adapter for the bytecode fast path: every access is a dense
+/// vector index — no string hashing or name lookups on the packet path.
+struct SlotDeviceEnv<'a> {
+    tables: &'a TableSet,
+    state: &'a mut DeviceState,
+    /// Slot → service name (from the compiled image), only touched on the
+    /// rare `invoke` statement.
+    service_names: &'a [String],
+    invocations: &'a mut Vec<(String, Vec<u64>)>,
+}
+
+impl SlotEnv for SlotDeviceEnv<'_> {
+    fn table_lookup(&mut self, table: u16, keys: &[u64]) -> Option<(u16, &[u64])> {
+        self.tables.by_slot(table)?.lookup_resolved(keys)
+    }
+
+    fn map_get(&mut self, map: u16, key: u64) -> Option<u64> {
+        self.state.map_get_at(map, key)
+    }
+
+    fn map_put(&mut self, map: u16, key: u64, value: u64) -> Result<()> {
+        self.state.map_put_at(map, key, value);
+        Ok(())
+    }
+
+    fn map_del(&mut self, map: u16, key: u64) {
+        self.state.map_del_at(map, key);
+    }
+
+    fn reg_read(&mut self, reg: u16, idx: u64) -> u64 {
+        self.state.reg_read_at(reg, idx)
+    }
+
+    fn reg_write(&mut self, reg: u16, idx: u64, val: u64) {
+        self.state.reg_write_at(reg, idx, val);
+    }
+
+    fn counter_add(&mut self, counter: u16, pkts: u64, bytes: u64) {
+        self.state.counter_add_at(counter, pkts, bytes);
+    }
+
+    fn counter_read(&mut self, counter: u16) -> u64 {
+        self.state.counter_read_at(counter)
+    }
+
+    fn meter_check(&mut self, meter: u16, key: u64) -> bool {
+        self.state.meter_check_at(meter, key)
+    }
+
+    fn invoke_service(&mut self, service: u16, args: &[u64]) {
+        let name = self
+            .service_names
+            .get(service as usize)
+            .cloned()
+            .unwrap_or_default();
+        self.invocations.push((name, args.to_vec()));
+    }
+}
+
+/// Which engine a device uses on its packet path. Both are semantically
+/// identical (the differential suite proves verdict, op-count, and
+/// state-effect equivalence); the interpreter remains as the executable
+/// reference and for debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Walk the AST by name (the reference semantics).
+    Interpreter,
+    /// Execute the install-time compiled, slot-resolved image (default).
+    #[default]
+    Bytecode,
 }
 
 /// What happened to one packet at one device.
@@ -296,6 +428,7 @@ pub struct Device {
     stats: DeviceStats,
     invocations: Vec<(String, Vec<u64>)>,
     default_port: u16,
+    exec_mode: ExecMode,
 }
 
 impl Device {
@@ -318,12 +451,23 @@ impl Device {
             stats: DeviceStats::default(),
             invocations: Vec::new(),
             default_port: 0,
+            exec_mode: ExecMode::default(),
         }
     }
 
     /// Overrides the cost model (tests and what-if studies).
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
+    }
+
+    /// Selects the packet-path engine (bytecode by default).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The packet-path engine in use.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Sets the port used when a handler yields no verdict.
@@ -495,6 +639,8 @@ impl Device {
         if let Some(p) = self.active.as_mut() {
             p.tables = TableSet::from_decls(&p.bundle.program.tables);
             p.state = DeviceState::from_decls(&p.bundle.program.states, self.encoding);
+            // Fresh structures, fresh slots: rebuild the image on first use.
+            p.compiled = None;
         }
         self.version = self.version.next();
         self.boot_id += 1;
@@ -684,19 +830,40 @@ impl Device {
         let mut verdict;
         let mut passes = 0u32;
         loop {
-            let outcome = {
-                let mut env = DeviceEnv {
-                    tables: &active.tables,
-                    state: &mut active.state,
-                    invocations: &mut self.invocations,
-                };
-                execute(
-                    &active.bundle.program,
-                    "ingress",
-                    pkt,
-                    &mut env,
-                    &active.registry,
-                )?
+            let outcome = match self.exec_mode {
+                ExecMode::Interpreter => {
+                    let mut env = DeviceEnv {
+                        tables: &active.tables,
+                        state: &mut active.state,
+                        invocations: &mut self.invocations,
+                    };
+                    execute(
+                        &active.bundle.program,
+                        "ingress",
+                        pkt,
+                        &mut env,
+                        &active.registry,
+                    )?
+                }
+                ExecMode::Bytecode => {
+                    if active.compiled.is_none() {
+                        active.recompile()?;
+                    }
+                    let InstalledProgram {
+                        compiled,
+                        tables,
+                        state,
+                        ..
+                    } = &mut *active;
+                    let compiled = compiled.as_ref().expect("image just rebuilt");
+                    let mut env = SlotDeviceEnv {
+                        tables: &*tables,
+                        state,
+                        service_names: &compiled.service_names,
+                        invocations: &mut self.invocations,
+                    };
+                    bytecode::execute_compiled(compiled, "ingress", pkt, &mut env)?
+                }
             };
             total_ops += outcome.ops;
             verdict = outcome.verdict.unwrap_or(Verdict::Forward(self.default_port));
@@ -1062,6 +1229,73 @@ mod tests {
         empty.restart(SimTime::from_secs(2)).unwrap();
         assert_eq!(empty.boot_id(), 2);
         assert_eq!(empty.config_digest(), EMPTY_CONFIG_DIGEST);
+    }
+
+    #[test]
+    fn exec_modes_agree_on_verdict_ops_and_state() {
+        let mk = |mode: ExecMode| {
+            let mut d = new_dev();
+            d.set_exec_mode(mode);
+            d.install(fw_bundle()).unwrap();
+            d.add_entry(
+                "acl",
+                TableEntry::exact(
+                    &[99],
+                    ActionCall {
+                        action: "deny".into(),
+                        args: vec![],
+                    },
+                ),
+            )
+            .unwrap();
+            d.program_mut().unwrap().state.map_put("blocked", 7, 1).unwrap();
+            d
+        };
+        let mut interp = mk(ExecMode::Interpreter);
+        let mut byte = mk(ExecMode::Bytecode);
+        for (id, src) in [(1u64, 99u32), (2, 7), (3, 10)] {
+            let mut pa = Packet::tcp(id, src, 20, 1, 80, 0);
+            let mut pb = pa.clone();
+            let ra = interp.process(&mut pa, SimTime::ZERO).unwrap();
+            let rb = byte.process(&mut pb, SimTime::ZERO).unwrap();
+            assert_eq!(ra.verdict, rb.verdict, "src {src}");
+            assert_eq!(ra.ops, rb.ops, "src {src}");
+            assert_eq!(ra.latency, rb.latency, "src {src}");
+            assert_eq!(pa, pb, "src {src}");
+        }
+        assert_eq!(interp.snapshot_state(), byte.snapshot_state());
+        assert_eq!(interp.stats(), byte.stats());
+    }
+
+    #[test]
+    fn bytecode_image_survives_restart_and_reconfig_ops() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        assert!(d.program().unwrap().compiled().is_some(), "eager at install");
+        // A structural op drops the image; the next packet rebuilds it.
+        d.program_mut()
+            .unwrap()
+            .apply_op(&ReconfigOp::AddState(flexnet_lang::ast::StateDecl {
+                name: "extra".into(),
+                kind: flexnet_lang::ast::StateKind::Counter,
+                size: 1,
+            }))
+            .unwrap();
+        assert!(d.program().unwrap().compiled().is_none(), "invalidated");
+        let mut pkt = Packet::tcp(1, 10, 20, 1, 80, 0);
+        assert_eq!(
+            d.process(&mut pkt, SimTime::ZERO).unwrap().verdict,
+            Verdict::Forward(1)
+        );
+        assert!(d.program().unwrap().compiled().is_some(), "lazily rebuilt");
+        // Restart wipes structures; processing works immediately after.
+        d.crash(SimTime::from_secs(1));
+        d.restart(SimTime::from_secs(2)).unwrap();
+        let mut pkt2 = Packet::tcp(2, 10, 20, 1, 80, 0);
+        assert_eq!(
+            d.process(&mut pkt2, SimTime::from_secs(3)).unwrap().verdict,
+            Verdict::Forward(1)
+        );
     }
 
     #[test]

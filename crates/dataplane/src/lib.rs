@@ -34,7 +34,8 @@ pub use arch::{ArchAllocator, ArchClass, Architecture, Location};
 pub use baseline::{Hyper4Device, MantisDevice};
 pub use cost::CostModel;
 pub use device::{
-    config_digest_of, Device, DeviceStats, InstalledProgram, ProcessResult, EMPTY_CONFIG_DIGEST,
+    config_digest_of, Device, DeviceStats, ExecMode, InstalledProgram, ProcessResult,
+    EMPTY_CONFIG_DIGEST,
 };
 pub use parser::ParserGraph;
 pub use reconfig::{ReconfigMode, ReconfigOutcome, ReconfigReport, TxnTag};

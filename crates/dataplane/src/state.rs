@@ -15,6 +15,12 @@
 //! FIFO, stateful tables evict LRU), plus a [`LogicalState`] snapshot format
 //! that migration uses — "Program migration carries its state in this
 //! logical representation."
+//!
+//! Storage is slot-indexed: each kind (maps, registers, counters, meters)
+//! lives in a dense vector in installation order with a name index
+//! alongside, so the bytecode fast path addresses state by `u16` slot
+//! (`map_get_at` and friends) while the by-name API keeps its historical
+//! semantics for control-plane code and the interpreter.
 
 use flexnet_lang::ast::{StateDecl, StateKind};
 use flexnet_types::{FlexError, Result, SimDuration, SimTime};
@@ -263,15 +269,86 @@ impl MeterInstance {
     }
 }
 
+/// Dense named storage for one kind of state object: a slot vector in
+/// installation order plus a name index. Removal shifts later slots down
+/// (order-preserving), mirroring how reconfiguration compacts declaration
+/// lists; the device recompiles its bytecode image after any such change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SlotArena<T> {
+    items: Vec<(String, T)>,
+    index: BTreeMap<String, usize>,
+}
+
+impl<T> Default for SlotArena<T> {
+    fn default() -> Self {
+        SlotArena {
+            items: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T> SlotArena<T> {
+    fn insert(&mut self, name: &str, value: T) {
+        match self.index.get(name) {
+            Some(&i) => self.items[i].1 = value,
+            None => {
+                self.index.insert(name.to_string(), self.items.len());
+                self.items.push((name.to_string(), value));
+            }
+        }
+    }
+
+    fn remove(&mut self, name: &str) -> Option<T> {
+        let pos = self.index.remove(name)?;
+        let (_, value) = self.items.remove(pos);
+        for slot in self.index.values_mut() {
+            if *slot > pos {
+                *slot -= 1;
+            }
+        }
+        Some(value)
+    }
+
+    fn get(&self, name: &str) -> Option<&T> {
+        self.items.get(*self.index.get(name)?).map(|(_, v)| v)
+    }
+
+    fn get_mut(&mut self, name: &str) -> Option<&mut T> {
+        let i = *self.index.get(name)?;
+        self.items.get_mut(i).map(|(_, v)| v)
+    }
+
+    fn at(&self, slot: u16) -> Option<&T> {
+        self.items.get(slot as usize).map(|(_, v)| v)
+    }
+
+    fn at_mut(&mut self, slot: u16) -> Option<&mut T> {
+        self.items.get_mut(slot as usize).map(|(_, v)| v)
+    }
+
+    fn slot_of(&self, name: &str) -> Option<u16> {
+        self.index.get(name).map(|&i| i as u16)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&str, &T)> {
+        self.items.iter().map(|(n, v)| (n.as_str(), v))
+    }
+}
+
 /// All state of one installed program on one device.
+///
+/// By-name accessors serve the control plane and the reference interpreter;
+/// `*_at` slot accessors serve the bytecode VM without any string hashing
+/// on the packet path. Slots are assigned in installation order per kind.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceState {
     encoding: StateEncoding,
     decls: BTreeMap<String, StateDecl>,
-    maps: BTreeMap<String, MapStore>,
-    registers: BTreeMap<String, Vec<u64>>,
-    counters: BTreeMap<String, (u64, u64)>,
-    meters: BTreeMap<String, MeterInstance>,
+    maps: SlotArena<MapStore>,
+    registers: SlotArena<Vec<u64>>,
+    counters: SlotArena<(u64, u64)>,
+    meters: SlotArena<MeterInstance>,
     /// Current simulated time, set by the device before each execution
     /// (meters refill against it).
     pub now: SimTime,
@@ -283,10 +360,10 @@ impl DeviceState {
         let mut s = DeviceState {
             encoding,
             decls: BTreeMap::new(),
-            maps: BTreeMap::new(),
-            registers: BTreeMap::new(),
-            counters: BTreeMap::new(),
-            meters: BTreeMap::new(),
+            maps: SlotArena::default(),
+            registers: SlotArena::default(),
+            counters: SlotArena::default(),
+            meters: SlotArena::default(),
             now: SimTime::ZERO,
         };
         for d in decls {
@@ -314,21 +391,18 @@ impl DeviceState {
         }
         match &decl.kind {
             StateKind::Map { .. } => {
-                self.maps.insert(
-                    decl.name.clone(),
-                    MapStore::new(self.encoding, decl.size as usize),
-                );
+                self.maps
+                    .insert(&decl.name, MapStore::new(self.encoding, decl.size as usize));
             }
             StateKind::Counter => {
-                self.counters.insert(decl.name.clone(), (0, 0));
+                self.counters.insert(&decl.name, (0, 0));
             }
             StateKind::Register { .. } => {
-                self.registers
-                    .insert(decl.name.clone(), vec![0; decl.size as usize]);
+                self.registers.insert(&decl.name, vec![0; decl.size as usize]);
             }
             StateKind::Meter { rate_pps, burst } => {
                 self.meters.insert(
-                    decl.name.clone(),
+                    &decl.name,
                     MeterInstance {
                         rate_pps: *rate_pps,
                         burst: *burst,
@@ -374,7 +448,8 @@ impl DeviceState {
                     .unwrap_or_default();
                 let mut store = MapStore::new(self.encoding, decl.size as usize);
                 store.restore(&logical);
-                self.maps.insert(decl.name.clone(), store);
+                // In-place replace keeps the slot stable.
+                self.maps.insert(&decl.name, store);
             }
             StateKind::Register { .. } => {
                 if let Some(r) = self.registers.get_mut(&decl.name) {
@@ -398,6 +473,28 @@ impl DeviceState {
         self.decls.contains_key(name)
     }
 
+    // -- slot resolution (bytecode lowering) ----------------------------------
+
+    /// The dense slot of map `name`, if installed.
+    pub fn map_slot(&self, name: &str) -> Option<u16> {
+        self.maps.slot_of(name)
+    }
+
+    /// The dense slot of register array `name`, if installed.
+    pub fn register_slot(&self, name: &str) -> Option<u16> {
+        self.registers.slot_of(name)
+    }
+
+    /// The dense slot of counter `name`, if installed.
+    pub fn counter_slot(&self, name: &str) -> Option<u16> {
+        self.counters.slot_of(name)
+    }
+
+    /// The dense slot of meter `name`, if installed.
+    pub fn meter_slot(&self, name: &str) -> Option<u16> {
+        self.meters.slot_of(name)
+    }
+
     // -- logical snapshot ----------------------------------------------------
 
     /// Captures the full logical state (for migration/replication).
@@ -406,10 +503,18 @@ impl DeviceState {
             maps: self
                 .maps
                 .iter()
-                .map(|(n, m)| (n.clone(), m.to_logical()))
+                .map(|(n, m)| (n.to_string(), m.to_logical()))
                 .collect(),
-            registers: self.registers.clone(),
-            counters: self.counters.clone(),
+            registers: self
+                .registers
+                .iter()
+                .map(|(n, r)| (n.to_string(), r.clone()))
+                .collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, c)| (n.to_string(), *c))
+                .collect(),
         }
     }
 
@@ -458,12 +563,18 @@ impl DeviceState {
             return Err(FlexError::NotFound(format!("map `{map}`")));
         };
         if !store.put(key, value) {
-            self.counters
-                .entry("__dropped_inserts".to_string())
-                .or_insert((0, 0))
-                .0 += 1;
+            self.bump_dropped_inserts();
         }
         Ok(())
+    }
+
+    fn bump_dropped_inserts(&mut self) {
+        if self.counters.get("__dropped_inserts").is_none() {
+            self.counters.insert("__dropped_inserts", (0, 0));
+        }
+        if let Some(c) = self.counters.get_mut("__dropped_inserts") {
+            c.0 += 1;
+        }
     }
 
     /// Number of inserts silently dropped by the encoding (collisions).
@@ -522,6 +633,72 @@ impl DeviceState {
     pub fn meter_check(&mut self, meter: &str, key: u64) -> bool {
         let now = self.now;
         match self.meters.get_mut(meter) {
+            Some(m) => m.check(key, now),
+            None => true,
+        }
+    }
+
+    // -- slot accessors (bytecode VM fast path) -------------------------------
+
+    /// Reads a map by slot.
+    pub fn map_get_at(&mut self, slot: u16, key: u64) -> Option<u64> {
+        self.maps.at_mut(slot)?.get(key)
+    }
+
+    /// Writes a map by slot, with the same silent-degradation semantics as
+    /// [`DeviceState::map_put`].
+    pub fn map_put_at(&mut self, slot: u16, key: u64, value: u64) {
+        let dropped = match self.maps.at_mut(slot) {
+            Some(store) => !store.put(key, value),
+            None => false,
+        };
+        if dropped {
+            self.bump_dropped_inserts();
+        }
+    }
+
+    /// Deletes a map entry by slot.
+    pub fn map_del_at(&mut self, slot: u16, key: u64) {
+        if let Some(store) = self.maps.at_mut(slot) {
+            store.del(key);
+        }
+    }
+
+    /// Reads a register cell by slot.
+    pub fn reg_read_at(&self, slot: u16, idx: u64) -> u64 {
+        self.registers
+            .at(slot)
+            .and_then(|r| r.get(idx as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Writes a register cell by slot (out-of-range writes are ignored).
+    pub fn reg_write_at(&mut self, slot: u16, idx: u64, val: u64) {
+        if let Some(r) = self.registers.at_mut(slot) {
+            if let Some(cell) = r.get_mut(idx as usize) {
+                *cell = val;
+            }
+        }
+    }
+
+    /// Adds to a counter by slot.
+    pub fn counter_add_at(&mut self, slot: u16, pkts: u64, bytes: u64) {
+        if let Some(c) = self.counters.at_mut(slot) {
+            c.0 += pkts;
+            c.1 += bytes;
+        }
+    }
+
+    /// Reads a counter's packet count by slot.
+    pub fn counter_read_at(&self, slot: u16) -> u64 {
+        self.counters.at(slot).map(|c| c.0).unwrap_or(0)
+    }
+
+    /// Checks a meter by slot at the current device time.
+    pub fn meter_check_at(&mut self, slot: u16, key: u64) -> bool {
+        let now = self.now;
+        match self.meters.at_mut(slot) {
             Some(m) => m.check(key, now),
             None => true,
         }
@@ -700,5 +877,63 @@ mod tests {
         }
         let d = s.migration_duration(SimDuration::from_micros(1));
         assert_eq!(d, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn slot_accessors_alias_the_named_state() {
+        let mut s = DeviceState::from_decls(
+            &[
+                map_decl("m1", 8),
+                map_decl("m2", 8),
+                reg_decl("r", 4),
+                StateDecl {
+                    name: "c".into(),
+                    kind: StateKind::Counter,
+                    size: 1,
+                },
+            ],
+            StateEncoding::StatefulTable,
+        );
+        assert_eq!(s.map_slot("m1"), Some(0));
+        assert_eq!(s.map_slot("m2"), Some(1));
+        assert_eq!(s.map_slot("zz"), None);
+        assert_eq!(s.register_slot("r"), Some(0), "slots count per kind");
+        assert_eq!(s.counter_slot("c"), Some(0));
+
+        s.map_put_at(1, 7, 77);
+        assert_eq!(s.map_get("m2", 7), Some(77));
+        assert_eq!(s.map_get_at(1, 7), Some(77));
+        s.map_del_at(1, 7);
+        assert_eq!(s.map_get("m2", 7), None);
+
+        s.reg_write_at(0, 2, 5);
+        assert_eq!(s.reg_read("r", 2), 5);
+        assert_eq!(s.reg_read_at(0, 2), 5);
+
+        s.counter_add_at(0, 3, 30);
+        assert_eq!(s.counter_read("c"), 3);
+        assert_eq!(s.counter_read_at(0), 3);
+    }
+
+    #[test]
+    fn removal_shifts_later_slots_down() {
+        let mut s = DeviceState::from_decls(
+            &[map_decl("a", 4), map_decl("b", 4), map_decl("c", 4)],
+            StateEncoding::StatefulTable,
+        );
+        s.map_put("c", 1, 1).unwrap();
+        s.remove_state("b").unwrap();
+        assert_eq!(s.map_slot("a"), Some(0));
+        assert_eq!(s.map_slot("c"), Some(1), "later slots shift down");
+        assert_eq!(s.map_get_at(1, 1), Some(1), "contents follow the slot");
+    }
+
+    #[test]
+    fn dropped_insert_counting_is_shared_between_paths() {
+        let mut s = DeviceState::from_decls(&[map_decl("m", 2)], StateEncoding::RegisterArray);
+        for k in 0..16 {
+            s.map_put_at(0, k, k);
+        }
+        assert!(s.dropped_inserts() > 0, "slot path counts drops too");
     }
 }

@@ -4,11 +4,20 @@
 //! range) with longest-prefix and priority semantics matching real switch
 //! ASICs: exact tables behave like hash tables; LPM prefers longer prefixes;
 //! ternary/range entries are ordered by explicit priority (higher wins).
+//!
+//! Lookup is indexed, not scanned: each entry's `(priority, specificity)`
+//! rank and its action's declaration index are computed **once at insert
+//! time**; entries are kept in a winner-first scan order; and a table whose
+//! entries are all exact-match additionally maintains a hash index keyed by
+//! the full key vector, making its lookups O(1). The winner a lookup
+//! returns is bit-identical to the historical linear scan (highest
+//! `(priority, total LPM specificity)`, ties broken toward the
+//! latest-inserted entry).
 
 use flexnet_lang::ast::{ActionCall, TableDecl};
 use flexnet_types::{FlexError, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// How one key of one entry matches a value.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,24 +100,99 @@ impl TableEntry {
             action,
         }
     }
+
+    /// `(priority, total LPM specificity)` — the winner ordering.
+    fn rank(&self) -> (i32, u32) {
+        (
+            self.priority,
+            self.matches.iter().map(|m| m.lpm_len() as u32).sum(),
+        )
+    }
+
+    /// The exact-match key vector, if every key is [`KeyMatch::Exact`].
+    fn exact_keys(&self) -> Option<Vec<u64>> {
+        self.matches
+            .iter()
+            .map(|m| match m {
+                KeyMatch::Exact(v) => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 /// One table's installed entries plus its declaration.
+///
+/// The non-public fields are lookup indexes — pure functions of
+/// `(decl, entries)` rebuilt on every mutation, so equality and the config
+/// digest (which reads `entries` only) are unaffected by them.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TableInstance {
     /// The declaration this instance implements.
     pub decl: TableDecl,
     /// Installed entries.
     pub entries: Vec<TableEntry>,
+    /// Cached per-entry `(priority, specificity)` ranks (insert-time, not
+    /// per-packet).
+    ranks: Vec<(i32, u32)>,
+    /// Per-entry action index within `decl.actions` (for the bytecode VM).
+    action_slots: Vec<u16>,
+    /// Entry indices, best rank first; ties prefer the later insert, which
+    /// reproduces the historical scan's `max_by_key` tie-break exactly.
+    order: Vec<u32>,
+    /// Full-key-vector hash index, maintained while *every* entry is
+    /// all-exact; `None` as soon as any entry needs prefix/mask/range
+    /// matching.
+    exact: Option<HashMap<Vec<u64>, u32>>,
 }
 
 impl TableInstance {
     /// An empty instance of `decl`.
     pub fn new(decl: TableDecl) -> TableInstance {
-        TableInstance {
+        let mut t = TableInstance {
             decl,
             entries: Vec::new(),
-        }
+            ranks: Vec::new(),
+            action_slots: Vec::new(),
+            order: Vec::new(),
+            exact: None,
+        };
+        t.reindex();
+        t
+    }
+
+    /// Rebuilds every index from `entries`. Called on mutation only — the
+    /// packet path never touches this.
+    fn reindex(&mut self) {
+        self.ranks = self.entries.iter().map(TableEntry::rank).collect();
+        self.action_slots = self
+            .entries
+            .iter()
+            .map(|e| {
+                self.decl
+                    .actions
+                    .iter()
+                    .position(|a| a.name == e.action.action)
+                    .map_or(u16::MAX, |i| i as u16)
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..self.entries.len() as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse((self.ranks[i as usize], i)));
+        self.order = order;
+        self.exact = self
+            .entries
+            .iter()
+            .map(TableEntry::exact_keys)
+            .collect::<Option<Vec<_>>>()
+            .map(|keyvecs| {
+                let mut m = HashMap::with_capacity(keyvecs.len());
+                // Ascending preference, so the last write per key vector is
+                // the rank/recency winner.
+                for &i in self.order.iter().rev() {
+                    m.insert(keyvecs[i as usize].clone(), i);
+                }
+                m
+            });
     }
 
     /// Installs an entry, enforcing arity and capacity.
@@ -133,6 +217,37 @@ impl TableInstance {
                 self.decl.name, entry.action.action
             )));
         }
+        // Incremental index maintenance: appends are the common bulk-load
+        // path, and a full reindex per insert would make populating an
+        // n-entry table O(n²). Removal (rare) still rebuilds everything.
+        let idx = self.entries.len() as u32;
+        let rank = entry.rank();
+        let exact_keys = entry.exact_keys();
+        self.ranks.push(rank);
+        self.action_slots.push(
+            self.decl
+                .actions
+                .iter()
+                .position(|a| a.name == entry.action.action)
+                .map_or(u16::MAX, |i| i as u16),
+        );
+        // `order` is sorted by `Reverse((rank, idx))`; find the insertion
+        // point for the new entry (it wins every rank tie, being newest).
+        let pos = self
+            .order
+            .partition_point(|&i| (self.ranks[i as usize], i) > (rank, idx));
+        self.order.insert(pos, idx);
+        match (&mut self.exact, exact_keys) {
+            (Some(index), Some(keys)) => {
+                // Newest entry wins a key collision unless the incumbent
+                // outranks it.
+                let incumbent = index.get(&keys).map(|&i| (self.ranks[i as usize], i));
+                if incumbent.is_none_or(|inc| (rank, idx) > inc) {
+                    index.insert(keys, idx);
+                }
+            }
+            (exact, _) => *exact = None,
+        }
         self.entries.push(entry);
         Ok(())
     }
@@ -142,31 +257,48 @@ impl TableInstance {
     pub fn remove(&mut self, matches: &[KeyMatch]) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| e.matches.as_slice() != matches);
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.reindex();
+        }
+        removed
     }
 
-    /// Looks up `keys` (one value per declared key), returning the winning
-    /// entry's action.
-    ///
-    /// Winner selection: among entries whose every key matches, the one with
-    /// the highest `(priority, total LPM specificity)` wins — i.e. explicit
-    /// priority dominates, then longest-prefix.
-    pub fn lookup(&self, keys: &[u64]) -> Option<&TableEntry> {
+    /// The winning entry index for `keys`, via the hash index when every
+    /// entry is exact, else the rank-ordered scan (first match wins).
+    fn winner(&self, keys: &[u64]) -> Option<u32> {
         if keys.len() != self.decl.keys.len() {
             return None;
         }
-        self.entries
-            .iter()
-            .filter(|e| {
-                e.matches
-                    .iter()
-                    .zip(keys)
-                    .all(|(m, k)| m.matches(*k))
-            })
-            .max_by_key(|e| {
-                let spec: u32 = e.matches.iter().map(|m| m.lpm_len() as u32).sum();
-                (e.priority, spec)
-            })
+        if let Some(index) = &self.exact {
+            return index.get(keys).copied();
+        }
+        self.order.iter().copied().find(|&i| {
+            self.entries[i as usize]
+                .matches
+                .iter()
+                .zip(keys)
+                .all(|(m, k)| m.matches(*k))
+        })
+    }
+
+    /// Looks up `keys` (one value per declared key), returning the winning
+    /// entry.
+    ///
+    /// Winner selection: among entries whose every key matches, the one with
+    /// the highest `(priority, total LPM specificity)` wins — i.e. explicit
+    /// priority dominates, then longest-prefix — with ties broken toward
+    /// the most recently installed entry.
+    pub fn lookup(&self, keys: &[u64]) -> Option<&TableEntry> {
+        self.winner(keys).map(|i| &self.entries[i as usize])
+    }
+
+    /// Like [`TableInstance::lookup`], but returns the winner's action as
+    /// its `(declaration index, argument borrow)` — the form the bytecode
+    /// VM dispatches on without cloning or re-resolving the action name.
+    pub fn lookup_resolved(&self, keys: &[u64]) -> Option<(u16, &[u64])> {
+        let i = self.winner(keys)? as usize;
+        Some((self.action_slots[i], self.entries[i].action.args.as_slice()))
     }
 
     /// Current occupancy.
@@ -181,73 +313,102 @@ impl TableInstance {
 }
 
 /// All tables of one installed program.
+///
+/// Stored as a vector in installation order with a name index alongside, so
+/// the bytecode fast path addresses tables by dense slot. Removal is
+/// order-preserving (later slots shift down), mirroring how
+/// `ReconfigOp::RemoveTable` compacts the program's declaration list — the
+/// device recompiles its image after any such change, keeping slots aligned.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TableSet {
-    tables: BTreeMap<String, TableInstance>,
+    tables: Vec<TableInstance>,
+    index: BTreeMap<String, usize>,
 }
 
 impl TableSet {
     /// Builds instances for every table declaration of a program.
     pub fn from_decls(decls: &[TableDecl]) -> TableSet {
-        TableSet {
-            tables: decls
-                .iter()
-                .map(|d| (d.name.clone(), TableInstance::new(d.clone())))
-                .collect(),
+        let mut set = TableSet::default();
+        for d in decls {
+            // Duplicate names cannot pass the type checker; keep the first.
+            if !set.index.contains_key(&d.name) {
+                set.index.insert(d.name.clone(), set.tables.len());
+                set.tables.push(TableInstance::new(d.clone()));
+            }
         }
+        set
     }
 
     /// Adds an (empty) table for `decl`.
     pub fn add_table(&mut self, decl: TableDecl) -> Result<()> {
-        if self.tables.contains_key(&decl.name) {
+        if self.index.contains_key(&decl.name) {
             return Err(FlexError::Reconfig(format!(
                 "table `{}` already installed",
                 decl.name
             )));
         }
-        self.tables
-            .insert(decl.name.clone(), TableInstance::new(decl));
+        self.index.insert(decl.name.clone(), self.tables.len());
+        self.tables.push(TableInstance::new(decl));
         Ok(())
     }
 
-    /// Removes a table and its entries.
+    /// Removes a table and its entries, shifting later slots down.
     pub fn remove_table(&mut self, name: &str) -> Result<TableInstance> {
-        self.tables
+        let pos = self
+            .index
             .remove(name)
-            .ok_or_else(|| FlexError::NotFound(format!("table `{name}`")))
+            .ok_or_else(|| FlexError::NotFound(format!("table `{name}`")))?;
+        let removed = self.tables.remove(pos);
+        for slot in self.index.values_mut() {
+            if *slot > pos {
+                *slot -= 1;
+            }
+        }
+        Ok(removed)
     }
 
-    /// Replaces a table's declaration, migrating entries that still fit
-    /// (same key arity and a declared action); others are dropped.
+    /// Replaces a table's declaration in place (same slot), migrating
+    /// entries that still fit (same key arity and a declared action);
+    /// others are dropped.
     pub fn modify_table(&mut self, decl: TableDecl) -> Result<usize> {
-        let old = self
-            .tables
-            .remove(&decl.name)
+        let pos = *self
+            .index
+            .get(&decl.name)
             .ok_or_else(|| FlexError::NotFound(format!("table `{}`", decl.name)))?;
-        let mut inst = TableInstance::new(decl);
+        let old = std::mem::replace(&mut self.tables[pos], TableInstance::new(decl));
+        let inst = &mut self.tables[pos];
         let mut migrated = 0usize;
         for e in old.entries {
             if inst.insert(e).is_ok() {
                 migrated += 1;
             }
         }
-        self.tables.insert(inst.decl.name.clone(), inst);
         Ok(migrated)
     }
 
     /// Borrows a table.
     pub fn get(&self, name: &str) -> Option<&TableInstance> {
-        self.tables.get(name)
+        self.tables.get(*self.index.get(name)?)
     }
 
     /// Borrows a table mutably.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut TableInstance> {
-        self.tables.get_mut(name)
+        self.tables.get_mut(*self.index.get(name)?)
     }
 
-    /// Iterates over all tables.
+    /// The dense slot of `name`, if installed.
+    pub fn slot_of(&self, name: &str) -> Option<u16> {
+        self.index.get(name).map(|&i| i as u16)
+    }
+
+    /// Borrows the table at `slot` (the bytecode fast path).
+    pub fn by_slot(&self, slot: u16) -> Option<&TableInstance> {
+        self.tables.get(slot as usize)
+    }
+
+    /// Iterates over all tables in slot (installation) order.
     pub fn iter(&self) -> impl Iterator<Item = &TableInstance> {
-        self.tables.values()
+        self.tables.iter()
     }
 
     /// Number of tables.
@@ -298,6 +459,22 @@ mod tests {
             action: "go".into(),
             args: vec![p],
         }
+    }
+
+    /// The historical linear scan, kept as the oracle the indexes must
+    /// reproduce bit for bit (including the last-wins tie-break of
+    /// `max_by_key`).
+    fn legacy_lookup<'a>(t: &'a TableInstance, keys: &[u64]) -> Option<&'a TableEntry> {
+        if keys.len() != t.decl.keys.len() {
+            return None;
+        }
+        t.entries
+            .iter()
+            .filter(|e| e.matches.iter().zip(keys).all(|(m, k)| m.matches(*k)))
+            .max_by_key(|e| {
+                let spec: u32 = e.matches.iter().map(|m| m.lpm_len() as u32).sum();
+                (e.priority, spec)
+            })
     }
 
     #[test]
@@ -457,5 +634,147 @@ mod tests {
             .modify_table(decl("a", &[MatchKind::Exact, MatchKind::Exact], 8))
             .unwrap();
         assert_eq!(migrated, 0);
+    }
+
+    #[test]
+    fn removal_preserves_slot_order() {
+        let mut set = TableSet::from_decls(&[
+            decl("a", &[MatchKind::Exact], 4),
+            decl("b", &[MatchKind::Exact], 4),
+            decl("c", &[MatchKind::Exact], 4),
+        ]);
+        assert_eq!(set.slot_of("c"), Some(2));
+        set.remove_table("b").unwrap();
+        assert_eq!(set.slot_of("a"), Some(0));
+        assert_eq!(set.slot_of("c"), Some(1), "later slots shift down");
+        assert_eq!(set.by_slot(1).unwrap().decl.name, "c");
+        let names: Vec<_> = set.iter().map(|t| t.decl.name.as_str()).collect();
+        assert_eq!(names, ["a", "c"], "iteration follows slot order");
+    }
+
+    #[test]
+    fn indexed_lookup_matches_legacy_scan_on_randomized_tables() {
+        // Deterministic LCG; mixed-kind tables exercise the ordered scan,
+        // all-exact phases exercise the hash index. The oracle is the
+        // original O(entries × keys) scan including its tie-break.
+        let mut x: u64 = 0x3DF0_77FA_23C1_55A1;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for round in 0..40 {
+            let all_exact = round % 2 == 0;
+            let mut t = TableInstance::new(decl(
+                "t",
+                &[MatchKind::Ternary, MatchKind::Ternary],
+                64,
+            ));
+            for _ in 0..24 {
+                let m = |r: u64| -> KeyMatch {
+                    if all_exact {
+                        return KeyMatch::Exact(r % 8);
+                    }
+                    match r % 4 {
+                        0 => KeyMatch::Exact(r % 8),
+                        1 => KeyMatch::Lpm {
+                            value: r % 256,
+                            prefix_len: (r % 9) as u8,
+                            width: 8,
+                        },
+                        2 => KeyMatch::Ternary {
+                            value: r % 256,
+                            mask: (r >> 8) % 256,
+                        },
+                        _ => KeyMatch::Range {
+                            lo: r % 8,
+                            hi: r % 8 + (r >> 16) % 8,
+                        },
+                    }
+                };
+                let e = TableEntry {
+                    matches: vec![m(rng()), m(rng())],
+                    priority: (rng() % 3) as i32,
+                    action: go(rng() % 100),
+                };
+                t.insert(e).unwrap();
+            }
+            // Random removals keep the caches honest.
+            for _ in 0..3 {
+                let spec = t.entries[(rng() % t.entries.len() as u64) as usize]
+                    .matches
+                    .clone();
+                t.remove(&spec);
+            }
+            for _ in 0..200 {
+                let keys = [rng() % 8, rng() % 8];
+                assert_eq!(
+                    t.lookup(&keys),
+                    legacy_lookup(&t, &keys),
+                    "divergence (round {round}, keys {keys:?}, exact={all_exact})"
+                );
+                let resolved = t.lookup_resolved(&keys);
+                let expect = t.lookup(&keys).map(|e| {
+                    (
+                        t.decl
+                            .actions
+                            .iter()
+                            .position(|a| a.name == e.action.action)
+                            .unwrap() as u16,
+                        e.action.args.as_slice(),
+                    )
+                });
+                assert_eq!(resolved, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_index_ties_prefer_latest_insert_like_the_scan() {
+        // Two identical-key entries with equal priority: the legacy
+        // max_by_key returned the *last* maximum; the hash index must too.
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Exact], 8));
+        t.insert(TableEntry::exact(&[5], go(1))).unwrap();
+        t.insert(TableEntry::exact(&[5], go(2))).unwrap();
+        assert_eq!(t.lookup(&[5]).unwrap().action, go(2));
+        assert_eq!(t.lookup(&[5]), legacy_lookup(&t, &[5]));
+        // A higher-priority earlier entry still wins over a later one.
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Exact], 8));
+        t.insert(TableEntry {
+            matches: vec![KeyMatch::Exact(5)],
+            priority: 9,
+            action: go(1),
+        })
+        .unwrap();
+        t.insert(TableEntry::exact(&[5], go(2))).unwrap();
+        assert_eq!(t.lookup(&[5]).unwrap().action, go(1));
+        assert_eq!(t.lookup(&[5]), legacy_lookup(&t, &[5]));
+    }
+
+    #[test]
+    fn mixed_entries_drop_the_exact_index_without_changing_results() {
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Exact], 8));
+        t.insert(TableEntry::exact(&[1], go(1))).unwrap();
+        assert!(t.exact.is_some(), "all-exact table is hash-indexed");
+        t.insert(TableEntry {
+            matches: vec![KeyMatch::Lpm {
+                value: 0,
+                prefix_len: 0,
+                width: 32,
+            }],
+            priority: -1,
+            action: go(0),
+        })
+        .unwrap();
+        assert!(t.exact.is_none(), "mixed table falls back to ordered scan");
+        assert_eq!(t.lookup(&[1]).unwrap().action, go(1));
+        assert_eq!(t.lookup(&[7]).unwrap().action, go(0), "wildcard catches");
+        // Removing the wildcard restores the index.
+        t.remove(&[KeyMatch::Lpm {
+            value: 0,
+            prefix_len: 0,
+            width: 32,
+        }]);
+        assert!(t.exact.is_some());
+        assert_eq!(t.lookup(&[1]).unwrap().action, go(1));
     }
 }

@@ -204,28 +204,17 @@ impl<'a> Interp<'a> {
                             call.action
                         )));
                     }
-                    // Bind parameters; save and restore shadowed locals so
-                    // action params are lexically scoped.
-                    let saved: Vec<(String, Option<u64>)> = action
-                        .params
-                        .iter()
-                        .map(|(p, _)| (p.clone(), self.locals.get(p).copied()))
-                        .collect();
+                    // Action bodies are lexically scoped (the type checker
+                    // gives them a fresh params-only scope), so neither the
+                    // params nor any `let` inside the body may leak into the
+                    // caller's locals: snapshot and restore the whole frame.
+                    let saved = self.locals.clone();
                     for ((p, _), v) in action.params.iter().zip(&call.args) {
                         self.locals.insert(p.clone(), *v);
                     }
                     let body = action.body.clone();
                     let flow = self.run_block(&body, pkt)?;
-                    for (p, old) in saved {
-                        match old {
-                            Some(v) => {
-                                self.locals.insert(p, v);
-                            }
-                            None => {
-                                self.locals.remove(&p);
-                            }
-                        }
-                    }
+                    self.locals = saved;
                     return Ok(flow);
                 }
                 Ok(Flow::Continue)
@@ -336,8 +325,9 @@ impl<'a> Interp<'a> {
 }
 
 /// Wrapping u64 semantics; division/modulo by zero yield 0 (data planes
-/// don't trap).
-fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
+/// don't trap). Shared with the bytecode VM so both engines agree bit for
+/// bit.
+pub(crate) fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
     match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),

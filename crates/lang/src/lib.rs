@@ -18,6 +18,8 @@
 //!   via interval analysis, and per-packet op bounds.
 //! - [`interp`] — the reference interpreter, executing handlers against an
 //!   [`interp::ExecEnv`] provided by each device model.
+//! - [`bytecode`] — the fast path: install-time lowering to flat,
+//!   slot-resolved instructions executed against a [`bytecode::SlotEnv`].
 //! - [`ir`] — decomposition into placeable elements with resource demands.
 //! - [`diff`] — program diffing into runtime [`diff::ReconfigOp`]s.
 //! - [`patch`] — the incremental-change DSL (paper §3.2).
@@ -49,6 +51,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod compose;
 pub mod diff;
 pub mod headers;
@@ -64,6 +67,10 @@ pub mod verifier;
 /// Commonly used items, re-exported.
 pub mod prelude {
     pub use crate::ast::{Program, ProgramKind, SourceFile};
+    pub use crate::bytecode::{
+        compile, compile_with_program_slots, execute_compiled, CompiledProgram, SlotEnv,
+        SlotResolver, SymbolKind,
+    };
     pub use crate::compose::{compose, TenantExtension};
     pub use crate::diff::{diff_bundles, ProgramBundle, ReconfigOp};
     pub use crate::headers::HeaderRegistry;

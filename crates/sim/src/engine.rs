@@ -138,6 +138,72 @@ impl Ord for Event {
     }
 }
 
+/// Default capacity cap for the simulation's observability logs.
+///
+/// Generous enough that every experiment in `EXPERIMENTS.md` records every
+/// event, but bounds memory on adversarial or very long runs (a punt storm
+/// used to grow `punt_log` without limit). Overflow is *counted*, never
+/// silent — see [`LogBuffer::dropped`].
+pub const DEFAULT_LOG_CAP: usize = 100_000;
+
+/// A bounded append-only event log: keeps the first `cap` records and
+/// counts (rather than stores) everything past the cap.
+///
+/// Dereferences to a slice, so reading code treats it exactly like the
+/// `Vec` it replaced (`len`, `is_empty`, indexing, iteration).
+#[derive(Debug, Clone)]
+pub struct LogBuffer<T> {
+    items: Vec<T>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl<T> Default for LogBuffer<T> {
+    fn default() -> Self {
+        LogBuffer::with_cap(DEFAULT_LOG_CAP)
+    }
+}
+
+impl<T> LogBuffer<T> {
+    /// An empty log that stores at most `cap` records.
+    pub fn with_cap(cap: usize) -> LogBuffer<T> {
+        LogBuffer {
+            items: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, or counts it as dropped once the cap is reached.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() < self.cap {
+            self.items.push(item);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of records discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<T> std::ops::Deref for LogBuffer<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<'a, T> IntoIterator for &'a LogBuffer<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
 /// The simulation: topology + event queue + metrics.
 #[derive(Debug)]
 pub struct Simulation {
@@ -152,11 +218,11 @@ pub struct Simulation {
     /// Reconfiguration reports, in initiation order.
     pub reconfig_reports: Vec<(SimTime, NodeId, ReconfigReport)>,
     /// dRPC invocations observed at devices: (time, node, service, args).
-    pub invocation_log: Vec<(SimTime, NodeId, String, Vec<u64>)>,
+    pub invocation_log: LogBuffer<(SimTime, NodeId, String, Vec<u64>)>,
     /// Packets punted to the controller: (time, node, packet).
-    pub punt_log: Vec<(SimTime, NodeId, Packet)>,
+    pub punt_log: LogBuffer<(SimTime, NodeId, Packet)>,
     /// Command errors (failed reconfigs etc.): (time, description).
-    pub errors: Vec<(SimTime, String)>,
+    pub errors: LogBuffer<(SimTime, String)>,
 }
 
 impl Simulation {
@@ -171,9 +237,9 @@ impl Simulation {
             now: SimTime::ZERO,
             seq: 0,
             reconfig_reports: Vec::new(),
-            invocation_log: Vec::new(),
-            punt_log: Vec::new(),
-            errors: Vec::new(),
+            invocation_log: LogBuffer::default(),
+            punt_log: LogBuffer::default(),
+            errors: LogBuffer::default(),
         }
     }
 
@@ -840,6 +906,24 @@ mod tests {
             sim.errors
         );
         assert_eq!(sim.metrics.delivered, 10, "the final incarnation forwards");
+    }
+
+    #[test]
+    fn log_buffer_caps_and_counts_overflow() {
+        let mut log: LogBuffer<u64> = LogBuffer::with_cap(3);
+        for i in 0..10 {
+            log.push(i);
+        }
+        assert_eq!(log.len(), 3, "stores only up to the cap");
+        assert_eq!(&log[..], &[0, 1, 2], "keeps the earliest records");
+        assert_eq!(log.dropped(), 7, "overflow is counted, not silent");
+        assert!(!log.is_empty());
+        assert_eq!(log.iter().sum::<u64>(), 3);
+        // The simulation's logs default to a cap high enough that no
+        // experiment in this repo ever drops a record.
+        let sim = Simulation::new(Topology::single_switch(1).0);
+        assert_eq!(sim.errors.dropped(), 0);
+        assert_eq!(sim.punt_log.dropped(), 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use chaos::{
     diverged, restart_sweep, rollout_sweep, sweep, ChaosSchedule, CrashPhase, RestartSchedule,
     RolloutFault, RolloutSchedule,
 };
-pub use engine::{Command, Simulation};
+pub use engine::{Command, LogBuffer, Simulation, DEFAULT_LOG_CAP};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Bucket, LossKind, Metrics, WindowDelta, WindowStats};
 pub use topology::{Link, Node, NodeKind, Topology};

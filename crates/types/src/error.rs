@@ -130,6 +130,19 @@ pub enum FlexError {
         /// `degraded`, `suspect`, or `dead`).
         grade: String,
     },
+    /// Bytecode lowering could not resolve a name to a slot index.
+    ///
+    /// Surfaced at install/compile time — a program that references a
+    /// table, state object, service, action, or local the target image
+    /// does not provide must be rejected *before* it can see a packet,
+    /// not degraded into per-packet misses.
+    UnresolvedSymbol {
+        /// The symbol's kind (single token: `table`, `map`, `register`,
+        /// `counter`, `meter`, `service`, `action`, `local`, `handler`).
+        kind: String,
+        /// The unresolved name.
+        name: String,
+    },
 }
 
 impl fmt::Display for FlexError {
@@ -190,6 +203,9 @@ impl fmt::Display for FlexError {
             }
             FlexError::DegradedDevice { node, grade } => {
                 write!(f, "node {node} excluded from admission: health grade {grade}")
+            }
+            FlexError::UnresolvedSymbol { kind, name } => {
+                write!(f, "unresolved {kind} `{name}` during bytecode lowering")
             }
         }
     }
@@ -345,6 +361,27 @@ mod tests {
             degraded.is_retryable(),
             "grades clear on recovery/resync; a later admission can succeed"
         );
+    }
+
+    #[test]
+    fn unresolved_symbol_formats_and_classifies_per_kind() {
+        // One assertion per symbol kind the lowering pass can fail on.
+        for kind in [
+            "table", "map", "register", "counter", "meter", "service", "action", "local",
+            "handler",
+        ] {
+            let e = FlexError::UnresolvedSymbol {
+                kind: kind.into(),
+                name: format!("my_{kind}"),
+            };
+            let s = e.to_string();
+            assert!(s.contains(kind), "{s}");
+            assert!(s.contains(&format!("`my_{kind}`")), "{s}");
+            assert!(
+                !e.is_retryable(),
+                "an unresolved {kind} is a program defect; retrying reproduces it"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Differential tests for the fast packet path: the install-time bytecode
+//! VM must be observationally identical to the reference AST interpreter —
+//! same verdict, same op count (so latency models agree), same packet
+//! mutations, same logical state, same config digest — on every program in
+//! the app gallery and on randomized packets.
+//!
+//! Deterministic sweeps use a pinned xorshift stream (regression seeds à la
+//! the chaos suites); the proptest section explores arbitrary packets and
+//! records its own regressions file.
+
+use flexnet::prelude::*;
+use flexnet_dataplane::device::ExecMode;
+use flexnet_dataplane::table::{KeyMatch, TableEntry};
+use flexnet_lang::ast::{ActionCall, MatchKind, TableDecl};
+use proptest::prelude::*;
+
+/// Every program the app gallery can produce, spanning maps, registers,
+/// counters, meters, exact/LPM/ternary tables, punts, and services.
+fn gallery() -> Vec<(&'static str, ProgramBundle)> {
+    use flexnet::apps as a;
+    vec![
+        ("cms", a::telemetry::count_min_sketch(4, 1024).unwrap()),
+        ("heavy_hitter", a::telemetry::heavy_hitter(256, 16).unwrap()),
+        ("path_tracer", a::telemetry::path_tracer(7).unwrap()),
+        ("firewall", a::security::firewall(64).unwrap()),
+        ("syn_defense", a::security::syn_defense(20, 100).unwrap()),
+        ("rate_limiter", a::security::rate_limiter(1_000, 64).unwrap()),
+        ("l3_router", a::routing::l3_router(64).unwrap()),
+        ("vlan_gateway", a::routing::vlan_gateway().unwrap()),
+        ("ecmp", a::lb::ecmp(4).unwrap()),
+        ("hula", a::lb::hula(4).unwrap()),
+        ("ecn_marking", a::cc::ecn_marking(100).unwrap()),
+        ("dctcp_host", a::cc::dctcp_host().unwrap()),
+        ("hpcc_nic", a::cc::hpcc_nic().unwrap()),
+        ("bbr_host", a::cc::bbr_host().unwrap()),
+    ]
+}
+
+/// A tiny deterministic RNG (xorshift64*), seeded per program so failures
+/// pin to a reproducible stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+}
+
+/// Synthesizes a few entries for `decl` matching its declared key kinds and
+/// action signatures, so table-driven programs take real hit paths.
+fn synth_entries(decl: &TableDecl, rng: &mut Rng) -> Vec<TableEntry> {
+    let mut out = Vec::new();
+    for i in 0..6u64 {
+        let matches: Vec<KeyMatch> = decl
+            .keys
+            .iter()
+            .map(|k| match k.match_kind {
+                // Small values so the packet generator actually hits them.
+                MatchKind::Exact => KeyMatch::Exact(rng.next() % 32),
+                MatchKind::Lpm => KeyMatch::Lpm {
+                    value: rng.next() & 0xffff_ffff,
+                    prefix_len: (rng.next() % 25) as u8,
+                    width: 32,
+                },
+                MatchKind::Ternary => KeyMatch::Ternary {
+                    value: rng.next() % 64,
+                    mask: 0x1f,
+                },
+                MatchKind::Range => {
+                    let lo = rng.next() % 64;
+                    KeyMatch::Range {
+                        lo,
+                        hi: lo + rng.next() % 64,
+                    }
+                }
+            })
+            .collect();
+        let action = &decl.actions[(i as usize) % decl.actions.len()];
+        out.push(TableEntry {
+            matches,
+            priority: (rng.next() % 4) as i32,
+            action: ActionCall {
+                action: action.name.clone(),
+                args: action.params.iter().map(|_| rng.next() % 1024).collect(),
+            },
+        });
+    }
+    out
+}
+
+fn dev(mode: ExecMode, kind: flexnet_lang::ast::ProgramKind) -> Device {
+    use flexnet_lang::ast::ProgramKind;
+    let arch = match kind {
+        ProgramKind::Host | ProgramKind::Nic => Architecture::host_default(),
+        _ => Architecture::drmt_default(),
+    };
+    let mut d = Device::new(NodeId(1), arch, StateEncoding::StatefulTable);
+    d.set_exec_mode(mode);
+    d
+}
+
+/// Installs `bundle` on two devices (one per execution mode) with identical
+/// synthesized table entries, then checks both process `packets` packets
+/// identically, observing verdicts, op counts, packet mutations, logical
+/// state, stats, and the config digest.
+fn assert_modes_agree(name: &str, bundle: &ProgramBundle, packets: &[Packet]) {
+    let mut interp = dev(ExecMode::Interpreter, bundle.program.kind);
+    let mut byte = dev(ExecMode::Bytecode, bundle.program.kind);
+    interp.install(bundle.clone()).expect("installs");
+    byte.install(bundle.clone()).expect("installs");
+    let mut rng = Rng(0x5eed_0000 ^ name.len() as u64);
+    for t in &bundle.program.tables {
+        for e in synth_entries(t, &mut rng) {
+            interp.add_entry(&t.name, e.clone()).expect("entry fits");
+            byte.add_entry(&t.name, e).expect("entry fits");
+        }
+    }
+    for (i, pkt) in packets.iter().enumerate() {
+        let now = SimTime::from_millis(i as u64 * 3);
+        let mut pa = pkt.clone();
+        let mut pb = pkt.clone();
+        let ra = interp.process(&mut pa, now);
+        let rb = byte.process(&mut pb, now);
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => {
+                assert_eq!(ra.verdict, rb.verdict, "{name}: verdict, pkt {i}");
+                assert_eq!(ra.ops, rb.ops, "{name}: ops, pkt {i}");
+                assert_eq!(ra.latency, rb.latency, "{name}: latency, pkt {i}");
+                assert_eq!(pa, pb, "{name}: packet mutation, pkt {i}");
+            }
+            (ra, rb) => panic!("{name}: pkt {i} diverged: {ra:?} vs {rb:?}"),
+        }
+    }
+    assert_eq!(
+        interp.snapshot_state(),
+        byte.snapshot_state(),
+        "{name}: logical state"
+    );
+    assert_eq!(interp.stats(), byte.stats(), "{name}: device stats");
+    assert_eq!(
+        interp.config_digest(),
+        byte.config_digest(),
+        "{name}: config digest"
+    );
+}
+
+/// A deterministic packet stream biased toward small field values (so
+/// synthesized table entries and thresholds actually trigger) but with
+/// occasional full-range outliers.
+fn packet_stream(seed: u64, n: usize) -> Vec<Packet> {
+    let mut rng = Rng(seed | 1);
+    (0..n)
+        .map(|i| {
+            let wide = rng.next().is_multiple_of(8);
+            let m = |v: u64| if wide { v } else { v % 32 };
+            let mut p = Packet::tcp(
+                i as u64,
+                m(rng.next()) as u32,
+                m(rng.next()) as u32,
+                m(rng.next()) as u16,
+                m(rng.next()) as u16,
+                (rng.next() % 64) as u8,
+            );
+            p.payload_len = (rng.next() % 1500) as u32;
+            p
+        })
+        .collect()
+}
+
+#[test]
+fn bytecode_matches_interpreter_on_every_gallery_program() {
+    for (name, bundle) in gallery() {
+        let pkts = packet_stream(0xfeed ^ name.len() as u64, 200);
+        assert_modes_agree(name, &bundle, &pkts);
+    }
+}
+
+/// Pinned regression seeds, mirroring the chaos suites' convention: any
+/// stream that ever exposed a divergence stays here forever.
+#[test]
+fn bytecode_matches_interpreter_on_regression_seeds() {
+    for seed in [1u64, 42, 0xdead_beef, 0x5eed_cafe] {
+        for (name, bundle) in gallery() {
+            assert_modes_agree(name, &bundle, &packet_stream(seed, 50));
+        }
+    }
+}
+
+proptest! {
+    // Arbitrary packets against the two most stateful gallery programs:
+    // heavy_hitter (map + punt) and firewall (table + counter).
+    #[test]
+    fn bytecode_matches_interpreter_on_arbitrary_packets(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        flags in any::<u8>(),
+        payload in 0u32..4096,
+        reps in 1usize..8,
+    ) {
+        for bundle in [
+            flexnet::apps::telemetry::heavy_hitter(64, 3).unwrap(),
+            flexnet::apps::security::firewall(16).unwrap(),
+        ] {
+            let mut p = Packet::tcp(1, src, dst, sport, dport, flags);
+            p.payload_len = payload;
+            // Repeat the same packet so threshold/punt paths can fire.
+            let pkts = vec![p; reps];
+            assert_modes_agree(&bundle.program.name, &bundle, &pkts);
+        }
+    }
+}
