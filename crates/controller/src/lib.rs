@@ -29,6 +29,10 @@
 //! - [`rollout`] — canary rollouts: wave-by-wave deployment with SLO
 //!   guards, gray-failure detection, and automatic journaled rollback
 //!   (experiment E15).
+//! - [`overload`] — the overload-protection layer end to end: retry
+//!   budgets + jitter + circuit breakers + priority load shedding +
+//!   graceful degradation, exercised by the seeded metastability chaos
+//!   harness (experiment E17).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,6 +42,7 @@ pub mod chaos;
 pub mod core;
 pub mod drpc;
 pub mod migrate;
+pub mod overload;
 pub mod raft;
 pub mod recovery;
 pub mod replicate;
@@ -49,19 +54,27 @@ pub mod tenant;
 pub mod txn;
 pub mod wal;
 
-pub use crate::core::{Controller, FailureDetector, Health, HealthEvent};
+pub use crate::core::{
+    AdmissionQueue, Controller, ControllerMode, FailureDetector, Health, HealthEvent,
+    OverloadGovernor, QueueStats, TokenBucket, WorkClass, WorkItem,
+};
 pub use apps::{AppRecord, AppRegistry, AppStatus};
-pub use drpc::{ExecutionSite, Invocation, ServiceRegistry};
+pub use drpc::{BreakerSet, BreakerState, CircuitBreaker, ExecutionSite, Invocation, ServiceRegistry};
 pub use migrate::{Migration, MigrationReport, MigrationStrategy};
+pub use overload::{run_overload_seed, OverloadReport, OverloadScenario, Protections};
 pub use raft::{RaftCluster, Role};
 pub use replicate::{FailoverReport, ReplicationGroup};
-pub use retry::{invoke_with_retry, with_retry, LossyFabric, RetryOutcome, RetryPolicy};
+pub use retry::{
+    invoke_with_retry, with_retry, with_retry_budgeted, Jitter, LossyFabric, RetryBudget,
+    RetryOutcome, RetryPolicy,
+};
 pub use scale::{ElasticScaler, ScaleDecision, ScalingPolicy};
 pub use chaos::{run_chaos_seed, ChaosReport};
 pub use recovery::{recover, RecoveryReport, TxnResolution};
 pub use rollout::{
-    resume_rollouts, run_canary_seed, run_rollout, CanaryReport, RolloutCrash, RolloutDirectory,
-    RolloutOutcome, RolloutPlan, RolloutReport, RolloutResume, SloBreach, SloGuards,
+    resume_rollouts, run_canary_seed, run_rollout, run_rollout_governed, CanaryReport,
+    RolloutCrash, RolloutDirectory, RolloutOutcome, RolloutPlan, RolloutReport, RolloutResume,
+    SloBreach, SloGuards,
 };
 pub use resync::{
     run_resync_seed, IntendedDevice, IntendedStore, ProgramClass, ResyncChaosReport,

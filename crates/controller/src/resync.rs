@@ -26,9 +26,11 @@
 //!   and when it diverges, re-provision the intended program through the
 //!   existing shadow-program + atomic-flip path (never in-place), replay
 //!   the intended table entries, and verify the digests now agree.
-//!   Resyncs are admission-controlled (one at a time, spaced at least
-//!   [`Resyncer::min_gap`] apart) so a mass restart cannot stampede the
-//!   control fabric, and [`Resyncer::resync_all`] orders
+//!   Resyncs are admission-controlled through a *shared global*
+//!   [`TokenBucket`] (one grant per [`Resyncer::min_gap`], booking a
+//!   bounded number of periods ahead) so a mass restart cannot stampede
+//!   the control fabric; a device denied by the bucket is requeued —
+//!   never dropped — and [`Resyncer::resync_all`] orders
 //!   [`ProgramClass::Critical`] devices before telemetry.
 //! - [`run_resync_seed`] — the deterministic chaos harness: one seed
 //!   expands to a [`RestartSchedule`] (how many devices restart, whether
@@ -37,7 +39,7 @@
 //!   [`ResyncChaosReport`], so `report.passed()` is the pass criterion
 //!   for benches, CI smoke tests, and property tests alike.
 
-use crate::core::{FailureDetector, HealthEvent};
+use crate::core::{FailureDetector, HealthEvent, TokenBucket};
 use crate::recovery::{recover, RecoveryReport, TargetDirectory};
 use crate::retry::{command_rtt, with_retry, LossyFabric, RetryPolicy};
 use crate::txn::logged_transactional_reconfig;
@@ -307,12 +309,22 @@ pub struct ResyncTicket {
     after_start: SimTime,
 }
 
+/// How many refill periods ahead the resync admission bucket will book
+/// before denying with [`FlexError::Backpressure`]. A mass restart of up
+/// to this many devices defers (preserving the old min-gap spacing); a
+/// larger stampede is told to requeue instead of camping on
+/// reservations arbitrarily far in the future.
+const RESYNC_BUCKET_DEPTH: u32 = 8;
+
 /// The anti-entropy reconciler: drives diverged devices back to their
-/// intended state, rate-limited so a mass restart cannot stampede.
+/// intended state. Admission flows through one *global* token bucket
+/// shared by every device — the rate limit protects the controller and
+/// the control fabric, which are shared resources, so limiting
+/// per-device would let a mass restart multiply the rate by the fleet
+/// size.
 #[derive(Debug)]
 pub struct Resyncer {
-    min_gap: SimDuration,
-    last_start: Option<SimTime>,
+    bucket: TokenBucket,
     in_progress: BTreeSet<NodeId>,
     starts: Vec<(SimTime, NodeId)>,
 }
@@ -325,19 +337,33 @@ impl Default for Resyncer {
 }
 
 impl Resyncer {
-    /// A reconciler admitting at most one resync per `min_gap`.
+    /// A reconciler admitting at most one resync per `min_gap`
+    /// (globally, across all devices), booking at most
+    /// [`RESYNC_BUCKET_DEPTH`] admissions ahead.
     pub fn new(min_gap: SimDuration) -> Resyncer {
+        Resyncer::with_bucket(TokenBucket::new(min_gap, RESYNC_BUCKET_DEPTH))
+    }
+
+    /// A reconciler admitting through the caller's bucket (the overload
+    /// harness shares one bucket between subsystems and shrinks the
+    /// booking horizon to force the requeue path).
+    pub fn with_bucket(bucket: TokenBucket) -> Resyncer {
         Resyncer {
-            min_gap,
-            last_start: None,
+            bucket,
             in_progress: BTreeSet::new(),
             starts: Vec::new(),
         }
     }
 
-    /// The configured admission gap.
+    /// The configured admission gap (the bucket's refill period).
     pub fn min_gap(&self) -> SimDuration {
-        self.min_gap
+        self.bucket.refill_period()
+    }
+
+    /// The shared global admission bucket (its `granted`/`denied`
+    /// counters are the observable rate-limit behaviour).
+    pub fn bucket(&self) -> &TokenBucket {
+        &self.bucket
     }
 
     /// Every admitted resync start, in admission order.
@@ -386,19 +412,22 @@ impl Resyncer {
         })?;
         let want = intended.digest();
         let class = intended.class;
-        // Admission: space starts at least min_gap apart.
-        let start_at = match self.last_start {
-            Some(prev) if prev + self.min_gap > now => prev + self.min_gap,
-            _ => now,
-        };
+        // Admission: one global token-bucket reservation. The grant is a
+        // deferred start instant (≥ min_gap after the previous grant);
+        // past the booking horizon the bucket denies with the retryable
+        // [`FlexError::Backpressure`] — the caller requeues the node.
+        let prior_tat = self.bucket.next_free();
+        let start_at = self.bucket.reserve(now, "resync admission")?;
         self.in_progress.insert(node);
         let result = self.start_inner(
             sim, intended, want, node, class, start_at, fabric, policy,
         );
         if result.is_err() {
             self.in_progress.remove(&node);
+            // The reservation was never used: give it back so a failed
+            // start does not consume admission capacity.
+            self.bucket.release(prior_tat);
         } else {
-            self.last_start = Some(start_at);
             self.starts.push((start_at, node));
         }
         result
@@ -508,6 +537,11 @@ impl Resyncer {
     /// per-device reports in execution order. `gate` is forwarded to
     /// each [`Resyncer::start`]: an unhealthy node fails the whole batch
     /// up front rather than mid-sequence.
+    ///
+    /// A node denied by the global admission bucket is *requeued, not
+    /// dropped*: the batch waits out the bucket's `retry_after` and
+    /// retries the same node, so priority order is preserved and every
+    /// node in the batch is eventually reconciled.
     #[allow(clippy::too_many_arguments)]
     pub fn resync_all(
         &mut self,
@@ -527,15 +561,28 @@ impl Resyncer {
                 detector.admit(*node)?;
             }
         }
+        let mut queue: std::collections::VecDeque<NodeId> = ordered.into();
         let mut t = now;
         let mut reports = Vec::new();
-        for node in ordered {
-            let ticket = self.start(sim, store, node, t, fabric, policy, gate)?;
-            let report = self.complete(sim, store, ticket, fabric, policy)?;
-            if report.finished_at > t {
-                t = report.finished_at;
+        while let Some(node) = queue.pop_front() {
+            match self.start(sim, store, node, t, fabric, policy, gate) {
+                Ok(ticket) => {
+                    let report = self.complete(sim, store, ticket, fabric, policy)?;
+                    if report.finished_at > t {
+                        t = report.finished_at;
+                    }
+                    reports.push(report);
+                }
+                Err(FlexError::Backpressure { retry_after, .. }) => {
+                    // Denied by the bucket: requeue at the *front* (the
+                    // batch's priority order stands) and wait out the
+                    // backlog. Each denial advances `t`, so the retry is
+                    // granted and the loop terminates.
+                    t += retry_after.max(SimDuration::from_nanos(1));
+                    queue.push_front(node);
+                }
+                Err(e) => return Err(e),
             }
-            reports.push(report);
         }
         Ok(reports)
     }
@@ -1383,6 +1430,55 @@ mod tests {
             );
         }
         assert!(diverged(&sim, &store.intended_digests()).is_empty());
+    }
+
+    #[test]
+    fn denied_by_the_bucket_is_requeued_not_dropped() {
+        let (mut sim, devices, store, _log) = provisioned();
+        let (mut fabric, policy) = reliable_env();
+        for d in devices {
+            let dev = &mut sim.topo.node_mut(d).unwrap().device;
+            dev.crash(SimTime::from_secs(1));
+            dev.restart(SimTime::from_secs(1) + VICTIM_RESTART_DELAY).unwrap();
+        }
+        // A zero-depth bucket denies every start that would need to
+        // defer — the worst case for a mass restart. The batch must
+        // still reconcile every device by requeueing, never dropping.
+        let mut r = Resyncer::with_bucket(TokenBucket::new(
+            SimDuration::from_millis(25),
+            0,
+        ));
+        // A direct start that needs deferral surfaces typed backpressure.
+        let t0 = SimTime::from_secs(2);
+        let ticket = r
+            .start(&mut sim, &store, devices[1], t0, &mut fabric, &policy, None)
+            .unwrap();
+        let err = r
+            .start(&mut sim, &store, devices[0], t0, &mut fabric, &policy, None)
+            .unwrap_err();
+        assert!(matches!(err, FlexError::Backpressure { .. }), "{err}");
+        assert!(err.is_retryable(), "denial means requeue, not drop");
+        assert!(r.bucket().denied > 0);
+        r.complete(&mut sim, &store, ticket, &mut fabric, &policy).unwrap();
+
+        // The batch path requeues denied nodes and converges them all.
+        let reports = r
+            .resync_all(
+                &mut sim,
+                &store,
+                &devices,
+                SimTime::from_secs(4),
+                &mut fabric,
+                &policy,
+                None,
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 3, "nothing dropped");
+        assert!(diverged(&sim, &store.intended_digests()).is_empty());
+        // Spacing held even through the deny/requeue cycles.
+        for pair in r.starts().windows(2) {
+            assert!(pair[1].0.saturating_since(pair[0].0) >= r.min_gap());
+        }
     }
 
     #[test]

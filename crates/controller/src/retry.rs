@@ -14,6 +14,31 @@ use crate::drpc::{ServiceRegistry, CONTROLLER_RTT, DRPC_HOP_LATENCY};
 use flexnet_types::{FlexError, NodeId, Result, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// How backoff intervals are spread to decorrelate concurrent retriers.
+///
+/// Pure exponential backoff keeps every caller that failed at the same
+/// instant *synchronized*: they all sleep the same `base * m^k` and
+/// re-arrive together, turning one burst of failures into a periodic
+/// thundering herd. Decorrelated jitter (`sleep = rand(base, prev * 3)`,
+/// capped) breaks the alignment — each retrier walks its own randomized
+/// schedule, so re-arrivals smear out instead of spiking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Jitter {
+    /// Deterministic exponential backoff (the pre-overload behavior;
+    /// keeps timing-sensitive callers and tests exact).
+    None,
+    /// Decorrelated jitter: each backoff is drawn uniformly from
+    /// `[base_backoff, prev * 3]`, clamped to `cap`. The draw stream is
+    /// seeded from the exchange's start instant, so a retried call is
+    /// deterministic in its inputs while *different* calls (different
+    /// start times, different destinations) decorrelate.
+    Decorrelated {
+        /// Upper clamp on any single backoff.
+        cap: SimDuration,
+    },
+}
 
 /// How an operation is retried.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +52,8 @@ pub struct RetryPolicy {
     /// Give up when the next attempt would start later than this long
     /// after the first.
     pub deadline: SimDuration,
+    /// How backoffs are spread across concurrent retriers.
+    pub jitter: Jitter,
 }
 
 impl Default for RetryPolicy {
@@ -36,16 +63,150 @@ impl Default for RetryPolicy {
             base_backoff: SimDuration::from_millis(1),
             multiplier: 2,
             deadline: SimDuration::from_secs(1),
+            jitter: Jitter::None,
         }
     }
 }
 
 impl RetryPolicy {
+    /// The default policy with decorrelated jitter capped at 100× base —
+    /// what every overload-aware caller should use.
+    pub fn jittered() -> RetryPolicy {
+        let base = RetryPolicy::default();
+        RetryPolicy {
+            jitter: Jitter::Decorrelated {
+                cap: base.base_backoff.saturating_mul(100),
+            },
+            ..base
+        }
+    }
+
     /// The backoff inserted after failed attempt `attempt` (0-based):
-    /// `base_backoff * multiplier^attempt`, saturating.
+    /// `base_backoff * multiplier^attempt`, saturating. This is the
+    /// *deterministic* schedule; jittered callers use
+    /// [`RetryPolicy::next_backoff`] instead.
     pub fn backoff(&self, attempt: u32) -> SimDuration {
         self.base_backoff
             .saturating_mul(self.multiplier.saturating_pow(attempt.min(20)) as u64)
+    }
+
+    /// The backoff after failed attempt `attempt`, given the previous
+    /// backoff `prev` (ignored by [`Jitter::None`]) and the exchange's
+    /// jitter stream `rng`.
+    pub fn next_backoff(&self, attempt: u32, prev: SimDuration, rng: &mut StdRng) -> SimDuration {
+        match self.jitter {
+            Jitter::None => self.backoff(attempt),
+            Jitter::Decorrelated { cap } => {
+                let base = self.base_backoff.as_nanos().max(1);
+                let hi = prev.as_nanos().saturating_mul(3).max(base + 1);
+                let drawn = rng.gen_range(base..hi);
+                SimDuration::from_nanos(drawn.min(cap.as_nanos().max(base)))
+            }
+        }
+    }
+}
+
+/// splitmix64 — decorrelates jitter streams of nearby start instants.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A per-destination retry budget: the storm-suppression layer.
+///
+/// Every *successful* exchange with a destination earns a fraction of a
+/// retry token ([`RetryBudget::ratio_ppm`]); every retry (second and
+/// later attempt of an exchange) spends one. When a destination's bucket
+/// is empty, further retries to it are refused with the non-retryable
+/// [`FlexError::RetryBudgetExhausted`] — first attempts are *never*
+/// refused. The effect is the classic retry-budget invariant: sustained
+/// retries are capped at `ratio` × the first-attempt success rate, so a
+/// retry storm against a struggling destination self-extinguishes
+/// instead of amplifying, and the budget refills only as real successes
+/// resume.
+///
+/// Token accounting is integer (millitokens), so budgets are exactly
+/// deterministic across platforms.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    /// Millitokens earned per successful exchange (100_000 ppm = 0.1
+    /// retries earned per success).
+    ratio_ppm: u64,
+    /// Bucket cap in millitokens (bounds the burst of retries a long
+    /// success streak can bank).
+    cap_millitokens: u64,
+    /// Fresh destinations start with this many millitokens, so the very
+    /// first failure of a healthy destination can still be retried.
+    initial_millitokens: u64,
+    tokens: BTreeMap<NodeId, u64>,
+    /// Retries spent, total (observability).
+    pub spent: u64,
+    /// Retries refused, total (observability).
+    pub refused: u64,
+}
+
+impl Default for RetryBudget {
+    /// 10% retry ratio, 10-retry cap, 3 retries of initial credit.
+    fn default() -> RetryBudget {
+        RetryBudget::new(100_000, 10, 3)
+    }
+}
+
+impl RetryBudget {
+    /// A budget earning `ratio_ppm` of a retry per success, capped at
+    /// `cap` retries, with `initial` retries of starting credit per
+    /// destination.
+    pub fn new(ratio_ppm: u64, cap: u64, initial: u64) -> RetryBudget {
+        RetryBudget {
+            ratio_ppm,
+            cap_millitokens: cap.saturating_mul(1000),
+            initial_millitokens: initial.saturating_mul(1000).min(cap.saturating_mul(1000)),
+            tokens: BTreeMap::new(),
+            spent: 0,
+            refused: 0,
+        }
+    }
+
+    /// The configured earn ratio in ppm.
+    pub fn ratio_ppm(&self) -> u64 {
+        self.ratio_ppm
+    }
+
+    /// Whole retry tokens currently available for `dest`.
+    pub fn available(&self, dest: NodeId) -> u64 {
+        self.tokens
+            .get(&dest)
+            .copied()
+            .unwrap_or(self.initial_millitokens)
+            / 1000
+    }
+
+    /// Records a successful exchange with `dest`, earning budget.
+    pub fn on_success(&mut self, dest: NodeId) {
+        let t = self
+            .tokens
+            .entry(dest)
+            .or_insert(self.initial_millitokens);
+        *t = (*t + self.ratio_ppm / 1000).min(self.cap_millitokens);
+    }
+
+    /// Tries to spend one retry token for `dest`. `false` means the
+    /// budget is dry and the retry must not happen.
+    pub fn try_spend(&mut self, dest: NodeId) -> bool {
+        let t = self
+            .tokens
+            .entry(dest)
+            .or_insert(self.initial_millitokens);
+        if *t >= 1000 {
+            *t -= 1000;
+            self.spent += 1;
+            true
+        } else {
+            self.refused += 1;
+            false
+        }
     }
 }
 
@@ -80,6 +241,14 @@ impl LossyFabric {
     /// The configured drop probability.
     pub fn drop_prob(&self) -> f64 {
         self.drop_prob
+    }
+
+    /// Changes the drop probability mid-run (the overload harness uses
+    /// this for brownout windows: lossy while the fault holds, clean
+    /// after it clears). The RNG stream is untouched, so runs stay
+    /// deterministic per seed.
+    pub fn set_drop_prob(&mut self, drop_prob: f64) {
+        self.drop_prob = drop_prob.clamp(0.0, 1.0);
     }
 
     /// Sends one message; `true` when it arrives.
@@ -139,6 +308,10 @@ pub fn with_retry<T>(
     let mut t = start;
     let mut last_retryable: Option<FlexError> = None;
     let give_up = |last: Option<FlexError>, fallback: FlexError| last.unwrap_or(fallback);
+    // The jitter stream is seeded from the exchange's start instant:
+    // the same call replays identically, different calls decorrelate.
+    let mut jitter_rng = StdRng::seed_from_u64(mix(start.as_nanos() ^ 0x4A17_7E2D));
+    let mut prev_backoff = policy.base_backoff;
     for attempt in 0..policy.max_attempts.max(1) {
         let request_arrived = fabric.deliver();
         t += rtt;
@@ -169,7 +342,8 @@ pub fn with_retry<T>(
                 }
             }
         }
-        t += policy.backoff(attempt);
+        prev_backoff = policy.next_backoff(attempt, prev_backoff, &mut jitter_rng);
+        t += prev_backoff;
         if t > deadline {
             return RetryOutcome {
                 result: Err(give_up(
@@ -194,6 +368,83 @@ pub fn with_retry<T>(
             )),
         )),
         attempts: policy.max_attempts.max(1),
+        finished_at: t,
+    }
+}
+
+/// Runs `op` like [`with_retry`], but *retries* (attempts after the
+/// first) must be paid for from `budget`'s bucket for `dest`.
+///
+/// The first attempt is always made — a budget bounds *re*-tries, never
+/// the work itself. When a retry would be needed and the bucket is dry,
+/// the exchange ends with [`FlexError::RetryBudgetExhausted`] (carrying
+/// the attempts made so far), which is deliberately *not* retryable: the
+/// caller requeues at a higher level, where fresh successes replenish
+/// the budget. A successful exchange earns budget back, so steady-state
+/// traffic sustains the configured retry fraction and a storm against a
+/// dead destination self-extinguishes after the bucket drains.
+pub fn with_retry_budgeted<T>(
+    policy: &RetryPolicy,
+    budget: &mut RetryBudget,
+    dest: NodeId,
+    fabric: &mut LossyFabric,
+    start: SimTime,
+    rtt: SimDuration,
+    mut op: impl FnMut(SimTime) -> Result<T>,
+) -> RetryOutcome<T> {
+    let deadline = start + policy.deadline;
+    let mut t = start;
+    let mut last_retryable: Option<FlexError> = None;
+    let mut jitter_rng = StdRng::seed_from_u64(mix(start.as_nanos() ^ 0x4A17_7E2D));
+    let mut prev_backoff = policy.base_backoff;
+    let mut made = 0u32;
+    for attempt in 0..policy.max_attempts.max(1) {
+        made = attempt + 1;
+        let request_arrived = fabric.deliver();
+        t += rtt;
+        if request_arrived {
+            match op(t) {
+                Ok(v) => {
+                    if fabric.deliver() {
+                        budget.on_success(dest);
+                        return RetryOutcome {
+                            result: Ok(v),
+                            attempts: made,
+                            finished_at: t,
+                        };
+                    }
+                }
+                Err(e) if e.is_retryable() => last_retryable = Some(e),
+                Err(e) => {
+                    return RetryOutcome {
+                        result: Err(e),
+                        attempts: made,
+                        finished_at: t,
+                    }
+                }
+            }
+        }
+        prev_backoff = policy.next_backoff(attempt, prev_backoff, &mut jitter_rng);
+        t += prev_backoff;
+        if t > deadline || made >= policy.max_attempts.max(1) {
+            break;
+        }
+        // The next iteration is a retry: it must be paid for.
+        if !budget.try_spend(dest) {
+            return RetryOutcome {
+                result: Err(FlexError::RetryBudgetExhausted {
+                    dest: u64::from(dest.raw()),
+                }),
+                attempts: made,
+                finished_at: t,
+            };
+        }
+    }
+    RetryOutcome {
+        result: Err(last_retryable.unwrap_or_else(|| {
+            FlexError::Timeout(format!("budgeted exchange with {dest} gave up"))
+        })),
+        attempts: made,
         finished_at: t,
     }
 }
@@ -331,6 +582,7 @@ mod tests {
             base_backoff: SimDuration::from_millis(9),
             multiplier: 2,
             deadline: SimDuration::from_millis(10),
+            jitter: Jitter::None,
         };
         let mut f = LossyFabric::new(1.0, 1); // request never arrives...
         let mut calls = 0u32;
@@ -484,6 +736,155 @@ mod tests {
             Err(FlexError::NoLeader { hint: Some(2), .. }) => {}
             other => panic!("expected the hinted NoLeader back, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn decorrelated_jitter_spreads_backoffs_over_a_seeded_rng() {
+        let policy = RetryPolicy::jittered();
+        let cap = match policy.jitter {
+            Jitter::Decorrelated { cap } => cap,
+            Jitter::None => panic!("jittered() must enable jitter"),
+        };
+        // Draw a long backoff walk from a seeded stream and check the
+        // spread: every draw within [base, cap], draws not all equal
+        // (desynchronized), and the same seed replays identically.
+        let walk = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut prev = policy.base_backoff;
+            (0..200u32)
+                .map(|a| {
+                    prev = policy.next_backoff(a, prev, &mut rng);
+                    prev
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = walk(7);
+        assert_eq!(a, walk(7), "same seed, same schedule");
+        assert_ne!(a, walk(8), "different seeds decorrelate");
+        let distinct: std::collections::BTreeSet<_> = a.iter().collect();
+        assert!(distinct.len() > 50, "draws spread, got {}", distinct.len());
+        for b in &a {
+            assert!(*b >= policy.base_backoff, "never below base: {b}");
+            assert!(*b <= cap, "never above cap: {b}");
+        }
+        // Two retriers failing at the same instant but with different
+        // streams must NOT re-align. Draws clamped at the cap coincide by
+        // design (that is the max-backoff steady state); below the cap,
+        // coincidence over nanosecond granularity means re-alignment.
+        let b = walk(8);
+        let aligned = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x == y && **x < cap)
+            .count();
+        assert!(aligned < 10, "thundering herd re-alignment: {aligned}/200");
+        let below_cap = a.iter().filter(|x| **x < cap).count();
+        assert!(below_cap > 10, "walk never explores below cap: {below_cap}");
+        // Jitter::None keeps the exact deterministic schedule.
+        let exact = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            exact.next_backoff(3, SimDuration::from_secs(9), &mut rng),
+            exact.backoff(3)
+        );
+    }
+
+    #[test]
+    fn retry_budget_caps_retries_and_replenishes_on_success() {
+        let mut budget = RetryBudget::new(100_000, 10, 2);
+        let dest = NodeId(4);
+        assert_eq!(budget.available(dest), 2, "initial credit");
+        // Drain: only the initial credit's worth of retries are granted.
+        assert!(budget.try_spend(dest));
+        assert!(budget.try_spend(dest));
+        assert!(!budget.try_spend(dest), "bucket dry, retry refused");
+        assert_eq!(budget.spent, 2);
+        assert_eq!(budget.refused, 1);
+        // 10 successes at 10% earn exactly one more retry.
+        for _ in 0..10 {
+            budget.on_success(dest);
+        }
+        assert_eq!(budget.available(dest), 1);
+        assert!(budget.try_spend(dest));
+        assert!(!budget.try_spend(dest));
+        // Destinations are independent buckets.
+        assert!(budget.try_spend(NodeId(9)));
+    }
+
+    #[test]
+    fn budgeted_retry_storm_self_extinguishes() {
+        // A dead destination: every exchange fails. Without a budget,
+        // 100 calls × 8 attempts = 800 messages; with a 10% budget and
+        // 3 retries of initial credit, attempts must collapse to
+        // first-attempts + initial credit.
+        let mut budget = RetryBudget::new(100_000, 10, 3);
+        let dest = NodeId(2);
+        let policy = RetryPolicy {
+            deadline: SimDuration::from_secs(3600),
+            ..RetryPolicy::default()
+        };
+        let mut fabric = LossyFabric::new(1.0, 11); // total loss
+        let mut total_attempts = 0u32;
+        let mut budget_stops = 0u32;
+        for i in 0..100u64 {
+            let out = with_retry_budgeted(
+                &policy,
+                &mut budget,
+                dest,
+                &mut fabric,
+                SimTime::from_millis(i),
+                SimDuration::from_micros(10),
+                |_| Ok(()),
+            );
+            total_attempts += out.attempts;
+            if matches!(out.result, Err(FlexError::RetryBudgetExhausted { .. })) {
+                budget_stops += 1;
+            }
+        }
+        assert!(
+            total_attempts <= 100 + 3 + 1,
+            "storm did not self-extinguish: {total_attempts} attempts"
+        );
+        assert!(budget_stops >= 97, "budget refused the storm: {budget_stops}");
+        // Once the destination heals, successes replenish the budget and
+        // retries flow again at the configured fraction.
+        let mut fabric = LossyFabric::reliable();
+        for i in 0..50u64 {
+            let out = with_retry_budgeted(
+                &policy,
+                &mut budget,
+                dest,
+                &mut fabric,
+                SimTime::from_secs(1 + i),
+                SimDuration::from_micros(10),
+                |_| Ok(()),
+            );
+            assert!(out.is_ok());
+        }
+        assert!(budget.available(dest) >= 4, "healed successes re-earn budget");
+    }
+
+    #[test]
+    fn budgeted_first_attempts_are_never_refused() {
+        // Zero initial credit, zero earn: the budget can only ever say
+        // "no retries" — but every first attempt still runs.
+        let mut budget = RetryBudget::new(0, 10, 0);
+        let mut fabric = LossyFabric::reliable();
+        let mut calls = 0u32;
+        let out = with_retry_budgeted(
+            &RetryPolicy::default(),
+            &mut budget,
+            NodeId(1),
+            &mut fabric,
+            SimTime::ZERO,
+            SimDuration::from_micros(10),
+            |_| {
+                calls += 1;
+                Ok(calls)
+            },
+        );
+        assert_eq!(out.result.unwrap(), 1);
+        assert_eq!(out.attempts, 1);
     }
 
     #[test]

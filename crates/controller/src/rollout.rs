@@ -674,6 +674,34 @@ pub fn run_rollout(
     })
 }
 
+/// [`run_rollout`] behind the overload governor's rollout gate: while
+/// the controller is [`Degraded`](crate::core::ControllerMode::Degraded),
+/// *new* rollouts are refused up front with the retryable
+/// [`FlexError::Backpressure`] — before any baseline soak, journal
+/// record, or fabric traffic. Rollouts are the one work class that is
+/// pure optional load during an overload incident: nothing breaks by
+/// starting them later, and every wave they would push contends with the
+/// resyncs that end the incident.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rollout_governed(
+    governor: &crate::core::OverloadGovernor,
+    sim: &mut Simulation,
+    plan: &RolloutPlan,
+    baseline: &[(NodeId, ProgramBundle)],
+    candidate: &[(NodeId, ProgramBundle)],
+    now: SimTime,
+    fabric: &mut LossyFabric,
+    policy: &RetryPolicy,
+    log: &mut ReplicatedIntentLog,
+    detector: &mut FailureDetector,
+    crash: Option<RolloutCrash>,
+) -> Result<RolloutReport> {
+    governor.admit_rollout()?;
+    run_rollout(
+        sim, plan, baseline, candidate, now, fabric, policy, log, detector, crash,
+    )
+}
+
 /// One rollout obligation the successor coordinator settled.
 #[derive(Debug, Clone)]
 pub struct RolloutResume {
@@ -1230,6 +1258,62 @@ mod tests {
 
     fn pairs(switches: &[NodeId], bundle: ProgramBundle) -> Vec<(NodeId, ProgramBundle)> {
         switches.iter().map(|&d| (d, bundle.clone())).collect()
+    }
+
+    #[test]
+    fn degraded_controller_pauses_new_rollouts_up_front() {
+        use crate::core::{ControllerMode, OverloadGovernor};
+        let (mut sim, switches, mut log, mut fabric, policy) = lanes_env(4, 4);
+        let plan =
+            RolloutPlan::canonical(&switches, SimDuration::from_millis(300), SloGuards::default());
+        let mut detector = FailureDetector::default();
+        let mut gov = OverloadGovernor::new(
+            2,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(200),
+        );
+        gov.observe_sheds(SimTime::from_millis(10), 2);
+        assert_eq!(gov.mode(), ControllerMode::Degraded);
+        let journal_len = log.records().unwrap().len();
+        let err = run_rollout_governed(
+            &gov,
+            &mut sim,
+            &plan,
+            &pairs(&switches, lane_base()),
+            &pairs(&switches, lane_good()),
+            SimTime::from_secs(1),
+            &mut fabric,
+            &policy,
+            &mut log,
+            &mut detector,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlexError::Backpressure { .. }), "{err}");
+        assert!(err.is_retryable(), "paused, not cancelled");
+        assert_eq!(
+            log.records().unwrap().len(),
+            journal_len,
+            "refused before any journal record or fabric traffic"
+        );
+        // Once the governor recovers, the same rollout is admitted.
+        gov.observe_sheds(SimTime::from_millis(400), 2);
+        assert_eq!(gov.mode(), ControllerMode::Normal);
+        let report = run_rollout_governed(
+            &gov,
+            &mut sim,
+            &plan,
+            &pairs(&switches, lane_base()),
+            &pairs(&switches, lane_good()),
+            SimTime::from_secs(1),
+            &mut fabric,
+            &policy,
+            &mut log,
+            &mut detector,
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RolloutOutcome::Completed);
     }
 
     #[test]

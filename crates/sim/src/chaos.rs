@@ -331,6 +331,132 @@ pub fn rollout_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<Ro
         .collect()
 }
 
+/// How one overload chaos run tries to push the controller into
+/// metastable collapse.
+///
+/// Where the earlier schedules break one thing (a coordinator, a set of
+/// devices, a candidate program), an overload scenario breaks the
+/// *arithmetic*: it arranges for offered control-plane load to exceed
+/// service capacity long enough that, without protection, the backlog's
+/// own retries and stale work keep the controller saturated after the
+/// original fault clears — the metastable failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OverloadScenario {
+    /// Most of the fleet restarts at once: a resync stampede meets the
+    /// admission path.
+    MassRestart,
+    /// The control fabric browns out (heavy loss) for the fault window:
+    /// every exchange retries, multiplying offered load.
+    Brownout,
+    /// Devices multiply their telemetry cadence: a flood of the
+    /// lowest-priority work class.
+    HeartbeatBurst,
+    /// The controller itself slows down (capacity divided) while load
+    /// stays nominal: queue delay crosses the client timeout and every
+    /// request starts arriving in duplicate.
+    SlowController,
+}
+
+impl OverloadScenario {
+    /// All scenarios, cycled by the sweep.
+    pub const ALL: [OverloadScenario; 4] = [
+        OverloadScenario::MassRestart,
+        OverloadScenario::Brownout,
+        OverloadScenario::HeartbeatBurst,
+        OverloadScenario::SlowController,
+    ];
+
+    /// A short stable label for tables and test output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverloadScenario::MassRestart => "mass-restart",
+            OverloadScenario::Brownout => "brownout",
+            OverloadScenario::HeartbeatBurst => "heartbeat-burst",
+            OverloadScenario::SlowController => "slow-controller",
+        }
+    }
+}
+
+/// Everything an overload chaos run does, derived from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadSchedule {
+    /// The originating seed (kept for reproduction in reports).
+    pub seed: u64,
+    /// Which overload mechanism this run exercises.
+    pub scenario: OverloadScenario,
+    /// [`OverloadScenario::MassRestart`]: how many devices restart
+    /// (most or all of the fleet — a stampede, not a blip).
+    pub restarts: usize,
+    /// Device indices that restart, distinct, `restarts` of them.
+    pub victims: Vec<usize>,
+    /// [`OverloadScenario::Brownout`]: fabric drop probability while the
+    /// fault holds.
+    pub brownout_loss: f64,
+    /// [`OverloadScenario::HeartbeatBurst`]: telemetry cadence
+    /// multiplier while the fault holds.
+    pub burst_factor: u32,
+    /// [`OverloadScenario::SlowController`]: controller service-capacity
+    /// divisor while the fault holds.
+    pub slow_factor: u32,
+    /// Baseline drop probability of the control fabric (outside the
+    /// fault window).
+    pub fabric_loss: f64,
+    /// How long the fault holds, in milliseconds of simulated time.
+    pub fault_ms: u64,
+}
+
+impl OverloadSchedule {
+    /// Expands `seed` into an overload schedule over `participants`
+    /// devices.
+    ///
+    /// The scenario cycles with the seed (any contiguous run of ≥4 seeds
+    /// covers every mechanism); severity knobs are drawn from the mixed
+    /// seed — always hard enough that offered load exceeds unprotected
+    /// capacity during the fault, because a scenario the *unprotected*
+    /// controller survives proves nothing about the protections.
+    pub fn from_seed(seed: u64, participants: usize) -> OverloadSchedule {
+        let h = mix(seed ^ 0x0EE2_10AD);
+        let scenario = OverloadScenario::ALL[(seed % 4) as usize];
+        let restarts = if scenario == OverloadScenario::MassRestart && participants > 0 {
+            // All of the fleet, or three quarters of it: a stampede.
+            match (h >> 2) & 1 {
+                0 => participants,
+                _ => (participants * 3).div_ceil(4),
+            }
+        } else {
+            0
+        };
+        let mut victims: Vec<usize> = Vec::new();
+        let mut z = h;
+        while victims.len() < restarts {
+            z = mix(z);
+            let v = (z as usize) % participants;
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        victims.sort_unstable();
+        OverloadSchedule {
+            seed,
+            scenario,
+            restarts,
+            victims,
+            brownout_loss: if (h >> 4) & 1 == 0 { 0.5 } else { 0.7 },
+            burst_factor: 6 + ((h >> 6) % 5) as u32,
+            slow_factor: 4 + ((h >> 9) % 4) as u32,
+            fabric_loss: if (h >> 12) & 1 == 0 { 0.0 } else { 0.05 },
+            fault_ms: 600 + ((h >> 16) % 5) * 150,
+        }
+    }
+}
+
+/// The overload schedules for a contiguous seed range (E17's sweep shape).
+pub fn overload_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<OverloadSchedule> {
+    (first_seed..first_seed.saturating_add(count))
+        .map(|s| OverloadSchedule::from_seed(s, participants))
+        .collect()
+}
+
 /// The convergence check at the heart of anti-entropy: which of the
 /// devices in `intended` report a configuration digest different from
 /// their intended-state digest? An empty return means the network is
@@ -474,6 +600,48 @@ mod tests {
         }
         for s in rollout_sweep(0, 40, 0) {
             assert_eq!(s.gray_victim, None);
+        }
+    }
+
+    #[test]
+    fn overload_schedules_cover_scenarios_and_stay_in_bounds() {
+        for start in [0u64, 3, 997] {
+            let mut scenarios: Vec<OverloadScenario> = overload_sweep(start, 4, 16)
+                .iter()
+                .map(|s| s.scenario)
+                .collect();
+            scenarios.sort();
+            scenarios.dedup();
+            assert_eq!(
+                scenarios.len(),
+                4,
+                "seeds {start}..{} miss a scenario",
+                start + 4
+            );
+        }
+        for s in overload_sweep(0, 120, 16) {
+            assert_eq!(s, OverloadSchedule::from_seed(s.seed, 16), "deterministic");
+            assert!((0.0..=0.05).contains(&s.fabric_loss), "seed {}", s.seed);
+            assert!((0.5..=0.7).contains(&s.brownout_loss));
+            assert!((6..=10).contains(&s.burst_factor));
+            assert!((4..=7).contains(&s.slow_factor));
+            assert!((600..=1200).contains(&s.fault_ms));
+            match s.scenario {
+                OverloadScenario::MassRestart => {
+                    assert!(
+                        s.restarts >= 12,
+                        "a stampede restarts most of 16 devices, got {} (seed {})",
+                        s.restarts,
+                        s.seed
+                    );
+                    assert_eq!(s.victims.len(), s.restarts);
+                    let mut dedup = s.victims.clone();
+                    dedup.dedup();
+                    assert_eq!(dedup, s.victims, "victims distinct+sorted");
+                    assert!(s.victims.iter().all(|&v| v < 16));
+                }
+                _ => assert!(s.victims.is_empty() && s.restarts == 0),
+            }
         }
     }
 

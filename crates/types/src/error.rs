@@ -130,6 +130,41 @@ pub enum FlexError {
         /// `degraded`, `suspect`, or `dead`).
         grade: String,
     },
+    /// A per-device circuit breaker is open: recent calls to this device
+    /// failed consecutively, so further calls are refused *without*
+    /// touching the fabric until the cooldown elapses and a half-open
+    /// probe succeeds. Retryable — the breaker exists precisely so the
+    /// caller backs off and tries again later instead of hammering a
+    /// struggling device.
+    CircuitOpen {
+        /// The device whose breaker is open.
+        node: u64,
+        /// How long until the breaker admits a half-open probe.
+        retry_after: SimDuration,
+    },
+    /// The per-destination retry budget is exhausted: retries to this
+    /// destination already exceed the allowed fraction of first attempts,
+    /// so this retry is refused to let the storm self-extinguish. *Not*
+    /// retryable at this layer — the budget is the mechanism that says
+    /// "stop retrying"; the caller must requeue at a higher level (where
+    /// fresh first attempts replenish the budget) or escalate.
+    RetryBudgetExhausted {
+        /// The destination whose budget ran dry.
+        dest: u64,
+    },
+    /// The controller's admission layer refused the work: the bounded
+    /// queue is full of higher-priority work, the global rate bucket has
+    /// no tokens within its horizon, or the controller is in `Degraded`
+    /// mode and is shedding this class. Retryable — admission pressure
+    /// clears as the queue drains; the caller should *requeue* the work
+    /// (never drop it) and try again after `retry_after`.
+    Backpressure {
+        /// What refused admission (single phrase, e.g. `resync bucket`,
+        /// `work queue`, `rollouts paused: controller degraded`).
+        what: String,
+        /// How long to wait before re-offering the work.
+        retry_after: SimDuration,
+    },
     /// Bytecode lowering could not resolve a name to a slot index.
     ///
     /// Surfaced at install/compile time — a program that references a
@@ -204,6 +239,18 @@ impl fmt::Display for FlexError {
             FlexError::DegradedDevice { node, grade } => {
                 write!(f, "node {node} excluded from admission: health grade {grade}")
             }
+            FlexError::CircuitOpen { node, retry_after } => write!(
+                f,
+                "circuit breaker open for node {node}: retry after {retry_after}"
+            ),
+            FlexError::RetryBudgetExhausted { dest } => write!(
+                f,
+                "retry budget exhausted for destination {dest}: storm suppression active"
+            ),
+            FlexError::Backpressure { what, retry_after } => write!(
+                f,
+                "backpressure from {what}: requeue and retry after {retry_after}"
+            ),
             FlexError::UnresolvedSymbol { kind, name } => {
                 write!(f, "unresolved {kind} `{name}` during bytecode lowering")
             }
@@ -232,12 +279,20 @@ impl FlexError {
     /// guard ([`FlexError::SloViolation`]) or an aborted rollout
     /// ([`FlexError::RolloutAborted`]) indicts the *program*, not the
     /// moment — retrying the same bundle reproduces the breach.
+    ///
+    /// The overload-protection errors split by design:
+    /// [`FlexError::CircuitOpen`] and [`FlexError::Backpressure`] are
+    /// retryable (the breaker cools down, the queue drains), while
+    /// [`FlexError::RetryBudgetExhausted`] is *not* — the budget is the
+    /// layer that stops retries; retrying on it would defeat it.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             FlexError::NoLeader { .. }
                 | FlexError::ResyncInProgress { .. }
                 | FlexError::DegradedDevice { .. }
+                | FlexError::CircuitOpen { .. }
+                | FlexError::Backpressure { .. }
         )
     }
 
@@ -382,6 +437,36 @@ mod tests {
                 "an unresolved {kind} is a program defect; retrying reproduces it"
             );
         }
+    }
+
+    #[test]
+    fn overload_errors_format_and_classify() {
+        let open = FlexError::CircuitOpen {
+            node: 3,
+            retry_after: SimDuration::from_millis(250),
+        };
+        assert!(open.to_string().contains("node 3"));
+        assert!(
+            open.is_retryable(),
+            "breakers cool down; a later call may find it half-open"
+        );
+
+        let dry = FlexError::RetryBudgetExhausted { dest: 7 };
+        assert!(dry.to_string().contains("destination 7"));
+        assert!(
+            !dry.is_retryable(),
+            "the budget is the stop signal; retrying on it defeats it"
+        );
+
+        let bp = FlexError::Backpressure {
+            what: "resync bucket".into(),
+            retry_after: SimDuration::from_millis(100),
+        };
+        assert!(bp.to_string().contains("resync bucket"));
+        assert!(
+            bp.is_retryable(),
+            "admission pressure clears as the queue drains"
+        );
     }
 
     #[test]
