@@ -298,9 +298,11 @@ fn part_b() {
                 }
                 // A partition heal resumes the same incarnation: no flap.
                 // Silence faults never carry a bad data path, so the
-                // gray grade cannot appear in this experiment.
+                // gray grade and the sandbox quarantine cannot appear in
+                // this experiment.
                 HealthEvent::Graded(Health::Healthy | Health::Degraded)
-                | HealthEvent::Flapped { .. } => {}
+                | HealthEvent::Flapped { .. }
+                | HealthEvent::Quarantined { .. } => {}
             }
         }
         t += period;

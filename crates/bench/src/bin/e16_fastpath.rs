@@ -20,6 +20,7 @@ use flexnet_bench::{bundle, header, row, sep, times};
 use flexnet_controller::rollout::run_canary_seed;
 use flexnet_dataplane::device::ExecMode;
 use flexnet_dataplane::table::{TableEntry, TableInstance};
+use flexnet_dataplane::SandboxConfig;
 use flexnet_lang::ast::{ActionCall, TableDecl};
 
 /// The E2 dynamic-apps workload: a 4-row count-min sketch (register reads
@@ -64,7 +65,20 @@ fn new_dev(mode: ExecMode) -> Device {
 /// device and returns (wall seconds, op count) — the op count doubles as a
 /// black box so the loop cannot be optimized away.
 fn drive(mode: ExecMode, workload: &ProgramBundle, entries: u64, packets: u64) -> (f64, u64) {
+    drive_sandboxed(mode, workload, entries, packets, SandboxConfig::default())
+}
+
+/// [`drive`] under an explicit sandbox, so the metering overhead can be
+/// measured as metered-vs-unmetered on otherwise identical runs.
+fn drive_sandboxed(
+    mode: ExecMode,
+    workload: &ProgramBundle,
+    entries: u64,
+    packets: u64,
+    sandbox: SandboxConfig,
+) -> (f64, u64) {
     let mut dev = new_dev(mode);
+    dev.set_sandbox(sandbox);
     dev.install(workload.clone()).expect("workload installs");
     for k in 0..entries {
         dev.add_entry(
@@ -292,6 +306,49 @@ fn main() {
         &times(e15_serial, e15_par),
     ]);
 
+    // --- Part D: gas-metering overhead ----------------------------------
+    // The shipped configuration meters every packet (default gas budget);
+    // this isolates what that costs against an unmetered device. The fast
+    // path must keep >=90% of its unmetered throughput.
+    println!("\n--- Part D: gas metering overhead (metered vs unmetered) ---\n");
+    row(&["workload", "mode", "unmetered pps", "metered pps", "kept"]);
+    sep(5);
+    let mut metering_rows: Vec<(&str, &str, f64, f64)> = Vec::new();
+    for (label, workload, entries) in [
+        ("cms (E2 apps)", cms_workload(), 0u64),
+        ("acl firewall", acl_workload(), 512),
+    ] {
+        for (mode, mode_label) in [
+            (ExecMode::Interpreter, "interp"),
+            (ExecMode::Bytecode, "bytecode"),
+        ] {
+            let (tu, ou) = drive_sandboxed(
+                mode,
+                &workload,
+                entries,
+                packets,
+                SandboxConfig::unmetered(),
+            );
+            let (tm, om) = drive_sandboxed(
+                mode,
+                &workload,
+                entries,
+                packets,
+                SandboxConfig::default(),
+            );
+            assert_eq!(ou, om, "metering must not change op counts ({label})");
+            let (upps, mpps) = (packets as f64 / tu, packets as f64 / tm);
+            row(&[
+                label,
+                mode_label,
+                &format!("{upps:.0}"),
+                &format!("{mpps:.0}"),
+                &format!("{:.0}%", 100.0 * mpps / upps),
+            ]);
+            metering_rows.push((label, mode_label, upps, mpps));
+        }
+    }
+
     // --- BENCH_fastpath.json --------------------------------------------
     let (_, cms_ipps, cms_bpps) = pps[0];
     let cms_speedup = cms_bpps / cms_ipps;
@@ -319,6 +376,15 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"metering\": [\n");
+    for (i, (label, mode, upps, mpps)) in metering_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{label}\", \"mode\": \"{mode}\", \"unmetered_pps\": {upps:.0}, \"metered_pps\": {mpps:.0}, \"kept\": {:.3}}}{}\n",
+            mpps / upps,
+            if i + 1 < metering_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"sweep\": {{\"seeds\": {sweep_seeds}, \"workers\": {workers}, \
          \"before_interp_serial_s\": {sweep_before:.3}, \"after_bytecode_parallel_s\": {sweep_after:.3}, \
@@ -335,5 +401,17 @@ fn main() {
     if cms_speedup < 2.0 {
         eprintln!("FAIL: bytecode speedup {cms_speedup:.2}x < 2x on the E2 workload");
         std::process::exit(1);
+    }
+    // The metering gate: the sandboxed fast path keeps >=90% of its
+    // unmetered throughput on every workload.
+    for (label, mode, upps, mpps) in &metering_rows {
+        let kept = mpps / upps;
+        if *mode == "bytecode" && kept < 0.90 {
+            eprintln!(
+                "FAIL: gas metering keeps only {:.0}% of unmetered pps on {label} ({mode})",
+                100.0 * kept
+            );
+            std::process::exit(1);
+        }
     }
 }

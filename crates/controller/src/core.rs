@@ -61,6 +61,16 @@ pub struct DataPathHealth {
     pub processed: u64,
     /// Packets the device's program dropped, cumulative.
     pub dropped: u64,
+    /// Program execution traps (gas exhaustion, division by zero,
+    /// out-of-bounds state …), cumulative. A drop is policy; a trap is a
+    /// fault — the split lets the detector treat a trap storm as gray
+    /// failure even while total drop volume still looks tame.
+    pub traps: u64,
+    /// Whether the device's sandbox has quarantined its program (trap
+    /// rate crossed threshold; the device fell back to its
+    /// last-known-good image or transparent forwarding). Sticky until a
+    /// replacement program is installed.
+    pub quarantined: bool,
 }
 
 /// One typed failure-detector transition.
@@ -84,6 +94,16 @@ pub enum HealthEvent {
         old_boot_id: u64,
         /// The incarnation the latest heartbeat reported.
         new_boot_id: u64,
+    },
+    /// The device's sandbox quarantined its program: heartbeats are
+    /// punctual, but the data plane swapped to its last-known-good
+    /// image (or transparent forwarding) after a trap storm. Reported
+    /// once per quarantine episode; the device is simultaneously graded
+    /// [`Health::Degraded`], so admission refuses it until a
+    /// replacement program clears the flag.
+    Quarantined {
+        /// Cumulative program traps the quarantining heartbeat carried.
+        traps: u64,
     },
 }
 
@@ -135,6 +155,12 @@ pub struct FailureDetector {
     counters: BTreeMap<NodeId, DataPathHealth>,
     /// Whether the last judged slope exceeded the degrade threshold.
     datapath_degraded: BTreeMap<NodeId, bool>,
+    /// Latest sandbox-quarantine flag each node's heartbeats reported.
+    reported_quarantine: BTreeMap<NodeId, bool>,
+    /// Quarantine episodes already surfaced by a poll (edge detection).
+    acked_quarantine: BTreeMap<NodeId, bool>,
+    /// Cumulative trap count from the latest heartbeat, per node.
+    reported_traps: BTreeMap<NodeId, u64>,
 }
 
 impl FailureDetector {
@@ -155,6 +181,9 @@ impl FailureDetector {
             digests: BTreeMap::new(),
             counters: BTreeMap::new(),
             datapath_degraded: BTreeMap::new(),
+            reported_quarantine: BTreeMap::new(),
+            acked_quarantine: BTreeMap::new(),
+            reported_traps: BTreeMap::new(),
         }
     }
 
@@ -223,10 +252,19 @@ impl FailureDetector {
         health: DataPathHealth,
     ) {
         self.observe_heartbeat(node, now, boot_id, digest);
+        // The quarantine flag is authoritative, not a slope: the device
+        // itself judged its program and swapped it out. Record it before
+        // any sampling-floor early return, and clear the episode edge
+        // when a replacement install lifts it.
+        self.reported_quarantine.insert(node, health.quarantined);
+        self.reported_traps.insert(node, health.traps);
+        if !health.quarantined {
+            self.acked_quarantine.insert(node, false);
+        }
         let prev = *self.counters.entry(node).or_insert(health);
         if health.processed < prev.processed || health.dropped < prev.dropped {
             self.counters.insert(node, health);
-            self.datapath_degraded.insert(node, false);
+            self.datapath_degraded.insert(node, health.quarantined);
             return;
         }
         let d_processed = health.processed - prev.processed;
@@ -235,12 +273,20 @@ impl FailureDetector {
             self.counters.insert(node, health);
             self.datapath_degraded.insert(
                 node,
-                d_dropped * 1_000_000 / d_processed >= self.degrade_threshold_ppm,
+                health.quarantined
+                    || d_dropped * 1_000_000 / d_processed >= self.degrade_threshold_ppm,
             );
+        } else if health.quarantined {
+            self.datapath_degraded.insert(node, true);
         }
         // Under the sample floor: keep both the stored counters and the
         // previous verdict, so slow trickles still accumulate into a
         // judgeable delta instead of being re-baselined away.
+    }
+
+    /// Whether `node`'s latest heartbeat reported a sandbox quarantine.
+    pub fn quarantine_reported(&self, node: NodeId) -> bool {
+        self.reported_quarantine.get(&node) == Some(&true)
     }
 
     /// Re-grades every known device at `now` and returns the typed
@@ -297,6 +343,21 @@ impl FailureDetector {
                             },
                         ));
                     }
+                }
+                // A quarantine episode is reported exactly once: on the
+                // first poll after the flag appears. A replacement
+                // install clears the flag (and the ack), re-arming the
+                // edge for any later episode.
+                if self.reported_quarantine.get(&node) == Some(&true)
+                    && self.acked_quarantine.get(&node) != Some(&true)
+                {
+                    self.acked_quarantine.insert(node, true);
+                    transitions.push((
+                        node,
+                        HealthEvent::Quarantined {
+                            traps: self.reported_traps.get(&node).copied().unwrap_or(0),
+                        },
+                    ));
                 }
             }
         }
@@ -861,6 +922,8 @@ impl Controller {
                     DataPathHealth {
                         processed: stats.processed,
                         dropped: stats.dropped,
+                        traps: stats.traps,
+                        quarantined: node.device.quarantined(),
                     },
                 );
             }
@@ -1166,7 +1229,11 @@ mod tests {
                 SimTime::from_millis(ms),
                 1,
                 0xF00,
-                DataPathHealth { processed, dropped },
+                DataPathHealth {
+                    processed,
+                    dropped,
+                    ..Default::default()
+                },
             );
         };
         hb(&mut fd, 0, 0, 0);
@@ -1209,6 +1276,7 @@ mod tests {
             DataPathHealth {
                 processed: 4,
                 dropped: 4,
+                ..Default::default()
             },
         );
         assert_eq!(
@@ -1225,6 +1293,7 @@ mod tests {
             DataPathHealth {
                 processed: 9,
                 dropped: 9,
+                ..Default::default()
             },
         );
         assert_eq!(
@@ -1241,6 +1310,7 @@ mod tests {
             DataPathHealth {
                 processed: 1,
                 dropped: 0,
+                ..Default::default()
             },
         );
         let events = fd.poll(SimTime::from_millis(160));
@@ -1250,6 +1320,66 @@ mod tests {
                 .iter()
                 .any(|(_, e)| matches!(e, HealthEvent::Flapped { .. })),
             "the boot-id advance still reports: {events:?}"
+        );
+    }
+
+    #[test]
+    fn quarantine_flag_degrades_and_reports_one_edge_per_episode() {
+        let mut fd = FailureDetector::default();
+        let n = NodeId(11);
+        let hb = |fd: &mut FailureDetector, ms, quarantined, traps| {
+            fd.observe_heartbeat_health(
+                n,
+                SimTime::from_millis(ms),
+                1,
+                0xF00,
+                DataPathHealth {
+                    processed: 100 + ms,
+                    dropped: 0,
+                    traps,
+                    quarantined,
+                },
+            );
+        };
+        hb(&mut fd, 0, false, 0);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(10)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))]
+        );
+        // The device judged its own program and swapped it out: the flag
+        // is authoritative even though the drop slope is pristine.
+        hb(&mut fd, 50, true, 37);
+        let events = fd.poll(SimTime::from_millis(60));
+        assert!(events.contains(&(n, HealthEvent::Graded(Health::Degraded))));
+        assert!(
+            events.contains(&(n, HealthEvent::Quarantined { traps: 37 })),
+            "quarantine episode reports with its trap count: {events:?}"
+        );
+        assert!(fd.quarantine_reported(n));
+        assert!(matches!(
+            fd.admit(n).unwrap_err(),
+            FlexError::DegradedDevice { .. }
+        ));
+        // The flag persists: degraded holds, but the edge fired already.
+        hb(&mut fd, 100, true, 37);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(110)),
+            vec![],
+            "one Quarantined event per episode, not per heartbeat"
+        );
+        // A replacement install lifts the flag: the grade clears and the
+        // edge re-arms for any later episode.
+        hb(&mut fd, 150, false, 37);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(160)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))]
+        );
+        assert!(fd.admit(n).is_ok());
+        hb(&mut fd, 200, true, 41);
+        let events = fd.poll(SimTime::from_millis(210));
+        assert!(
+            events.contains(&(n, HealthEvent::Quarantined { traps: 41 })),
+            "a second episode reports its own edge: {events:?}"
         );
     }
 
@@ -1363,6 +1493,7 @@ mod tests {
                 DataPathHealth {
                     processed,
                     dropped: 0,
+                    ..Default::default()
                 },
             );
         };

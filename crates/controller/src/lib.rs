@@ -49,6 +49,7 @@ pub mod replicate;
 pub mod resync;
 pub mod retry;
 pub mod rollout;
+pub mod sandbox;
 pub mod scale;
 pub mod tenant;
 pub mod txn;
@@ -71,6 +72,7 @@ pub use retry::{
 pub use scale::{ElasticScaler, ScaleDecision, ScalingPolicy};
 pub use chaos::{run_chaos_seed, ChaosReport};
 pub use recovery::{recover, RecoveryReport, TxnResolution};
+pub use sandbox::{run_sandbox_seed, SandboxReport};
 pub use rollout::{
     resume_rollouts, run_canary_seed, run_rollout, run_rollout_governed, CanaryReport,
     RolloutCrash, RolloutDirectory, RolloutOutcome, RolloutPlan, RolloutReport, RolloutResume,

@@ -240,6 +240,8 @@ fn soak_with_heartbeats(
                 DataPathHealth {
                     processed: stats.processed,
                     dropped: stats.dropped,
+                    traps: stats.traps,
+                    quarantined: dev.quarantined(),
                 },
             );
         }
@@ -262,9 +264,9 @@ fn note_degraded(
     degraded_seen.sort_unstable();
 }
 
-/// Evaluates the four guards for one soaked wave. Returns the window
-/// delta (for the report) and the first breached guard, most specific
-/// first: consistency, drop-slope, loss-delta, p99-delta.
+/// Evaluates the guards for one soaked wave. Returns the window delta
+/// (for the report) and the first breached guard, most specific first:
+/// quarantine, consistency, drop-slope, loss-delta, p99-delta.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_guards(
     sim: &Simulation,
@@ -280,6 +282,17 @@ fn evaluate_guards(
     let delta = sim
         .metrics
         .window_delta(baseline_window, soak_window);
+
+    // Quarantine: the most specific verdict there is — a device's own
+    // sandbox already judged the program (trap storm) and swapped it
+    // out. No slope arithmetic needed; one quarantined device condemns
+    // the wave.
+    for &d in fleet {
+        let Some(node) = sim.topo.node(d) else { continue };
+        if node.device.is_up() && node.device.quarantined() {
+            return (delta, Some(("quarantine", d.0 as u64, 0)));
+        }
+    }
 
     // Consistency: old XOR new everywhere, nobody stuck mid-flip.
     let mut inconsistent = 0u64;

@@ -1,0 +1,726 @@
+//! Rogue-program chaos: the seeded E18 harness proving the data-plane
+//! sandbox contains hostile tenants.
+//!
+//! The paper's runtime-programmable network invites third-party programs
+//! into the packet path — which only works if a hostile (or merely
+//! buggy) program cannot take the device down with it. The sandbox's
+//! layers, each attacked by one [`RogueScenario`]:
+//!
+//! - **gas metering** — every packet carries an instruction budget;
+//!   a runaway loop exhausts it and traps instead of wedging the pipe;
+//! - **typed traps** — malformed headers, out-of-bounds state slots,
+//!   division by zero all surface as [`Trap`] values in the verdict,
+//!   never as panics;
+//! - **quarantine** — a program whose in-window trap rate crosses
+//!   threshold is atomically swapped for the last-known-good image (or
+//!   the transparent-forward default), and the sticky flag rides
+//!   heartbeats into the [`FailureDetector`], admission, and the canary
+//!   rollout's most-specific guard;
+//! - **parse-trap separation** — poison *bytes* indict the packet, not
+//!   the program: a malformed flood must never quarantine an innocent
+//!   image.
+//!
+//! [`run_sandbox_seed`] expands one seed into a [`RogueSchedule`] and
+//! plays it against the 8-lane topology with live traffic, returning
+//! every invariant violation as a string. The fleet-level claim under
+//! test: **quarantine fires before neighbor tenants see SLO impact** —
+//! the victim's trap storm is contained inside its trap window, other
+//! lanes lose nothing, and the fleet stays inside the canary loss
+//! budget throughout.
+
+use std::collections::BTreeMap;
+
+use crate::core::{DataPathHealth, FailureDetector, HealthEvent};
+use crate::retry::{LossyFabric, RetryPolicy};
+use crate::rollout::{run_rollout, RolloutOutcome, RolloutPlan, RolloutReport, SloGuards};
+use crate::wal::ReplicatedIntentLog;
+use flexnet_dataplane::SandboxConfig;
+use flexnet_lang::ast::{StateDecl, StateKind};
+use flexnet_lang::diff::{ProgramBundle, ReconfigOp};
+use flexnet_lang::parser::parse_source;
+use flexnet_sim::{generate, FlowSpec, RogueScenario, RogueSchedule, Simulation, Topology};
+use flexnet_types::{FlexError, NodeId, Result, SimDuration, SimTime};
+
+/// Lanes (and therefore switches) in the sandbox fleet.
+const LANES: usize = 8;
+
+/// Packets per second per lane.
+const LANE_PPS: u64 = 500;
+
+/// Replicated-log cluster size (matches the canary harness).
+const CONTROLLERS: usize = 3;
+
+/// Fleet loss budget (ppm) the scenario must stay inside end to end —
+/// the same 2% the canary loss-delta guard enforces: a quarantine that
+/// only fires after the fleet SLO is gone fired too late.
+const FLEET_LOSS_BUDGET_PPM: u64 = 20_000;
+
+/// Everything one rogue-program chaos run observed.
+#[derive(Debug, Clone)]
+pub struct SandboxReport {
+    /// The schedule the seed expanded to.
+    pub schedule: RogueSchedule,
+    /// When the *device* quarantined its program (sandbox-side), if ever.
+    pub quarantined_at: Option<SimTime>,
+    /// When the *controller* first saw the quarantine (a
+    /// [`HealthEvent::Quarantined`] from the detector), if ever.
+    pub observed_at: Option<SimTime>,
+    /// Program traps the victim device counted.
+    pub victim_traps: u64,
+    /// Parse (poison-byte) traps the victim device counted.
+    pub victim_parse_traps: u64,
+    /// The rollout's account, for [`RogueScenario::TrapStormRollout`].
+    pub rollout: Option<RolloutReport>,
+    /// Packets delivered over the whole scenario.
+    pub delivered: u64,
+    /// Packets lost over the whole scenario.
+    pub lost: u64,
+    /// Every invariant violation observed (empty = the run passed).
+    pub violations: Vec<String>,
+}
+
+impl SandboxReport {
+    /// Whether the run upheld every invariant.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn bundle(src: &str) -> ProgramBundle {
+    let file = parse_source(src).expect("sandbox program parses");
+    ProgramBundle {
+        headers: file.headers,
+        program: file.programs.into_iter().next().expect("one program"),
+    }
+}
+
+/// The well-behaved baseline: plain forwarding down the lane.
+fn lane_base() -> ProgramBundle {
+    bundle("program lane kind any { handler ingress(pkt) { forward(1); } }")
+}
+
+/// A runaway loop: verifier-bounded, but far over any reasonable
+/// per-packet gas budget — the meter must trap it on every packet.
+fn rogue_burn() -> ProgramBundle {
+    bundle(
+        "program burn kind any {
+           register spin : u64[1];
+           handler ingress(pkt) {
+             repeat (64) {
+               repeat (8) { reg_write(spin, 0, reg_read(spin, 0) + 1); }
+             }
+             forward(1);
+           }
+         }",
+    )
+}
+
+/// The state-bomb victim: indexes cell 6 of an 8-cell register. Correct
+/// as installed; a runtime `ModifyState` shrink turns every access into
+/// a typed out-of-bounds trap.
+fn rogue_bomb() -> ProgramBundle {
+    bundle(
+        "program bomb kind any {
+           register slots : u64[8];
+           handler ingress(pkt) {
+             reg_write(slots, 6, reg_read(slots, 6) + 1);
+             forward(1);
+           }
+         }",
+    )
+}
+
+/// The trap-storm rollout candidate: divides by a map value that is
+/// zero on every production packet — typed div-by-zero on every packet
+/// it sees.
+fn rogue_divzero() -> ProgramBundle {
+    bundle(
+        "program storm kind any {
+           map peers : map<u32, u32>[64];
+           handler ingress(pkt) {
+             let x = 1000 / map_get(peers, ipv4.src);
+             forward(1);
+           }
+         }",
+    )
+}
+
+/// One heartbeat sweep: every up device reports its counters (and its
+/// quarantine flag) through the lossy fabric; returns the detector's
+/// typed transitions.
+fn sweep_health(
+    detector: &mut FailureDetector,
+    sim: &Simulation,
+    fabric: &mut LossyFabric,
+    now: SimTime,
+) -> Vec<(NodeId, HealthEvent)> {
+    for node in sim.topo.nodes() {
+        if node.device.is_up() && fabric.deliver() {
+            let stats = node.device.stats();
+            detector.observe_heartbeat_health(
+                node.id,
+                now,
+                node.device.boot_id(),
+                node.device.config_digest(),
+                DataPathHealth {
+                    processed: stats.processed,
+                    dropped: stats.dropped,
+                    traps: stats.traps,
+                    quarantined: node.device.quarantined(),
+                },
+            );
+        }
+    }
+    detector.poll(now)
+}
+
+/// A deterministic truncated-frame generator: every frame is shorter
+/// than the 14-byte Ethernet minimum, so every one must parse-trap.
+fn poison_frame(stream: &mut u64, buf: &mut Vec<u8>) {
+    // splitmix64 step, kept local so the harness owns its stream.
+    let mut z = stream.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    *stream = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    buf.clear();
+    let len = (z % 14) as usize;
+    for i in 0..len {
+        buf.push((z >> (8 * (i % 8))) as u8);
+    }
+}
+
+/// Runs the full rogue-program scenario for one seed.
+///
+/// Errors only on harness plumbing failures; sandbox misbehaviour is
+/// reported as violations, so sweeps keep going and count.
+pub fn run_sandbox_seed(seed: u64) -> Result<SandboxReport> {
+    // -- setup: 8 parallel lanes, the baseline program everywhere -------
+    let (topo, switches, lanes) = Topology::parallel_lanes(LANES);
+    let mut sim = Simulation::new(topo);
+    for &d in &switches {
+        sim.topo
+            .node_mut(d)
+            .expect("lane switch exists")
+            .device
+            .install(lane_base())
+            .map_err(|e| FlexError::Sim(format!("seed {seed}: install base on {d}: {e}")))?;
+    }
+    let schedule = RogueSchedule::from_seed(seed, switches.len());
+    let mut fabric = LossyFabric::new(schedule.fabric_loss, seed);
+    let mut detector = FailureDetector::default();
+    let mut violations: Vec<String> = Vec::new();
+
+    // Live traffic over the whole scenario: one CBR flow per lane.
+    let flow_start = SimTime::from_millis(500);
+    let flow_end = SimTime::from_secs(8);
+    let flows: Vec<FlowSpec> = lanes
+        .iter()
+        .map(|&(src, dst)| {
+            FlowSpec::udp_cbr(
+                src,
+                dst,
+                LANE_PPS,
+                flow_start,
+                flow_end.saturating_since(flow_start),
+            )
+        })
+        .collect();
+    sim.load(generate(&flows, seed));
+    sim.run(SimTime::from_secs(1));
+
+    if schedule.scenario == RogueScenario::TrapStormRollout {
+        return run_rollout_storm(
+            seed, schedule, sim, switches, &mut fabric, &mut detector, violations, flow_end,
+        );
+    }
+
+    // -- arm the device-scoped attack -----------------------------------
+    let victim = switches[schedule.victim];
+    let base_digest = sim
+        .topo
+        .node(victim)
+        .expect("victim")
+        .device
+        .config_digest();
+    {
+        let dev = &mut sim.topo.node_mut(victim).expect("victim").device;
+        match schedule.scenario {
+            RogueScenario::RunawayLoop => {
+                dev.set_sandbox(SandboxConfig {
+                    gas_limit: schedule.gas_limit,
+                    ..SandboxConfig::default()
+                });
+                dev.install(rogue_burn())
+                    .map_err(|e| FlexError::Sim(format!("seed {seed}: install burn: {e}")))?;
+            }
+            RogueScenario::StateBomb => {
+                dev.install(rogue_bomb())
+                    .map_err(|e| FlexError::Sim(format!("seed {seed}: install bomb: {e}")))?;
+            }
+            RogueScenario::MalformedFlood => {} // no rogue program at all
+            RogueScenario::TrapStormRollout => unreachable!("dispatched above"),
+        }
+    }
+    let armed_digest = sim
+        .topo
+        .node(victim)
+        .expect("victim")
+        .device
+        .config_digest();
+
+    // -- drive: 50 ms slices, heartbeats each slice ----------------------
+    let trigger_at = SimTime::from_secs(2);
+    let mut triggered = false;
+    let mut quarantined_at: Option<SimTime> = None;
+    let mut observed_at: Option<SimTime> = None;
+    let mut t = SimTime::from_secs(1);
+    while t <= flow_end {
+        sim.run(t);
+        if !triggered && t >= trigger_at {
+            triggered = true;
+            let dev = &mut sim.topo.node_mut(victim).expect("victim").device;
+            match schedule.scenario {
+                RogueScenario::StateBomb => {
+                    // The runtime shrink that arms the bomb: cells 4..8
+                    // vanish under the running program.
+                    let shrink = ReconfigOp::ModifyState(StateDecl {
+                        name: "slots".into(),
+                        kind: StateKind::Register { width: 64 },
+                        size: schedule.shrink_to,
+                    });
+                    if let Some(p) = dev.program_mut() {
+                        p.apply_op(&shrink).map_err(|e| {
+                            FlexError::Sim(format!("seed {seed}: shrink register: {e}"))
+                        })?;
+                    }
+                }
+                RogueScenario::MalformedFlood => {
+                    let mut stream = seed ^ 0xF100_D000;
+                    let mut frame = Vec::new();
+                    for i in 0..schedule.flood_packets {
+                        poison_frame(&mut stream, &mut frame);
+                        let r = dev
+                            .process_bytes(&frame, u64::from(i) | (1 << 60), t)
+                            .map_err(|e| {
+                                FlexError::Sim(format!("seed {seed}: poison frame {i}: {e}"))
+                            })?;
+                        if r.trap.is_none() {
+                            violations
+                                .push(format!("poison frame {i} did not trap ({frame:02x?})"));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if quarantined_at.is_none()
+            && sim.topo.node(victim).expect("victim").device.quarantined()
+        {
+            quarantined_at = Some(t);
+        }
+        for (node, event) in sweep_health(&mut detector, &sim, &mut fabric, t) {
+            if node == victim && matches!(event, HealthEvent::Quarantined { .. }) {
+                observed_at.get_or_insert(t);
+            }
+        }
+        t += SimDuration::from_millis(50);
+    }
+    sim.run_to_completion();
+    // Settle the grading: a lossy fabric can eat the last few heartbeats
+    // and leave a silence grade (Suspect) that has nothing to do with the
+    // sandbox. The admission checks below judge the *data path*, so give
+    // the detector a few reliably-delivered beats first — a quarantine
+    // still reports through them and still refuses admission.
+    let mut settle = LossyFabric::reliable();
+    for k in 1..=3u64 {
+        sweep_health(
+            &mut detector,
+            &sim,
+            &mut settle,
+            flow_end + SimDuration::from_millis(50 * k),
+        );
+    }
+
+    // -- invariants ------------------------------------------------------
+    let stats = sim.topo.node(victim).expect("victim").device.stats();
+    let end_digest = sim
+        .topo
+        .node(victim)
+        .expect("victim")
+        .device
+        .config_digest();
+    let end_quarantined = sim.topo.node(victim).expect("victim").device.quarantined();
+    let trap_window = sim
+        .topo
+        .node(victim)
+        .expect("victim")
+        .device
+        .sandbox()
+        .trap_window;
+
+    match schedule.scenario {
+        RogueScenario::RunawayLoop | RogueScenario::StateBomb => {
+            let want_label = match schedule.scenario {
+                RogueScenario::RunawayLoop => "gas-exhausted",
+                _ => "state-oob",
+            };
+            if !end_quarantined || stats.quarantines != 1 {
+                violations.push(format!(
+                    "{}: program not quarantined exactly once (flag {end_quarantined}, count {})",
+                    schedule.scenario.label(),
+                    stats.quarantines
+                ));
+            }
+            if quarantined_at.is_none() {
+                violations.push("quarantine never observed device-side".into());
+            }
+            if end_digest != base_digest {
+                violations.push(format!(
+                    "fallback digest {end_digest:#x} is not the stashed baseline {base_digest:#x}"
+                ));
+            }
+            if armed_digest == base_digest {
+                violations.push("rogue install did not change the config digest".into());
+            }
+            let got_label = sim
+                .topo
+                .node(victim)
+                .expect("victim")
+                .device
+                .last_trap()
+                .map(|tr| tr.label());
+            if got_label != Some(want_label) {
+                violations.push(format!(
+                    "last trap {got_label:?}, designed to storm with {want_label}"
+                ));
+            }
+            // Containment: the storm dies inside (at most) two trap
+            // windows — the partially-clean window it lands in plus one
+            // all-trapping window.
+            if stats.dropped > 2 * trap_window {
+                violations.push(format!(
+                    "victim dropped {} packets; quarantine must fire within {} (2 windows)",
+                    stats.dropped,
+                    2 * trap_window
+                ));
+            }
+            if stats.traps == 0 || stats.traps != stats.dropped {
+                violations.push(format!(
+                    "victim counted {} traps but {} drops: every loss must be a typed trap",
+                    stats.traps, stats.dropped
+                ));
+            }
+            if stats.parse_traps != 0 {
+                violations.push(format!(
+                    "{} parse traps counted with no poison bytes in play",
+                    stats.parse_traps
+                ));
+            }
+            // The control plane saw it, and admission refuses the victim.
+            if observed_at.is_none() {
+                violations.push("controller never observed a Quarantined event".into());
+            }
+            if !detector.quarantine_reported(victim) {
+                violations.push("latest heartbeat does not report the quarantine".into());
+            }
+            if detector.admit(victim).is_ok() {
+                violations.push("admission accepted a quarantined device".into());
+            }
+            // Recovery: once on the fallback, the lane forwards cleanly.
+            if let Some(at) = quarantined_at {
+                let post = sim
+                    .metrics
+                    .window_stats(at + SimDuration::from_millis(200), flow_end);
+                if post.attempts() == 0 {
+                    violations.push("no post-quarantine traffic observed".into());
+                } else if post.lost > 0 {
+                    violations.push(format!(
+                        "post-quarantine window still losing: {}/{} packets",
+                        post.lost,
+                        post.attempts()
+                    ));
+                }
+            }
+        }
+        RogueScenario::MalformedFlood => {
+            if stats.parse_traps != u64::from(schedule.flood_packets) {
+                violations.push(format!(
+                    "{} parse traps for a {}-frame flood",
+                    stats.parse_traps, schedule.flood_packets
+                ));
+            }
+            if stats.traps != 0 {
+                violations.push(format!(
+                    "{} program traps charged to an innocent program",
+                    stats.traps
+                ));
+            }
+            if end_quarantined || stats.quarantines != 0 {
+                violations.push("poison bytes quarantined the program they never ran".into());
+            }
+            if end_digest != base_digest {
+                violations.push("flood changed the victim's config digest".into());
+            }
+            if detector.quarantine_reported(victim) {
+                violations.push("heartbeats report a quarantine that never happened".into());
+            }
+            if detector.admit(victim).is_err() {
+                violations.push("victim still refused admission after the flood passed".into());
+            }
+            if sim.metrics.total_lost() != 0 {
+                violations.push(format!(
+                    "lane traffic lost {} packets to a flood of unparseable bytes",
+                    sim.metrics.total_lost()
+                ));
+            }
+        }
+        _ => unreachable!(),
+    }
+
+    // Blast radius: no other lane pays anything, and the fleet stays
+    // inside the canary loss budget end to end.
+    for &d in &switches {
+        if d == victim {
+            continue;
+        }
+        let dropped = sim.topo.node(d).expect("switch").device.stats().dropped;
+        if dropped > 0 {
+            violations.push(format!(
+                "neighbor {d} dropped {dropped} packets: blast radius leaked"
+            ));
+        }
+    }
+    let attempts = sim.metrics.delivered + sim.metrics.total_lost();
+    if attempts > 0 && sim.metrics.total_lost() * 1_000_000 / attempts > FLEET_LOSS_BUDGET_PPM {
+        violations.push(format!(
+            "fleet lost {}/{attempts} packets: quarantine fired after the SLO was gone",
+            sim.metrics.total_lost()
+        ));
+    }
+
+    Ok(SandboxReport {
+        schedule,
+        quarantined_at,
+        observed_at,
+        victim_traps: stats.traps,
+        victim_parse_traps: stats.parse_traps,
+        rollout: None,
+        delivered: sim.metrics.delivered,
+        lost: sim.metrics.total_lost(),
+        violations,
+    })
+}
+
+/// The trap-storm-during-rollout scenario: a canary rollout ships the
+/// div-by-zero candidate; the device-side quarantine must fire during
+/// wave 1's soak and the rollout's quarantine guard must abort and roll
+/// back before any later wave widens exposure.
+#[allow(clippy::too_many_arguments)]
+fn run_rollout_storm(
+    seed: u64,
+    schedule: RogueSchedule,
+    mut sim: Simulation,
+    switches: Vec<NodeId>,
+    fabric: &mut LossyFabric,
+    detector: &mut FailureDetector,
+    mut violations: Vec<String>,
+    flow_end: SimTime,
+) -> Result<SandboxReport> {
+    let mut log = ReplicatedIntentLog::new(CONTROLLERS, schedule.raft_seed)?;
+    let policy = RetryPolicy {
+        max_attempts: 16,
+        deadline: SimDuration::from_secs(60),
+        ..RetryPolicy::default()
+    };
+    let plan = RolloutPlan::canonical(&switches, SimDuration::from_secs(1), SloGuards::default());
+    let baseline: Vec<(NodeId, ProgramBundle)> =
+        switches.iter().map(|&d| (d, lane_base())).collect();
+    let candidate: Vec<(NodeId, ProgramBundle)> =
+        switches.iter().map(|&d| (d, rogue_divzero())).collect();
+    let old_digests: BTreeMap<NodeId, u64> = switches
+        .iter()
+        .map(|&d| (d, sim.topo.node(d).expect("switch").device.config_digest()))
+        .collect();
+
+    let report = run_rollout(
+        &mut sim,
+        &plan,
+        &baseline,
+        &candidate,
+        SimTime::from_secs(1),
+        fabric,
+        &policy,
+        &mut log,
+        detector,
+        None,
+    )?;
+    sim.run_to_completion();
+
+    // -- invariants ------------------------------------------------------
+    match (&report.outcome, &report.breach) {
+        (RolloutOutcome::RolledBack { .. }, Some(b)) => {
+            if b.guard != "quarantine" || b.wave != 1 {
+                violations.push(format!(
+                    "storm tripped {} in wave {}, designed for quarantine in wave 1",
+                    b.guard, b.wave
+                ));
+            }
+        }
+        other => {
+            violations.push(format!("trap-storm candidate was not rolled back: {other:?}"));
+        }
+    }
+    // The wave's flip journals before its soak judges it, so a wave-1
+    // breach leaves exactly one committed wave — never more.
+    if report.waves_committed > 1 {
+        violations.push(format!(
+            "{} waves committed past a wave-1 storm",
+            report.waves_committed
+        ));
+    }
+    if !report.quarantined.is_empty() {
+        violations.push(format!(
+            "rollback failed to restore {:?} (stranded on the storm image)",
+            report.quarantined
+        ));
+    }
+    // Blast radius: only wave-1 devices saw the candidate; each one's
+    // storm died inside two trap windows.
+    let wave1: Vec<NodeId> = plan.waves.first().cloned().unwrap_or_default();
+    let mut storm_traps = 0u64;
+    for &d in &switches {
+        let node = sim.topo.node(d).expect("switch");
+        let stats = node.device.stats();
+        let trap_window = node.device.sandbox().trap_window;
+        if wave1.contains(&d) {
+            storm_traps += stats.traps;
+            if stats.traps == 0 {
+                violations.push(format!("wave-1 device {d} never trapped on the candidate"));
+            }
+            if stats.dropped > 2 * trap_window {
+                violations.push(format!(
+                    "wave-1 device {d} dropped {} packets; quarantine must fire within {}",
+                    stats.dropped,
+                    2 * trap_window
+                ));
+            }
+        } else if stats.dropped > 0 {
+            violations.push(format!(
+                "unflipped device {d} dropped {} packets: blast radius leaked",
+                stats.dropped
+            ));
+        }
+        if node.device.quarantined() {
+            violations.push(format!(
+                "{d} still quarantined after rollback reinstalled the baseline"
+            ));
+        }
+        let got = node.device.config_digest();
+        if Some(&got) != old_digests.get(&d) {
+            violations.push(format!("{d} not back on the baseline digest after rollback"));
+        }
+    }
+    // Fleet SLO held throughout: the wave-1 storm is contained.
+    let attempts = sim.metrics.delivered + sim.metrics.total_lost();
+    if attempts > 0 && sim.metrics.total_lost() * 1_000_000 / attempts > FLEET_LOSS_BUDGET_PPM {
+        violations.push(format!(
+            "fleet lost {}/{attempts} packets: the storm breached the SLO before the guard",
+            sim.metrics.total_lost()
+        ));
+    }
+    // And the network is clean again after the rollback settles.
+    let post_from = report.finished_at + SimDuration::from_millis(300);
+    let post = sim.metrics.window_stats(post_from, flow_end);
+    if post.attempts() == 0 {
+        violations.push("no post-rollback traffic observed".into());
+    } else if post.lost > 0 {
+        violations.push(format!(
+            "post-rollback window still losing: {}/{} packets",
+            post.lost,
+            post.attempts()
+        ));
+    }
+
+    let _ = seed;
+    Ok(SandboxReport {
+        schedule,
+        quarantined_at: None,
+        observed_at: None,
+        victim_traps: storm_traps,
+        victim_parse_traps: 0,
+        rollout: Some(report),
+        delivered: sim.metrics.delivered,
+        lost: sim.metrics.total_lost(),
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexnet_sim::rogue_sweep;
+
+    #[test]
+    fn runaway_loop_is_gas_trapped_and_quarantined() {
+        let report = run_sandbox_seed(0).unwrap();
+        assert_eq!(report.schedule.scenario, RogueScenario::RunawayLoop);
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        assert!(report.quarantined_at.is_some());
+        assert!(report.observed_at.is_some());
+        assert!(report.victim_traps > 0);
+    }
+
+    #[test]
+    fn state_bomb_traps_out_of_bounds_and_quarantines() {
+        let report = run_sandbox_seed(1).unwrap();
+        assert_eq!(report.schedule.scenario, RogueScenario::StateBomb);
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        assert!(report.quarantined_at.is_some());
+    }
+
+    #[test]
+    fn malformed_flood_never_indicts_the_program() {
+        let report = run_sandbox_seed(2).unwrap();
+        assert_eq!(report.schedule.scenario, RogueScenario::MalformedFlood);
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        assert_eq!(report.quarantined_at, None);
+        assert!(report.victim_parse_traps > 0);
+        assert_eq!(report.victim_traps, 0);
+    }
+
+    #[test]
+    fn trap_storm_aborts_the_rollout_in_wave_one() {
+        let report = run_sandbox_seed(3).unwrap();
+        assert_eq!(report.schedule.scenario, RogueScenario::TrapStormRollout);
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        let rollout = report.rollout.expect("rollout ran");
+        assert!(matches!(rollout.outcome, RolloutOutcome::RolledBack { .. }));
+        assert_eq!(rollout.breach.unwrap().guard, "quarantine");
+    }
+
+    #[test]
+    fn sandbox_runs_are_deterministic_in_their_seed() {
+        let a = run_sandbox_seed(5).unwrap();
+        let b = run_sandbox_seed(5).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.lost, b.lost);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.quarantined_at, b.quarantined_at);
+    }
+
+    #[test]
+    fn a_handful_of_consecutive_seeds_all_pass() {
+        for s in rogue_sweep(4, 4, LANES) {
+            let report = run_sandbox_seed(s.seed).unwrap();
+            assert!(
+                report.passed(),
+                "seed {} ({}) violations: {:#?}",
+                s.seed,
+                s.scenario.label(),
+                report.violations
+            );
+        }
+    }
+}

@@ -18,12 +18,13 @@ use flexnet_lang::bytecode::{
 };
 use flexnet_lang::diff::{ProgramBundle, ReconfigOp};
 use flexnet_lang::headers::HeaderRegistry;
-use flexnet_lang::interp::{execute, ExecEnv};
+use flexnet_lang::interp::{execute_metered, ExecEnv, GAS_UNLIMITED};
 use flexnet_lang::ir::program_elements;
 use flexnet_lang::typecheck::check_program;
 use flexnet_lang::verifier::verify_program;
 use flexnet_types::{
-    FlexError, NodeId, Packet, ProgramVersion, ResourceVec, Result, SimDuration, SimTime, Verdict,
+    FlexError, NodeId, Packet, ProgramVersion, ResourceVec, Result, SimDuration, SimTime, Trap,
+    Verdict,
 };
 
 /// Maximum recirculation passes before a packet is dropped (hardware bounds
@@ -266,12 +267,12 @@ impl ExecEnv for DeviceEnv<'_> {
         self.state.map_del(map, key);
     }
 
-    fn reg_read(&mut self, reg: &str, idx: u64) -> u64 {
-        self.state.reg_read(reg, idx)
+    fn reg_read(&mut self, reg: &str, idx: u64) -> Result<u64> {
+        self.state.reg_read_checked(reg, idx)
     }
 
-    fn reg_write(&mut self, reg: &str, idx: u64, val: u64) {
-        self.state.reg_write(reg, idx, val);
+    fn reg_write(&mut self, reg: &str, idx: u64, val: u64) -> Result<()> {
+        self.state.reg_write_checked(reg, idx, val)
     }
 
     fn counter_add(&mut self, counter: &str, pkts: u64, bytes: u64) {
@@ -320,12 +321,12 @@ impl SlotEnv for SlotDeviceEnv<'_> {
         self.state.map_del_at(map, key);
     }
 
-    fn reg_read(&mut self, reg: u16, idx: u64) -> u64 {
-        self.state.reg_read_at(reg, idx)
+    fn reg_read(&mut self, reg: u16, idx: u64) -> Result<u64> {
+        self.state.reg_read_at_checked(reg, idx)
     }
 
-    fn reg_write(&mut self, reg: u16, idx: u64, val: u64) {
-        self.state.reg_write_at(reg, idx, val);
+    fn reg_write(&mut self, reg: u16, idx: u64, val: u64) -> Result<()> {
+        self.state.reg_write_at_checked(reg, idx, val)
     }
 
     fn counter_add(&mut self, counter: u16, pkts: u64, bytes: u64) {
@@ -363,6 +364,59 @@ pub enum ExecMode {
     Bytecode,
 }
 
+/// Per-device execution sandbox configuration: the gas budget every
+/// packet is admitted with, and the trap-rate window that triggers
+/// program quarantine.
+///
+/// Paper §3.1 requires FlexBPF programs be "analyzable to certify
+/// bounded execution \[and\] well-behavedness" — but the static proof
+/// is computed at install time, and runtime reconfiguration can
+/// invalidate it (a shrunk register, a stale table entry). The sandbox
+/// is the *runtime* enforcement backstop: every packet carries a gas
+/// budget, every fault is a typed [`Trap`] converted into a fail-closed
+/// drop, and a program whose trap rate crosses threshold is quarantined
+/// — atomically swapped back to the device's last-known-good image (or
+/// a transparent-forward default when there is none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SandboxConfig {
+    /// Per-packet instruction budget, shared across recirculation
+    /// passes. The verifier bounds one pass at 4096 ops; the default
+    /// budget covers the worst verified pass through every allowed
+    /// recirculation with headroom, so it only fires on programs whose
+    /// static proof no longer holds.
+    pub gas_limit: u64,
+    /// Tumbling trap-accounting window, in packets.
+    pub trap_window: u64,
+    /// Quarantine when `traps / window ≥ threshold` (parts per million)
+    /// within a window.
+    pub trap_threshold_ppm: u64,
+    /// Minimum packets observed in the current window before the rate
+    /// test may fire (one early trap in a tiny window is noise).
+    pub min_window: u64,
+}
+
+impl Default for SandboxConfig {
+    fn default() -> SandboxConfig {
+        SandboxConfig {
+            gas_limit: 32_768,
+            trap_window: 64,
+            trap_threshold_ppm: 500_000,
+            min_window: 16,
+        }
+    }
+}
+
+impl SandboxConfig {
+    /// A sandbox with metering disabled (traps still fire; gas never
+    /// exhausts). Used by benchmarks to measure metering overhead.
+    pub fn unmetered() -> SandboxConfig {
+        SandboxConfig {
+            gas_limit: GAS_UNLIMITED,
+            ..SandboxConfig::default()
+        }
+    }
+}
+
 /// What happened to one packet at one device.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessResult {
@@ -377,6 +431,9 @@ pub struct ProcessResult {
     /// `true` when the device refused the packet (drained for a
     /// compile-time reflash) — the packet was lost, not processed.
     pub refused: bool,
+    /// The trap that ended execution, when the packet trapped. The
+    /// verdict is always [`Verdict::Drop`] in that case (fail closed).
+    pub trap: Option<Trap>,
 }
 
 /// Aggregate device statistics.
@@ -395,6 +452,18 @@ pub struct DeviceStats {
     /// slope on a device that still heartbeats on time is the
     /// gray-failure signature.
     pub dropped: u64,
+    /// Program execution traps (gas exhaustion, division by zero,
+    /// out-of-bounds state, …). Each is also a `dropped` packet; the
+    /// split lets the controller tell a policy drop from a fault drop.
+    pub traps: u64,
+    /// Wire-parse traps (malformed packet bytes). Counted separately
+    /// because they indict the *packet*, never the program — parse
+    /// traps do not feed the quarantine rate.
+    pub parse_traps: u64,
+    /// Times the trap-rate threshold fired and the device swapped the
+    /// active program for its last-known-good image (or the
+    /// transparent-forward default).
+    pub quarantines: u64,
 }
 
 /// A runtime-programmable network device.
@@ -429,6 +498,23 @@ pub struct Device {
     invocations: Vec<(String, Vec<u64>)>,
     default_port: u16,
     exec_mode: ExecMode,
+    /// Execution sandbox configuration (gas budget, quarantine window).
+    sandbox: SandboxConfig,
+    /// The last program image that completed an install or a hitless
+    /// flip without being quarantined — the image quarantine falls back
+    /// to. Boxed: it is touched only on install/flip/quarantine, never
+    /// on the packet path.
+    last_good: Option<Box<InstalledProgram>>,
+    /// Sticky quarantine flag, reported in heartbeats. Cleared by the
+    /// next successful install or hitless flip (a human or the
+    /// controller shipped a replacement), never by time.
+    quarantined: bool,
+    /// Packets seen in the current trap-accounting window.
+    window_packets: u64,
+    /// Program traps seen in the current trap-accounting window.
+    window_traps: u64,
+    /// The most recent program trap (diagnostics; heartbeat detail).
+    last_trap: Option<Trap>,
 }
 
 impl Device {
@@ -452,6 +538,12 @@ impl Device {
             invocations: Vec::new(),
             default_port: 0,
             exec_mode: ExecMode::default(),
+            sandbox: SandboxConfig::default(),
+            last_good: None,
+            quarantined: false,
+            window_packets: 0,
+            window_traps: 0,
+            last_trap: None,
         }
     }
 
@@ -468,6 +560,31 @@ impl Device {
     /// The packet-path engine in use.
     pub fn exec_mode(&self) -> ExecMode {
         self.exec_mode
+    }
+
+    /// Replaces the sandbox configuration (gas budget, trap window).
+    pub fn set_sandbox(&mut self, cfg: SandboxConfig) {
+        self.sandbox = cfg;
+        self.window_packets = 0;
+        self.window_traps = 0;
+    }
+
+    /// The sandbox configuration in force.
+    pub fn sandbox(&self) -> SandboxConfig {
+        self.sandbox
+    }
+
+    /// Whether the active program was quarantined (trap rate crossed
+    /// threshold and the device fell back to its last-known-good image
+    /// or the transparent default). Sticky until the next successful
+    /// install or hitless flip; reported in heartbeats.
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// The most recent program trap, if any (diagnostics).
+    pub fn last_trap(&self) -> Option<&Trap> {
+        self.last_trap.as_ref()
     }
 
     /// Sets the port used when a handler yields no verdict.
@@ -581,18 +698,7 @@ impl Device {
     pub fn config_digest(&self) -> u64 {
         match &self.active {
             None => EMPTY_CONFIG_DIGEST,
-            Some(p) => {
-                let entries: Vec<(String, TableEntry)> = p
-                    .tables
-                    .iter()
-                    .flat_map(|t| {
-                        t.entries
-                            .iter()
-                            .map(|e| (t.decl.name.clone(), e.clone()))
-                    })
-                    .collect();
-                config_digest_of(&p.bundle, &entries)
-            }
+            Some(p) => digest_of_installed(p),
         }
     }
 
@@ -677,9 +783,43 @@ impl Device {
         for h in &installed.bundle.headers {
             self.parser.add_state(h)?;
         }
+        // The outgoing program becomes the quarantine fallback — unless
+        // the device is quarantined, in which case the outgoing program
+        // *is* the suspect (or already the fallback) and must not be
+        // re-stashed as known-good. A fresh install always lifts
+        // quarantine: the controller shipped a replacement.
+        if let Some(prev) = self.active.take() {
+            if !self.quarantined {
+                self.last_good = Some(Box::new(prev));
+            }
+        }
+        self.quarantined = false;
+        self.window_packets = 0;
+        self.window_traps = 0;
         self.active = Some(installed);
         self.version = self.version.next();
         Ok(())
+    }
+
+    /// Called by the reconfiguration engine when a hitless flip commits:
+    /// the outgoing image becomes the quarantine fallback, and any
+    /// quarantine is lifted (a replacement program shipped).
+    pub(crate) fn note_flip_committed(&mut self, outgoing: Option<InstalledProgram>) {
+        if let Some(prev) = outgoing {
+            if !self.quarantined {
+                self.last_good = Some(Box::new(prev));
+            }
+        }
+        self.quarantined = false;
+        self.window_packets = 0;
+        self.window_traps = 0;
+    }
+
+    /// Content digest of the stashed last-known-good image, if any —
+    /// lets tests and the controller verify that a quarantine fallback
+    /// restored exactly the image that was stashed.
+    pub fn last_good_digest(&self) -> Option<u64> {
+        self.last_good.as_ref().map(|p| digest_of_installed(p))
     }
 
     /// Allocates every element of `installed`, applying monotone stage
@@ -804,6 +944,7 @@ impl Device {
                     version: self.version,
                     ops: 0,
                     refused: true,
+                    trap: None,
                 });
             }
             self.drained_until = None;
@@ -820,16 +961,22 @@ impl Device {
                 version,
                 ops: 0,
                 refused: false,
+                trap: None,
             });
         };
 
         active.state.now = now;
         let hidden = self.parser.strip_invisible(pkt);
 
+        let gas = self.sandbox.gas_limit;
         let mut total_ops = 0u64;
         let mut verdict;
+        let mut trapped: Option<Trap> = None;
         let mut passes = 0u32;
         loop {
+            // Gas is a *per-packet* budget: recirculated passes run on
+            // whatever the earlier passes left.
+            let remaining = gas.saturating_sub(total_ops);
             let outcome = match self.exec_mode {
                 ExecMode::Interpreter => {
                     let mut env = DeviceEnv {
@@ -837,12 +984,13 @@ impl Device {
                         state: &mut active.state,
                         invocations: &mut self.invocations,
                     };
-                    execute(
+                    execute_metered(
                         &active.bundle.program,
                         "ingress",
                         pkt,
                         &mut env,
                         &active.registry,
+                        remaining,
                     )?
                 }
                 ExecMode::Bytecode => {
@@ -855,17 +1003,32 @@ impl Device {
                         state,
                         ..
                     } = &mut *active;
-                    let compiled = compiled.as_ref().expect("image just rebuilt");
+                    let compiled = match compiled.as_ref() {
+                        Some(c) => c,
+                        None => {
+                            return Err(Trap::CorruptImage {
+                                reason: "bytecode image missing after rebuild",
+                            }
+                            .into())
+                        }
+                    };
                     let mut env = SlotDeviceEnv {
                         tables: &*tables,
                         state,
                         service_names: &compiled.service_names,
                         invocations: &mut self.invocations,
                     };
-                    bytecode::execute_compiled(compiled, "ingress", pkt, &mut env)?
+                    bytecode::execute_compiled_metered(compiled, "ingress", pkt, &mut env, remaining)?
                 }
             };
             total_ops += outcome.ops;
+            if let Some(t) = outcome.trap {
+                // Fail closed: a trapped packet is dropped, never
+                // forwarded on a half-executed pipeline.
+                trapped = Some(t);
+                verdict = Verdict::Drop;
+                break;
+            }
             verdict = outcome.verdict.unwrap_or(Verdict::Forward(self.default_port));
             if verdict != Verdict::Recirculate {
                 break;
@@ -887,6 +1050,10 @@ impl Device {
         if verdict == Verdict::Drop {
             self.stats.dropped += 1;
         }
+        match trapped.clone() {
+            Some(t) => self.note_program_trap(t, now),
+            None => self.note_clean_packet(),
+        }
 
         Ok(ProcessResult {
             verdict,
@@ -894,13 +1061,106 @@ impl Device {
             version,
             ops: total_ops,
             refused: false,
+            trap: trapped,
         })
+    }
+
+    /// Parses raw wire bytes into a packet and processes it.
+    ///
+    /// The poison-packet entry point: bytes that fail wire parsing
+    /// produce a typed [`Trap::MalformedPacket`] and a fail-closed drop
+    /// — never a panic, and never a quarantine (parse traps indict the
+    /// packet, not the program, so they are accounted separately).
+    pub fn process_bytes(&mut self, bytes: &[u8], id: u64, now: SimTime) -> Result<ProcessResult> {
+        self.ensure_up()?;
+        match crate::wire::parse_wire(bytes, id) {
+            Ok(mut pkt) => self.process(&mut pkt, now),
+            Err(FlexError::Trap(t)) => {
+                self.stats.parse_traps += 1;
+                self.stats.dropped += 1;
+                Ok(ProcessResult {
+                    verdict: Verdict::Drop,
+                    latency: self.cost.base_latency,
+                    version: self.version,
+                    ops: 0,
+                    refused: false,
+                    trap: Some(t),
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Trap-window accounting for one cleanly processed packet.
+    fn note_clean_packet(&mut self) {
+        self.window_packets += 1;
+        if self.window_packets >= self.sandbox.trap_window {
+            self.window_packets = 0;
+            self.window_traps = 0;
+        }
+    }
+
+    /// Trap-window accounting for one trapped packet; quarantines the
+    /// program when the in-window trap rate crosses threshold.
+    fn note_program_trap(&mut self, trap: Trap, now: SimTime) {
+        self.stats.traps += 1;
+        self.last_trap = Some(trap);
+        self.window_packets += 1;
+        self.window_traps += 1;
+        let rate_ppm = self
+            .window_traps
+            .saturating_mul(1_000_000)
+            / self.window_packets.max(1);
+        if !self.quarantined
+            && self.window_packets >= self.sandbox.min_window
+            && rate_ppm >= self.sandbox.trap_threshold_ppm
+        {
+            self.quarantine_now(now);
+        } else if self.window_packets >= self.sandbox.trap_window {
+            self.window_packets = 0;
+            self.window_traps = 0;
+        }
+    }
+
+    /// Quarantines the active program: atomically swaps in the
+    /// last-known-good image (or the transparent-forward default when
+    /// none is stashed) and sets the sticky `quarantined` flag that
+    /// heartbeats report to the controller.
+    fn quarantine_now(&mut self, now: SimTime) {
+        // A quarantine mid-reconfiguration also condemns the in-flight
+        // transition — the shadow belongs to the same suspect push.
+        if self.pending.is_some() {
+            let _ = self.abort_reconfig(now);
+        }
+        self.stats.quarantines += 1;
+        self.quarantined = true;
+        self.window_packets = 0;
+        self.window_traps = 0;
+        match self.last_good.take() {
+            Some(good) => self.active = Some(*good),
+            None => self.active = None,
+        }
+        self.version = self.version.next();
     }
 
     /// Internal hook from the reconfiguration engine (see `reconfig.rs`).
     fn commit_if_ready(&mut self, now: SimTime) {
         crate::reconfig::commit_if_ready(self, now);
     }
+}
+
+/// Content digest of one installed program instance (program + entries).
+fn digest_of_installed(p: &InstalledProgram) -> u64 {
+    let entries: Vec<(String, TableEntry)> = p
+        .tables
+        .iter()
+        .flat_map(|t| {
+            t.entries
+                .iter()
+                .map(|e| (t.decl.name.clone(), e.clone()))
+        })
+        .collect();
+    config_digest_of(&p.bundle, &entries)
 }
 
 /// Collects table names in `apply` order.
@@ -1295,6 +1555,188 @@ mod tests {
         assert_eq!(
             d.process(&mut pkt2, SimTime::from_secs(3)).unwrap().verdict,
             Verdict::Forward(1)
+        );
+    }
+
+    /// A verified program that divides by a map value — 0 for every
+    /// packet whose src is not in the map, so every packet traps.
+    fn trapping_bundle() -> ProgramBundle {
+        bundle(
+            "program bad kind any {
+               map d : map<u32, u32>[64];
+               handler ingress(pkt) {
+                 let x = 1000 / map_get(d, ipv4.src);
+                 forward(1);
+               }
+             }",
+        )
+    }
+
+    #[test]
+    fn gas_exhaustion_drops_and_counts_in_both_modes() {
+        for mode in [ExecMode::Interpreter, ExecMode::Bytecode] {
+            let mut d = new_dev();
+            d.set_exec_mode(mode);
+            d.install(fw_bundle()).unwrap();
+            d.set_sandbox(SandboxConfig {
+                gas_limit: 3, // far below the handler's cost
+                ..SandboxConfig::default()
+            });
+            let mut pkt = Packet::tcp(1, 10, 20, 1, 80, 0);
+            let r = d.process(&mut pkt, SimTime::ZERO).unwrap();
+            assert_eq!(r.verdict, Verdict::Drop, "{mode:?}: fail closed");
+            assert_eq!(r.trap, Some(Trap::GasExhausted { limit: 3 }), "{mode:?}");
+            assert_eq!(d.stats().traps, 1, "{mode:?}");
+            assert_eq!(d.stats().dropped, 1, "{mode:?}");
+            assert!(!d.quarantined(), "{mode:?}: one trap in a tiny window is noise");
+        }
+    }
+
+    #[test]
+    fn gas_budget_is_shared_across_recirculation() {
+        let mut d = new_dev();
+        d.install(bundle(
+            "program loopy kind any { handler ingress(pkt) { recirculate(); } }",
+        ))
+        .unwrap();
+        // One pass costs 1 op; 3 gas admits passes 1-3 and traps pass 4
+        // at its first charge, before the recirculation bound (5 passes).
+        d.set_sandbox(SandboxConfig {
+            gas_limit: 3,
+            ..SandboxConfig::default()
+        });
+        let mut pkt = Packet::udp(1, 1, 2, 3, 4);
+        let r = d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(r.verdict, Verdict::Drop);
+        assert_eq!(r.ops, 4, "3 budgeted passes + the trapping charge");
+        assert!(
+            matches!(r.trap, Some(Trap::GasExhausted { .. })),
+            "gas, not the recirculation bound, must fire first: {:?}",
+            r.trap
+        );
+        assert_eq!(d.stats().recirc_dropped, 0);
+    }
+
+    #[test]
+    fn trap_storm_quarantines_to_last_known_good() {
+        let mut d = new_dev();
+        d.set_sandbox(SandboxConfig {
+            trap_window: 64,
+            min_window: 16,
+            trap_threshold_ppm: 500_000,
+            ..SandboxConfig::default()
+        });
+        d.install(fw_bundle()).unwrap();
+        let good_digest = d.config_digest();
+        // Ship the rogue program; the fw image becomes last-known-good.
+        d.install(trapping_bundle()).unwrap();
+        assert_eq!(d.last_good_digest(), Some(good_digest));
+        let bad_digest = d.config_digest();
+        assert_ne!(bad_digest, good_digest);
+
+        let mut quarantined_at = None;
+        for i in 0..64u64 {
+            let mut pkt = Packet::tcp(i, i as u32, 20, 1, 80, 0);
+            d.process(&mut pkt, SimTime::ZERO).unwrap();
+            if d.quarantined() {
+                quarantined_at = Some(i + 1);
+                break;
+            }
+        }
+        assert_eq!(
+            quarantined_at,
+            Some(16),
+            "100% trap rate must quarantine the moment the window is judgeable"
+        );
+        assert_eq!(d.stats().quarantines, 1);
+        assert_eq!(
+            d.config_digest(),
+            good_digest,
+            "fallback must be digest-identical to the stashed image"
+        );
+        assert_eq!(
+            d.last_trap().map(|t| t.label()),
+            Some("div-by-zero"),
+            "diagnostics name the storm's trap kind"
+        );
+
+        // The fallback serves traffic cleanly and trap accounting is reset.
+        let mut pkt = Packet::tcp(999, 10, 20, 1, 80, 0);
+        let r = d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(r.verdict, Verdict::Forward(1));
+        assert_eq!(r.trap, None);
+
+        // A fresh install (the rollback path) lifts the quarantine.
+        d.install(fw_bundle()).unwrap();
+        assert!(!d.quarantined());
+    }
+
+    #[test]
+    fn quarantine_without_fallback_fails_to_transparent_default() {
+        let mut d = new_dev();
+        d.set_default_port(3);
+        d.install(trapping_bundle()).unwrap(); // first program: no last-good
+        for i in 0..20u64 {
+            let mut pkt = Packet::tcp(i, i as u32, 20, 1, 80, 0);
+            d.process(&mut pkt, SimTime::ZERO).unwrap();
+        }
+        assert!(d.quarantined());
+        assert!(d.program().is_none(), "no fallback: program removed");
+        let mut pkt = Packet::tcp(99, 1, 2, 3, 4, 0);
+        let r = d.process(&mut pkt, SimTime::ZERO).unwrap();
+        assert_eq!(
+            r.verdict,
+            Verdict::Forward(3),
+            "quarantined device degrades to transparent forwarding"
+        );
+    }
+
+    #[test]
+    fn poison_bytes_trap_without_indicting_the_program() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        // A flood of truncated frames: all dropped, none panic, and the
+        // *program* is never quarantined — the packets are at fault.
+        for i in 0..100u64 {
+            let r = d
+                .process_bytes(&[0xffu8; 5], i, SimTime::ZERO)
+                .unwrap();
+            assert_eq!(r.verdict, Verdict::Drop);
+            assert!(matches!(r.trap, Some(Trap::MalformedPacket { .. })));
+        }
+        assert_eq!(d.stats().parse_traps, 100);
+        assert_eq!(d.stats().traps, 0, "parse traps are not program traps");
+        assert!(!d.quarantined());
+
+        // Valid bytes still flow through the program.
+        let pkt = Packet::tcp(7, 10, 20, 1, 80, 0);
+        let bytes = crate::wire::encode_wire(&pkt);
+        let r = d.process_bytes(&bytes, 7, SimTime::ZERO).unwrap();
+        assert_eq!(r.verdict, Verdict::Forward(1));
+        assert_eq!(r.trap, None);
+    }
+
+    #[test]
+    fn reconfig_flip_stashes_outgoing_image_as_last_good() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        let fw_digest = d.config_digest();
+        let next = bundle("program v2 kind any { handler ingress(pkt) { forward(2); } }");
+        d.begin_runtime_reconfig(next, SimTime::ZERO).unwrap();
+        // Drive time forward until the transition commits.
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            t = t + SimDuration::from_millis(10);
+            let mut pkt = Packet::tcp(1, 10, 20, 1, 80, 0);
+            let r = d.process(&mut pkt, t).unwrap();
+            if r.verdict == Verdict::Forward(2) {
+                break;
+            }
+        }
+        assert_eq!(
+            d.last_good_digest(),
+            Some(fw_digest),
+            "hitless flip must stash the outgoing image"
         );
     }
 

@@ -17,6 +17,8 @@
 //!   unsafe in-place ablation (§2).
 //! - [`baseline`] — Mantis- and HyPer4-style approximations (§1.1).
 //! - [`cost`] — per-architecture latency/reconfiguration/energy models.
+//! - [`wire`] — the raw-bytes wire codec feeding the sandbox's
+//!   poison-packet entry point ([`device::Device::process_bytes`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,15 +31,17 @@ pub mod parser;
 pub mod reconfig;
 pub mod state;
 pub mod table;
+pub mod wire;
 
 pub use arch::{ArchAllocator, ArchClass, Architecture, Location};
 pub use baseline::{Hyper4Device, MantisDevice};
 pub use cost::CostModel;
 pub use device::{
     config_digest_of, Device, DeviceStats, ExecMode, InstalledProgram, ProcessResult,
-    EMPTY_CONFIG_DIGEST,
+    SandboxConfig, EMPTY_CONFIG_DIGEST,
 };
 pub use parser::ParserGraph;
 pub use reconfig::{ReconfigMode, ReconfigOutcome, ReconfigReport, TxnTag};
 pub use state::{DeviceState, LogicalState, StateEncoding};
 pub use table::{KeyMatch, TableEntry, TableInstance, TableSet};
+pub use wire::{encode_wire, parse_wire};

@@ -601,9 +601,12 @@ pub(crate) fn commit_if_ready(dev: &mut Device, now: SimTime) {
             };
             if let Some(shadow) = pending.shadow {
                 // Atomic flip: packets before this instant saw the old
-                // program, packets after see the new one.
-                let _ = dev.take_active();
+                // program, packets after see the new one. The outgoing
+                // image is stashed as the sandbox's last-known-good
+                // quarantine fallback.
+                let outgoing = dev.take_active();
                 dev.set_active(shadow);
+                dev.note_flip_committed(outgoing);
                 dev.bump_version();
             }
             for name in pending.deferred_frees {

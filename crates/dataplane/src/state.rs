@@ -23,7 +23,7 @@
 //! semantics for control-plane code and the interpreter.
 
 use flexnet_lang::ast::{StateDecl, StateKind};
-use flexnet_types::{FlexError, Result, SimDuration, SimTime};
+use flexnet_types::{FlexError, Result, SimDuration, SimTime, Trap};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -329,6 +329,10 @@ impl<T> SlotArena<T> {
 
     fn slot_of(&self, name: &str) -> Option<u16> {
         self.index.get(name).map(|&i| i as u16)
+    }
+
+    fn name_at(&self, slot: u16) -> Option<&str> {
+        self.items.get(slot as usize).map(|(n, _)| n.as_str())
     }
 
     fn iter(&self) -> impl Iterator<Item = (&str, &T)> {
@@ -702,6 +706,112 @@ impl DeviceState {
             Some(m) => m.check(key, now),
             None => true,
         }
+    }
+
+    // -- trap-checked register accessors (sandboxed packet path) --------------
+    //
+    // The verifier proves register indices against *declared* sizes, but a
+    // runtime reconfiguration can shrink the array after the proof ran. The
+    // sandbox turns that stale proof into a typed [`Trap::StateOutOfBounds`]
+    // instead of the silent read-0/ignore-write of the legacy accessors
+    // (which remain above for control-plane callers and old tests).
+
+    /// Reads a register cell, trapping when the index is outside the
+    /// array's current length. An unknown register name still reads 0 —
+    /// the typechecker guarantees names resolve, so that case indicts the
+    /// image, not the packet, and is caught by install-time resolution.
+    pub fn reg_read_checked(&self, reg: &str, idx: u64) -> Result<u64> {
+        match self.registers.get(reg) {
+            Some(r) => match r.get(idx as usize) {
+                Some(v) => Ok(*v),
+                None => Err(Trap::StateOutOfBounds {
+                    kind: "register",
+                    name: reg.to_string(),
+                    index: idx,
+                    size: r.len() as u64,
+                }
+                .into()),
+            },
+            None => Ok(0),
+        }
+    }
+
+    /// Writes a register cell, trapping when the index is outside the
+    /// array's current length.
+    pub fn reg_write_checked(&mut self, reg: &str, idx: u64, val: u64) -> Result<()> {
+        match self.registers.get_mut(reg) {
+            Some(r) => {
+                let size = r.len() as u64;
+                match r.get_mut(idx as usize) {
+                    Some(cell) => {
+                        *cell = val;
+                        Ok(())
+                    }
+                    None => Err(Trap::StateOutOfBounds {
+                        kind: "register",
+                        name: reg.to_string(),
+                        index: idx,
+                        size,
+                    }
+                    .into()),
+                }
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Slot-form of [`DeviceState::reg_read_checked`].
+    pub fn reg_read_at_checked(&self, slot: u16, idx: u64) -> Result<u64> {
+        match self.registers.at(slot) {
+            Some(r) => match r.get(idx as usize) {
+                Some(v) => Ok(*v),
+                None => Err(Trap::StateOutOfBounds {
+                    kind: "register",
+                    name: self
+                        .registers
+                        .name_at(slot)
+                        .unwrap_or("?")
+                        .to_string(),
+                    index: idx,
+                    size: r.len() as u64,
+                }
+                .into()),
+            },
+            None => Ok(0),
+        }
+    }
+
+    /// Slot-form of [`DeviceState::reg_write_checked`].
+    pub fn reg_write_at_checked(&mut self, slot: u16, idx: u64, val: u64) -> Result<()> {
+        let name = self.registers.name_at(slot).map(str::to_string);
+        match self.registers.at_mut(slot) {
+            Some(r) => {
+                let size = r.len() as u64;
+                match r.get_mut(idx as usize) {
+                    Some(cell) => {
+                        *cell = val;
+                        Ok(())
+                    }
+                    None => Err(Trap::StateOutOfBounds {
+                        kind: "register",
+                        name: name.unwrap_or_else(|| "?".into()),
+                        index: idx,
+                        size,
+                    }
+                    .into()),
+                }
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// The declared size of a register, if declared (quarantine
+    /// diagnostics; the runtime bound is the array's current length).
+    pub fn reg_declared_size(&self, reg: &str) -> Option<u64> {
+        self.decls.get(reg).and_then(|d| match d.kind {
+            StateKind::Register { .. } => Some(d.size),
+            _ => None,
+        })
     }
 }
 

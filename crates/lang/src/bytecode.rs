@@ -23,8 +23,8 @@
 
 use crate::ast::*;
 use crate::headers::HeaderRegistry;
-use crate::interp::{eval_bin, hash_values, ExecEnv, ExecOutcome};
-use flexnet_types::{FlexError, Header, Packet, Result, Verdict};
+use crate::interp::{eval_bin, hash_values, ExecEnv, ExecOutcome, GAS_UNLIMITED, MAX_TABLE_KEY_WIDTH};
+use flexnet_types::{FlexError, Header, Packet, Result, Trap, Verdict};
 use std::collections::BTreeMap;
 
 /// The kind of symbol a [`SlotResolver`] is asked to resolve.
@@ -136,10 +136,12 @@ pub trait SlotEnv {
     fn map_put(&mut self, map: u16, key: u64, value: u64) -> Result<()>;
     /// Deletes a map entry (no-op on a miss).
     fn map_del(&mut self, map: u16, key: u64);
-    /// Reads a register cell.
-    fn reg_read(&mut self, reg: u16, idx: u64) -> u64;
-    /// Writes a register cell.
-    fn reg_write(&mut self, reg: u16, idx: u64, val: u64);
+    /// Reads a register cell. Returns [`Trap::StateOutOfBounds`] when a
+    /// post-verification reconfiguration shrank the register under the
+    /// program's static proof.
+    fn reg_read(&mut self, reg: u16, idx: u64) -> Result<u64>;
+    /// Writes a register cell (same bounds contract as [`SlotEnv::reg_read`]).
+    fn reg_write(&mut self, reg: u16, idx: u64, val: u64) -> Result<()>;
     /// Adds to a counter.
     fn counter_add(&mut self, counter: u16, pkts: u64, bytes: u64);
     /// Reads a counter's packet count.
@@ -179,7 +181,8 @@ pub enum Insn {
     Hash(u16),
     /// Push the packet's wire length.
     PktLen,
-    /// Pop `b` then `a`; push `a op b` (wrapping / trap-free semantics).
+    /// Pop `b` then `a`; push `a op b` (wrapping semantics; division and
+    /// modulo by zero raise [`Trap::DivisionByZero`]).
     Bin(BinOp),
     /// Pop `a`; push the unary result.
     Un(UnOp),
@@ -772,17 +775,34 @@ impl Compiler<'_> {
     }
 }
 
-/// Executes `handler` of a compiled program over `pkt` against `env`.
-///
-/// Verdicts, op counts, state effects, and reachable runtime errors are
-/// identical to [`crate::interp::execute`] on the same program — the
-/// differential suite in `tests/` asserts this over every example program
-/// and randomized packets.
+/// Executes `handler` of a compiled program over `pkt` against `env` with
+/// no gas limit. See [`execute_compiled_metered`] for the sandboxed form.
 pub fn execute_compiled(
     prog: &CompiledProgram,
     handler: &str,
     pkt: &mut Packet,
     env: &mut dyn SlotEnv,
+) -> Result<ExecOutcome> {
+    execute_compiled_metered(prog, handler, pkt, env, GAS_UNLIMITED)
+}
+
+/// Executes `handler` of a compiled program over `pkt` against `env` under
+/// a gas budget of `gas` abstract operations.
+///
+/// Verdicts, op counts, state effects, and traps are identical to
+/// [`crate::interp::execute_metered`] on the same program — the
+/// differential suite in `tests/` asserts this over every example program,
+/// randomized packets, and trapping inputs. Faults attributable to the
+/// packet or to a post-verification reconfiguration come back as `Ok`
+/// outcomes carrying a [`Trap`]; an inconsistent image itself (stack/pc/
+/// frame invariants broken) traps as [`Trap::CorruptImage`] so a device can
+/// fail closed rather than crash its sweep.
+pub fn execute_compiled_metered(
+    prog: &CompiledProgram,
+    handler: &str,
+    pkt: &mut Packet,
+    env: &mut dyn SlotEnv,
+    gas: u64,
 ) -> Result<ExecOutcome> {
     let mut pc = prog
         .handler_entry(handler)
@@ -794,79 +814,115 @@ pub fn execute_compiled(
     let mut calls: Vec<usize> = Vec::new();
     let mut keys: Vec<u64> = Vec::with_capacity(4);
 
+    // Unwind to the packet boundary with a fail-closed trap outcome.
+    macro_rules! trap {
+        ($t:expr) => {
+            return Ok(ExecOutcome {
+                verdict: None,
+                ops,
+                trap: Some($t),
+            })
+        };
+    }
+
+    // Charge gas at exactly the interpreter's checkpoints; exhaustion fires
+    // at the identical cumulative count in both engines.
+    macro_rules! tick {
+        ($n:expr) => {
+            ops += $n;
+            if ops > gas {
+                trap!(Trap::GasExhausted { limit: gas });
+            }
+        };
+    }
+
     macro_rules! pop {
         () => {
-            stack.pop().ok_or_else(|| {
-                FlexError::Sim("bytecode stack underflow (corrupt image)".into())
-            })?
+            match stack.pop() {
+                Some(v) => v,
+                None => trap!(Trap::CorruptImage {
+                    reason: "bytecode stack underflow",
+                }),
+            }
         };
     }
 
     loop {
-        let insn = prog.insns.get(pc).ok_or_else(|| {
-            FlexError::Sim("bytecode pc out of range (corrupt image)".into())
-        })?;
+        let insn = match prog.insns.get(pc) {
+            Some(i) => i,
+            None => trap!(Trap::CorruptImage {
+                reason: "bytecode pc out of range",
+            }),
+        };
         pc += 1;
         match insn {
             Insn::PushInt(v) => {
-                ops += 1;
+                tick!(1);
                 stack.push(*v);
             }
             Insn::PushLocal(s) => {
-                ops += 1;
+                tick!(1);
                 stack.push(locals[*s as usize]);
             }
             Insn::PushField(f) => {
-                ops += 1;
+                tick!(1);
                 stack.push(pkt.get_field(&prog.field_names[*f as usize]).unwrap_or(0));
             }
             Insn::PushValid(p) => {
-                ops += 1;
+                tick!(1);
                 stack.push(pkt.has_header(&prog.proto_names[*p as usize]) as u64);
             }
             Insn::MapGet(m) => {
-                ops += 1;
+                tick!(1);
                 let k = pop!();
                 stack.push(env.map_get(*m, k).unwrap_or(0));
             }
             Insn::MapHas(m) => {
-                ops += 1;
+                tick!(1);
                 let k = pop!();
                 stack.push(env.map_get(*m, k).is_some() as u64);
             }
             Insn::RegRead(r) => {
-                ops += 1;
+                tick!(1);
                 let i = pop!();
-                stack.push(env.reg_read(*r, i));
+                match env.reg_read(*r, i) {
+                    Ok(v) => stack.push(v),
+                    Err(FlexError::Trap(t)) => trap!(t),
+                    Err(e) => return Err(e),
+                }
             }
             Insn::CounterRead(c) => {
-                ops += 1;
+                tick!(1);
                 stack.push(env.counter_read(*c));
             }
             Insn::MeterCheck(m) => {
-                ops += 1;
+                tick!(1);
                 let k = pop!();
                 stack.push(env.meter_check(*m, k) as u64);
             }
             Insn::Hash(n) => {
-                ops += 1;
+                tick!(1);
                 let at = stack.len() - *n as usize;
                 let h = hash_values(&stack[at..]);
                 stack.truncate(at);
                 stack.push(h);
             }
             Insn::PktLen => {
-                ops += 1;
+                tick!(1);
                 stack.push(pkt.wire_len() as u64);
             }
             Insn::Bin(op) => {
-                ops += 1;
+                tick!(1);
                 let b = pop!();
                 let a = pop!();
-                stack.push(eval_bin(*op, a, b));
+                match eval_bin(*op, a, b) {
+                    Ok(v) => stack.push(v),
+                    Err(FlexError::Trap(t)) => trap!(t),
+                    Err(e) => return Err(e),
+                }
             }
             Insn::Un(op) => {
-                ops += 1;
+                tick!(1);
                 let a = pop!();
                 stack.push(match op {
                     UnOp::Not => (a == 0) as u64,
@@ -875,7 +931,7 @@ pub fn execute_compiled(
                 });
             }
             Insn::LAndProbe(t) => {
-                ops += 1;
+                tick!(1);
                 let a = pop!();
                 if a == 0 {
                     stack.push(0);
@@ -883,7 +939,7 @@ pub fn execute_compiled(
                 }
             }
             Insn::LOrProbe(t) => {
-                ops += 1;
+                tick!(1);
                 let a = pop!();
                 if a != 0 {
                     stack.push(1);
@@ -896,50 +952,57 @@ pub fn execute_compiled(
             }
             Insn::Jump(t) => pc = *t as usize,
             Insn::StoreLocal(s) => {
-                ops += 1;
+                tick!(1);
                 locals[*s as usize] = pop!();
             }
             Insn::StoreField(f) => {
-                ops += 1;
+                tick!(1);
                 let v = pop!();
                 pkt.set_field(&prog.field_names[*f as usize], v);
             }
             Insn::MapPut(m) => {
-                ops += 1;
+                tick!(1);
                 let v = pop!();
                 let k = pop!();
                 // A full map drops the insert; data planes degrade, not trap.
                 let _ = env.map_put(*m, k, v);
             }
             Insn::MapDelete(m) => {
-                ops += 1;
+                tick!(1);
                 let k = pop!();
                 env.map_del(*m, k);
             }
             Insn::RegWrite(r) => {
-                ops += 1;
+                tick!(1);
                 let v = pop!();
                 let i = pop!();
-                env.reg_write(*r, i, v);
+                match env.reg_write(*r, i, v) {
+                    Ok(()) => {}
+                    Err(FlexError::Trap(t)) => trap!(t),
+                    Err(e) => return Err(e),
+                }
             }
             Insn::Count(c) => {
-                ops += 1;
+                tick!(1);
                 env.counter_add(*c, 1, pkt.wire_len() as u64);
             }
             Insn::BranchIfZero(t) => {
-                ops += 1;
+                tick!(1);
                 if pop!() == 0 {
                     pc = *t as usize;
                 }
             }
             Insn::LoopEnter(n) => {
-                ops += 1;
+                tick!(1);
                 loops.push(*n);
             }
             Insn::LoopTest(t) => {
-                let top = loops.last_mut().ok_or_else(|| {
-                    FlexError::Sim("bytecode loop underflow (corrupt image)".into())
-                })?;
+                let top = match loops.last_mut() {
+                    Some(t) => t,
+                    None => trap!(Trap::CorruptImage {
+                        reason: "bytecode loop underflow",
+                    }),
+                };
                 if *top == 0 {
                     loops.pop();
                     pc = *t as usize;
@@ -950,8 +1013,15 @@ pub fn execute_compiled(
             Insn::Apply(t) => {
                 // 1 for the statement + 3 for key build, lookup, dispatch —
                 // matching the interpreter's accounting.
-                ops += 4;
+                tick!(4);
                 let meta = &prog.tables[*t as usize];
+                if meta.key_fields.len() > MAX_TABLE_KEY_WIDTH {
+                    trap!(Trap::KeyOverflow {
+                        table: meta.name.clone(),
+                        width: meta.key_fields.len() as u64,
+                        max: MAX_TABLE_KEY_WIDTH as u64,
+                    });
+                }
                 keys.clear();
                 for &f in &meta.key_fields {
                     keys.push(pkt.get_field(&prog.field_names[f as usize]).unwrap_or(0));
@@ -959,16 +1029,22 @@ pub fn execute_compiled(
                 let dispatch = match env.table_lookup(meta.slot, &keys) {
                     Some((aidx, args)) => {
                         let Some(am) = meta.actions.get(aidx as usize) else {
-                            return Err(FlexError::Sim(format!(
-                                "table `{}` entry references unknown action `#{aidx}`",
-                                meta.name
-                            )));
+                            // Only the index is known here; the interpreter
+                            // reports the (unresolvable) name instead, so the
+                            // differential suite compares this variant by
+                            // kind, not payload.
+                            let action = format!("#{aidx}");
+                            trap!(Trap::UnknownAction {
+                                table: meta.name.clone(),
+                                action,
+                            });
                         };
                         if am.arity as usize != args.len() {
-                            return Err(FlexError::Sim(format!(
-                                "table `{}` action `{}` arity mismatch",
-                                meta.name, am.name
-                            )));
+                            let action = am.name.clone();
+                            trap!(Trap::ArityMismatch {
+                                table: meta.name.clone(),
+                                action,
+                            });
                         }
                         let base = am.param_base as usize;
                         locals[base..base + args.len()].copy_from_slice(args);
@@ -990,38 +1066,53 @@ pub fn execute_compiled(
                 }
             }
             Insn::ActionEnd => {
-                pc = calls.pop().ok_or_else(|| {
-                    FlexError::Sim("bytecode call underflow (corrupt image)".into())
-                })?;
+                pc = match calls.pop() {
+                    Some(p) => p,
+                    None => trap!(Trap::CorruptImage {
+                        reason: "bytecode call underflow",
+                    }),
+                };
             }
             Insn::HaltVerdict(v) => {
-                ops += 1;
+                tick!(1);
                 return Ok(ExecOutcome {
                     verdict: Some(*v),
                     ops,
+                    trap: None,
                 });
             }
             Insn::HaltForward => {
-                ops += 1;
+                tick!(1);
                 let port = pop!();
                 return Ok(ExecOutcome {
                     verdict: Some(Verdict::Forward(port as u16)),
                     ops,
+                    trap: None,
                 });
             }
             Insn::HaltNone => {
-                ops += 1;
-                return Ok(ExecOutcome { verdict: None, ops });
+                tick!(1);
+                return Ok(ExecOutcome {
+                    verdict: None,
+                    ops,
+                    trap: None,
+                });
             }
-            Insn::EndHandler => return Ok(ExecOutcome { verdict: None, ops }),
+            Insn::EndHandler => {
+                return Ok(ExecOutcome {
+                    verdict: None,
+                    ops,
+                    trap: None,
+                })
+            }
             Insn::Invoke(s, n) => {
-                ops += 1;
+                tick!(1);
                 let at = stack.len() - *n as usize;
                 env.invoke_service(*s, &stack[at..]);
                 stack.truncate(at);
             }
             Insn::AddHeader(t) => {
-                ops += 1;
+                tick!(1);
                 let tpl = &prog.header_templates[*t as usize];
                 if !pkt.has_header(&tpl.proto) {
                     pkt.insert_header(
@@ -1034,7 +1125,7 @@ pub fn execute_compiled(
                 }
             }
             Insn::RemoveHeader(p) => {
-                ops += 1;
+                tick!(1);
                 pkt.remove_header(&prog.proto_names[*p as usize]);
             }
         }
@@ -1099,12 +1190,12 @@ impl SlotEnv for NamedSlotEnv<'_> {
         self.inner.map_del(&self.prog.map_names[map as usize], key)
     }
 
-    fn reg_read(&mut self, reg: u16, idx: u64) -> u64 {
+    fn reg_read(&mut self, reg: u16, idx: u64) -> Result<u64> {
         self.inner
             .reg_read(&self.prog.register_names[reg as usize], idx)
     }
 
-    fn reg_write(&mut self, reg: u16, idx: u64, val: u64) {
+    fn reg_write(&mut self, reg: u16, idx: u64, val: u64) -> Result<()> {
         self.inner
             .reg_write(&self.prog.register_names[reg as usize], idx, val)
     }
@@ -1280,7 +1371,7 @@ mod tests {
     }
 
     #[test]
-    fn arity_mismatch_error_is_identical() {
+    fn arity_mismatch_trap_is_identical() {
         let src = "program p {
             table t {
               key { ipv4.src : exact; }
@@ -1302,15 +1393,162 @@ mod tests {
         let mut env_i = MemEnv::new();
         env_i.tables = setup.tables.clone();
         let mut pkt = Packet::tcp(1, 1, 2, 3, 4, 0);
-        let err_i = execute(&p, "ingress", &mut pkt.clone(), &mut env_i, &headers).unwrap_err();
+        let out_i = execute(&p, "ingress", &mut pkt.clone(), &mut env_i, &headers).unwrap();
         let mut env_b = MemEnv::new();
         env_b.tables = setup.tables.clone();
         let mut bridge = NamedSlotEnv::new(&c, &mut env_b);
-        let err_b = execute_compiled(&c, "ingress", &mut pkt, &mut bridge).unwrap_err();
-        assert_eq!(err_i, err_b);
+        let out_b = execute_compiled(&c, "ingress", &mut pkt, &mut bridge).unwrap();
+        assert_eq!(out_i, out_b, "trap identity and gas count must agree");
+        let trap = out_b.trap.expect("a bad entry traps, fail closed");
         assert_eq!(
-            err_b.to_string(),
-            "simulation error: table `t` action `go` arity mismatch"
+            trap,
+            flexnet_types::Trap::ArityMismatch {
+                table: "t".into(),
+                action: "go".into(),
+            }
+        );
+        assert_eq!(
+            trap.to_string(),
+            "table `t` action `go` arity mismatch"
+        );
+        assert_eq!(out_b.verdict, None, "a trapped packet carries no verdict");
+    }
+
+    #[test]
+    fn gas_exhaustion_identical_across_engines_at_every_budget() {
+        // Sweep every budget from 0 to the true cost: both engines must
+        // trap (or complete) at the identical ops count with the identical
+        // trap, packet effects, and state — the strongest form of the
+        // metering-parity invariant.
+        let src = "program p {
+            map m : map<u32, u32>[64];
+            register r : u64[8];
+            counter c;
+            table t {
+              key { ipv4.src : exact; }
+              action tag(v: u16) { meta.mark = v; }
+              default tag(3);
+              size 4;
+            }
+            handler ingress(pkt) {
+              repeat (3) {
+                reg_write(r, 1, reg_read(r, 1) + 1);
+                map_put(m, ipv4.src, map_get(m, ipv4.src) + 1);
+                count(c);
+              }
+              apply t;
+              if (map_has(m, ipv4.src) && reg_read(r, 1) > 1) { forward(2); }
+              drop();
+            }
+          }";
+        let (p, c, headers) = compiled(src);
+        let base = Packet::tcp(1, 10, 2, 3, 4, 0);
+        let full = {
+            let mut env = MemEnv::new();
+            let mut pkt = base.clone();
+            execute(&p, "ingress", &mut pkt, &mut env, &headers).unwrap()
+        };
+        assert!(full.trap.is_none());
+        for gas in 0..=full.ops {
+            let mut env_i = MemEnv::new();
+            let mut env_b = MemEnv::new();
+            let mut pkt_i = base.clone();
+            let mut pkt_b = base.clone();
+            let out_i = crate::interp::execute_metered(
+                &p, "ingress", &mut pkt_i, &mut env_i, &headers, gas,
+            )
+            .unwrap();
+            let out_b = {
+                let mut bridge = NamedSlotEnv::new(&c, &mut env_b);
+                execute_compiled_metered(&c, "ingress", &mut pkt_b, &mut bridge, gas).unwrap()
+            };
+            assert_eq!(out_i, out_b, "divergence at gas={gas}");
+            assert_eq!(pkt_i, pkt_b, "packet divergence at gas={gas}");
+            assert_eq!(env_i.maps, env_b.maps, "map divergence at gas={gas}");
+            assert_eq!(env_i.regs, env_b.regs, "register divergence at gas={gas}");
+            assert_eq!(env_i.counters, env_b.counters, "counter divergence at gas={gas}");
+            assert_eq!(env_i.invocations, env_b.invocations);
+            if gas < full.ops {
+                assert_eq!(
+                    out_i.trap,
+                    Some(flexnet_types::Trap::GasExhausted { limit: gas }),
+                    "under-budget run must trap at gas={gas}"
+                );
+                assert!(
+                    out_i.ops > gas && out_i.ops <= gas + 4,
+                    "trapping op is the first charge over budget (ops={}, gas={gas}; \
+                     apply charges 4 at once)",
+                    out_i.ops
+                );
+            } else {
+                assert!(out_i.trap.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn division_by_zero_trap_is_identical() {
+        let (p, c, headers) = compiled(
+            "program p { handler ingress(pkt) { let x = 7 % meta.z; forward(x); } }",
+        );
+        let mut env_i = MemEnv::new();
+        let mut env_b = MemEnv::new();
+        let mut pkt_i = Packet::tcp(1, 1, 2, 3, 4, 0);
+        let mut pkt_b = pkt_i.clone();
+        let out_i = execute(&p, "ingress", &mut pkt_i, &mut env_i, &headers).unwrap();
+        let out_b = {
+            let mut bridge = NamedSlotEnv::new(&c, &mut env_b);
+            execute_compiled(&c, "ingress", &mut pkt_b, &mut bridge).unwrap()
+        };
+        assert_eq!(out_i, out_b);
+        assert_eq!(
+            out_b.trap,
+            Some(flexnet_types::Trap::DivisionByZero { op: "%" })
+        );
+    }
+
+    #[test]
+    fn corrupt_image_traps_instead_of_panicking() {
+        // A hand-corrupted image (jump past the end) must fail closed with
+        // a CorruptImage trap, never a panic or a hang.
+        let (_, mut c, _) = compiled("program p { handler ingress(pkt) { forward(1); } }");
+        c.insns.clear();
+        c.insns.push(Insn::Jump(1000));
+        let mut env = MemEnv::new();
+        let mut bridge = NamedSlotEnv::new(&c, &mut env);
+        let out = execute_compiled(
+            &c,
+            "ingress",
+            &mut Packet::tcp(1, 1, 2, 3, 4, 0),
+            &mut bridge,
+        )
+        .unwrap();
+        assert_eq!(
+            out.trap,
+            Some(flexnet_types::Trap::CorruptImage {
+                reason: "bytecode pc out of range",
+            })
+        );
+
+        // A store with nothing on the stack underflows.
+        let (_, mut c, _) = compiled("program p { handler ingress(pkt) { forward(1); } }");
+        c.insns.clear();
+        c.insns.push(Insn::StoreLocal(0));
+        c.n_locals = 1;
+        let mut env = MemEnv::new();
+        let mut bridge = NamedSlotEnv::new(&c, &mut env);
+        let out = execute_compiled(
+            &c,
+            "ingress",
+            &mut Packet::tcp(1, 1, 2, 3, 4, 0),
+            &mut bridge,
+        )
+        .unwrap();
+        assert_eq!(
+            out.trap,
+            Some(flexnet_types::Trap::CorruptImage {
+                reason: "bytecode stack underflow",
+            })
         );
     }
 

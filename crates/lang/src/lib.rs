@@ -68,13 +68,16 @@ pub mod verifier;
 pub mod prelude {
     pub use crate::ast::{Program, ProgramKind, SourceFile};
     pub use crate::bytecode::{
-        compile, compile_with_program_slots, execute_compiled, CompiledProgram, SlotEnv,
-        SlotResolver, SymbolKind,
+        compile, compile_with_program_slots, execute_compiled, execute_compiled_metered,
+        CompiledProgram, SlotEnv, SlotResolver, SymbolKind,
     };
     pub use crate::compose::{compose, TenantExtension};
     pub use crate::diff::{diff_bundles, ProgramBundle, ReconfigOp};
     pub use crate::headers::HeaderRegistry;
-    pub use crate::interp::{execute, ExecEnv, ExecOutcome, MemEnv};
+    pub use crate::interp::{
+        execute, execute_metered, ExecEnv, ExecOutcome, MemEnv, GAS_UNLIMITED,
+        MAX_TABLE_KEY_WIDTH,
+    };
     pub use crate::ir::IrProgram;
     pub use crate::parser::{parse_program, parse_source};
     pub use crate::patch::{apply_patch, parse_patch, Patch};

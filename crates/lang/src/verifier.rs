@@ -409,9 +409,11 @@ fn bin_range(op: BinOp, a: Range, b: Range) -> Range {
             },
             None => Range::FULL,
         },
-        // x / 0 is defined as 0, so division never exceeds the dividend.
+        // x / 0 traps at runtime, so only non-trapping executions flow on:
+        // the result never exceeds the dividend.
         BinOp::Div => Range::up_to(a.hi),
-        // x % 0 is defined as 0.
+        // x % 0 traps at runtime; when the divisor can only be 0 every
+        // execution traps and any range is vacuously sound.
         BinOp::Mod => {
             if b.hi == 0 {
                 Range::exactly(0)

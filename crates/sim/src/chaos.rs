@@ -457,6 +457,126 @@ pub fn overload_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<O
         .collect()
 }
 
+/// How a rogue tenant attacks the data-plane sandbox.
+///
+/// Where [`OverloadSchedule`] saturates the *control* plane, a rogue
+/// scenario attacks the *data* plane: a verified-but-hostile program (or
+/// a hostile packet stream) tries to take a device down from inside its
+/// packet path. Each variant targets a different sandbox layer — the gas
+/// meter, the typed state traps, the wire parser, and the quarantine ↔
+/// rollout interlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RogueScenario {
+    /// The program recirculates every packet to burn cycles: the per-
+    /// packet gas meter must trap it and the trap-rate window must
+    /// quarantine it to the last-known-good image.
+    RunawayLoop,
+    /// A runtime `ModifyState` shrinks a register array under a running
+    /// program: every subsequent indexed access must surface as a typed
+    /// out-of-bounds trap (not a panic), and the storm must quarantine.
+    StateBomb,
+    /// A flood of malformed frames hits the wire parser: every frame must
+    /// trap (never panic) and be dropped, and — critically — parse traps
+    /// must NOT indict the installed program or trip its quarantine.
+    MalformedFlood,
+    /// A canary rollout ships a candidate that traps on live traffic
+    /// (division by a state value that is zero in production): the
+    /// quarantine guard must abort the rollout inside wave 1 and roll the
+    /// canaries back, before any later wave widens exposure.
+    TrapStormRollout,
+}
+
+impl RogueScenario {
+    /// All scenarios, cycled by the sweep.
+    pub const ALL: [RogueScenario; 4] = [
+        RogueScenario::RunawayLoop,
+        RogueScenario::StateBomb,
+        RogueScenario::MalformedFlood,
+        RogueScenario::TrapStormRollout,
+    ];
+
+    /// A short stable label for tables and test output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RogueScenario::RunawayLoop => "runaway-loop",
+            RogueScenario::StateBomb => "state-bomb",
+            RogueScenario::MalformedFlood => "malformed-flood",
+            RogueScenario::TrapStormRollout => "trap-storm-rollout",
+        }
+    }
+}
+
+/// Everything a rogue-program chaos run does, derived from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RogueSchedule {
+    /// The originating seed (kept for reproduction in reports).
+    pub seed: u64,
+    /// Which sandbox layer this run attacks.
+    pub scenario: RogueScenario,
+    /// Fleet index of the device hosting the rogue program (or receiving
+    /// the poison flood). Not used by [`RogueScenario::TrapStormRollout`],
+    /// where the rollout's own wave plan decides exposure.
+    pub victim: usize,
+    /// [`RogueScenario::RunawayLoop`]: the device gas budget tier — low
+    /// enough that the loop exhausts it within one packet.
+    pub gas_limit: u64,
+    /// [`RogueScenario::StateBomb`]: the register array is shrunk to this
+    /// many slots at runtime (the program keeps indexing past it).
+    pub shrink_to: u64,
+    /// [`RogueScenario::MalformedFlood`]: how many poison frames hit the
+    /// victim's wire parser.
+    pub flood_packets: u32,
+    /// Drop probability of the controller↔device fabric (quarantine
+    /// signals ride heartbeats through it; the control plane must still
+    /// observe and react).
+    pub fabric_loss: f64,
+    /// Seed for the controller Raft cluster.
+    pub raft_seed: u64,
+}
+
+impl RogueSchedule {
+    /// Expands `seed` into a rogue schedule over `participants` devices.
+    ///
+    /// The scenario cycles with the seed (any contiguous run of ≥4 seeds
+    /// covers every sandbox layer; seeds ≡ 3 mod 4 are the trap-storm-
+    /// during-rollout runs), severity knobs come from the mixed seed, and
+    /// fabric loss is drawn from the standard {0, 10%, 25%} tiers.
+    pub fn from_seed(seed: u64, participants: usize) -> RogueSchedule {
+        let h = mix(seed ^ 0x0BAD_5EED);
+        let scenario = RogueScenario::ALL[(seed % 4) as usize];
+        let victim = if participants > 0 {
+            ((h >> 3) as usize) % participants
+        } else {
+            0
+        };
+        RogueSchedule {
+            seed,
+            scenario,
+            victim,
+            gas_limit: match (h >> 5) % 3 {
+                0 => 64,
+                1 => 256,
+                _ => 1024,
+            },
+            shrink_to: 1 + (h >> 7) % 4,
+            flood_packets: 128 + ((h >> 16) % 3) as u32 * 128,
+            fabric_loss: match (h >> 8) % 3 {
+                0 => 0.0,
+                1 => 0.10,
+                _ => 0.25,
+            },
+            raft_seed: mix(seed ^ 0xBAD_F00D),
+        }
+    }
+}
+
+/// The rogue schedules for a contiguous seed range (E18's sweep shape).
+pub fn rogue_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<RogueSchedule> {
+    (first_seed..first_seed.saturating_add(count))
+        .map(|s| RogueSchedule::from_seed(s, participants))
+        .collect()
+}
+
 /// The convergence check at the heart of anti-entropy: which of the
 /// devices in `intended` report a configuration digest different from
 /// their intended-state digest? An empty return means the network is
@@ -642,6 +762,43 @@ mod tests {
                 }
                 _ => assert!(s.victims.is_empty() && s.restarts == 0),
             }
+        }
+    }
+
+    #[test]
+    fn rogue_schedules_cover_scenarios_and_stay_in_bounds() {
+        for start in [0u64, 3, 997] {
+            let mut scenarios: Vec<RogueScenario> = rogue_sweep(start, 4, 16)
+                .iter()
+                .map(|s| s.scenario)
+                .collect();
+            scenarios.sort();
+            scenarios.dedup();
+            assert_eq!(
+                scenarios.len(),
+                4,
+                "seeds {start}..{} miss a scenario",
+                start + 4
+            );
+        }
+        for s in rogue_sweep(0, 120, 16) {
+            assert_eq!(s, RogueSchedule::from_seed(s.seed, 16), "deterministic");
+            assert!(s.victim < 16, "seed {}", s.seed);
+            assert!([64, 256, 1024].contains(&s.gas_limit));
+            assert!((1..=4).contains(&s.shrink_to));
+            assert!([128, 256, 384].contains(&s.flood_packets));
+            assert!((0.0..=0.25).contains(&s.fabric_loss));
+            if s.seed % 4 == 3 {
+                assert_eq!(
+                    s.scenario,
+                    RogueScenario::TrapStormRollout,
+                    "seeds ≡ 3 mod 4 are the rollout storms (seed {})",
+                    s.seed
+                );
+            }
+        }
+        for s in rogue_sweep(0, 16, 0) {
+            assert_eq!(s.victim, 0, "empty fleets pin the victim index");
         }
     }
 

@@ -7,6 +7,135 @@ use std::fmt;
 /// Convenience alias used by every FlexNet crate.
 pub type Result<T> = std::result::Result<T, FlexError>;
 
+/// A typed data-plane trap: a per-packet execution fault that the
+/// sandbox converts into a fail-closed verdict instead of a panic or a
+/// hung sweep.
+///
+/// Traps are the unit of the isolation layer's failure-containment
+/// contract. Every fault reachable from packet input — gas exhaustion,
+/// division by zero, an out-of-bounds state slot, a malformed wire
+/// header, a table whose runtime-reconfigured shape no longer matches
+/// its static proof — is one of these variants, carried in the packet
+/// outcome so the device can count it, drop the packet, and quarantine
+/// the program if the rate crosses threshold. Both execution engines
+/// (AST interpreter and bytecode VM) must produce the *identical*
+/// variant at the identical gas count for the same packet: trap
+/// identity is part of the differential invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// The per-packet instruction budget ran out. `limit` is the budget
+    /// the packet was admitted with (for recirculated packets, the
+    /// remaining budget of the pass that exhausted it).
+    GasExhausted {
+        /// The gas budget that was exceeded.
+        limit: u64,
+    },
+    /// Integer division or modulo by zero. `op` is `"/"` or `"%"`.
+    DivisionByZero {
+        /// The operator that trapped (`/` or `%`).
+        op: &'static str,
+    },
+    /// A register access landed outside the register's declared size.
+    /// Unreachable for programs whose static proof still holds — the
+    /// verifier bounds every index at install time — but runtime
+    /// reconfiguration can shrink a register after the proof ran.
+    StateOutOfBounds {
+        /// The state object kind (single token, e.g. `register`).
+        kind: &'static str,
+        /// The state object's declared name.
+        name: String,
+        /// The offending index.
+        index: u64,
+        /// The object's size at the time of access.
+        size: u64,
+    },
+    /// Packet bytes failed wire parsing: truncated header, impossible
+    /// length field, unsupported version. Indicts the *packet*, not the
+    /// program — parse traps never count toward program quarantine.
+    MalformedPacket {
+        /// What was wrong with the bytes.
+        reason: String,
+    },
+    /// A table's key width exceeds the engine limit. Unreachable
+    /// through the type checker; reachable when a runtime reconfig adds
+    /// a table shape the static pipeline never saw.
+    KeyOverflow {
+        /// The table applied.
+        table: String,
+        /// The key width the table demanded.
+        width: u64,
+        /// The maximum the engine supports.
+        max: u64,
+    },
+    /// A table entry dispatched to an action the program does not
+    /// define (stale entry after a runtime reconfig).
+    UnknownAction {
+        /// The table applied.
+        table: String,
+        /// The missing action (name, or `#idx` in slot form).
+        action: String,
+    },
+    /// A table entry's action arguments do not match the action's
+    /// declared parameter count.
+    ArityMismatch {
+        /// The table applied.
+        table: String,
+        /// The action whose arity was violated.
+        action: String,
+    },
+    /// The bytecode image itself is inconsistent (stack underflow, pc
+    /// out of range, unbalanced loop/call frames). Means the compiler
+    /// or image storage is at fault, never the packet.
+    CorruptImage {
+        /// Which structural invariant broke.
+        reason: &'static str,
+    },
+}
+
+impl Trap {
+    /// Single-token label for accounting and log lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Trap::GasExhausted { .. } => "gas-exhausted",
+            Trap::DivisionByZero { .. } => "div-by-zero",
+            Trap::StateOutOfBounds { .. } => "state-oob",
+            Trap::MalformedPacket { .. } => "malformed-packet",
+            Trap::KeyOverflow { .. } => "key-overflow",
+            Trap::UnknownAction { .. } => "unknown-action",
+            Trap::ArityMismatch { .. } => "arity-mismatch",
+            Trap::CorruptImage { .. } => "corrupt-image",
+        }
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::GasExhausted { limit } => write!(f, "gas exhausted (budget {limit})"),
+            Trap::DivisionByZero { op } => write!(f, "division by zero (`{op}`)"),
+            Trap::StateOutOfBounds {
+                kind,
+                name,
+                index,
+                size,
+            } => write!(f, "{kind} `{name}` index {index} out of bounds (size {size})"),
+            Trap::MalformedPacket { reason } => write!(f, "malformed packet: {reason}"),
+            Trap::KeyOverflow { table, width, max } => write!(
+                f,
+                "table `{table}` key width {width} exceeds engine max {max}"
+            ),
+            Trap::UnknownAction { table, action } => write!(
+                f,
+                "table `{table}` entry references unknown action `{action}`"
+            ),
+            Trap::ArityMismatch { table, action } => {
+                write!(f, "table `{table}` action `{action}` arity mismatch")
+            }
+            Trap::CorruptImage { reason } => write!(f, "corrupt bytecode image: {reason}"),
+        }
+    }
+}
+
 /// Errors produced anywhere in the FlexNet stack.
 ///
 /// A single error enum (rather than one per crate) keeps cross-crate
@@ -165,6 +294,13 @@ pub enum FlexError {
         /// How long to wait before re-offering the work.
         retry_after: SimDuration,
     },
+    /// A packet's execution trapped in the data-plane sandbox. The
+    /// engines use this internally to unwind to the packet boundary;
+    /// devices convert it into a fail-closed drop plus trap accounting,
+    /// so it normally never crosses the device API. Not retryable —
+    /// re-executing the same packet against the same program reproduces
+    /// the trap.
+    Trap(Trap),
     /// Bytecode lowering could not resolve a name to a slot index.
     ///
     /// Surfaced at install/compile time — a program that references a
@@ -251,6 +387,7 @@ impl fmt::Display for FlexError {
                 f,
                 "backpressure from {what}: requeue and retry after {retry_after}"
             ),
+            FlexError::Trap(t) => write!(f, "data-plane trap: {t}"),
             FlexError::UnresolvedSymbol { kind, name } => {
                 write!(f, "unresolved {kind} `{name}` during bytecode lowering")
             }
@@ -303,6 +440,12 @@ impl FlexError {
             col,
             msg: msg.into(),
         }
+    }
+}
+
+impl From<Trap> for FlexError {
+    fn from(t: Trap) -> FlexError {
+        FlexError::Trap(t)
     }
 }
 
@@ -467,6 +610,81 @@ mod tests {
             bp.is_retryable(),
             "admission pressure clears as the queue drains"
         );
+    }
+
+    #[test]
+    fn traps_format_label_and_classify() {
+        let cases: Vec<(Trap, &str, &str)> = vec![
+            (
+                Trap::GasExhausted { limit: 4096 },
+                "gas-exhausted",
+                "gas exhausted (budget 4096)",
+            ),
+            (
+                Trap::DivisionByZero { op: "/" },
+                "div-by-zero",
+                "division by zero (`/`)",
+            ),
+            (
+                Trap::StateOutOfBounds {
+                    kind: "register",
+                    name: "hits".into(),
+                    index: 40,
+                    size: 16,
+                },
+                "state-oob",
+                "register `hits` index 40 out of bounds (size 16)",
+            ),
+            (
+                Trap::MalformedPacket {
+                    reason: "ipv4 header truncated".into(),
+                },
+                "malformed-packet",
+                "malformed packet: ipv4 header truncated",
+            ),
+            (
+                Trap::KeyOverflow {
+                    table: "acl".into(),
+                    width: 20,
+                    max: 16,
+                },
+                "key-overflow",
+                "table `acl` key width 20 exceeds engine max 16",
+            ),
+            (
+                Trap::UnknownAction {
+                    table: "t".into(),
+                    action: "gone".into(),
+                },
+                "unknown-action",
+                "table `t` entry references unknown action `gone`",
+            ),
+            (
+                Trap::ArityMismatch {
+                    table: "t".into(),
+                    action: "go".into(),
+                },
+                "arity-mismatch",
+                "table `t` action `go` arity mismatch",
+            ),
+            (
+                Trap::CorruptImage {
+                    reason: "bytecode stack underflow",
+                },
+                "corrupt-image",
+                "corrupt bytecode image: bytecode stack underflow",
+            ),
+        ];
+        for (trap, label, display) in cases {
+            assert_eq!(trap.label(), label);
+            assert_eq!(trap.to_string(), display);
+            let e: FlexError = trap.into();
+            assert_eq!(e.to_string(), format!("data-plane trap: {display}"));
+            assert!(
+                !e.is_retryable(),
+                "the same packet reproduces the trap; retrying cannot help"
+            );
+        }
     }
 
     #[test]

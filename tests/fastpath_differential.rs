@@ -11,7 +11,10 @@
 use flexnet::prelude::*;
 use flexnet_dataplane::device::ExecMode;
 use flexnet_dataplane::table::{KeyMatch, TableEntry};
+use flexnet_dataplane::SandboxConfig;
 use flexnet_lang::ast::{ActionCall, MatchKind, TableDecl};
+use flexnet_lang::parser::parse_source;
+use flexnet_types::Trap;
 use proptest::prelude::*;
 
 /// Every program the app gallery can produce, spanning maps, registers,
@@ -107,8 +110,22 @@ fn dev(mode: ExecMode, kind: flexnet_lang::ast::ProgramKind) -> Device {
 /// identically, observing verdicts, op counts, packet mutations, logical
 /// state, stats, and the config digest.
 fn assert_modes_agree(name: &str, bundle: &ProgramBundle, packets: &[Packet]) {
+    assert_modes_agree_sandboxed(name, bundle, packets, SandboxConfig::default());
+}
+
+/// Like [`assert_modes_agree`], under an explicit sandbox — the gas-sweep
+/// tests pin both engines to the same (tiny) budget and require identical
+/// trap behaviour, not just identical verdicts.
+fn assert_modes_agree_sandboxed(
+    name: &str,
+    bundle: &ProgramBundle,
+    packets: &[Packet],
+    sandbox: SandboxConfig,
+) {
     let mut interp = dev(ExecMode::Interpreter, bundle.program.kind);
     let mut byte = dev(ExecMode::Bytecode, bundle.program.kind);
+    interp.set_sandbox(sandbox);
+    byte.set_sandbox(sandbox);
     interp.install(bundle.clone()).expect("installs");
     byte.install(bundle.clone()).expect("installs");
     let mut rng = Rng(0x5eed_0000 ^ name.len() as u64);
@@ -130,6 +147,18 @@ fn assert_modes_agree(name: &str, bundle: &ProgramBundle, packets: &[Packet]) {
                 assert_eq!(ra.ops, rb.ops, "{name}: ops, pkt {i}");
                 assert_eq!(ra.latency, rb.latency, "{name}: latency, pkt {i}");
                 assert_eq!(pa, pb, "{name}: packet mutation, pkt {i}");
+                // Trap identity: same variant at the same gas count.
+                // UnknownAction payloads name the action differently per
+                // engine (source name vs slot index), so payloads compare
+                // everywhere else only.
+                assert_eq!(
+                    ra.trap.as_ref().map(Trap::label),
+                    rb.trap.as_ref().map(Trap::label),
+                    "{name}: trap kind, pkt {i}"
+                );
+                if !matches!(ra.trap, Some(Trap::UnknownAction { .. })) {
+                    assert_eq!(ra.trap, rb.trap, "{name}: trap payload, pkt {i}");
+                }
             }
             (ra, rb) => panic!("{name}: pkt {i} diverged: {ra:?} vs {rb:?}"),
         }
@@ -186,6 +215,116 @@ fn bytecode_matches_interpreter_on_regression_seeds() {
         for (name, bundle) in gallery() {
             assert_modes_agree(name, &bundle, &packet_stream(seed, 50));
         }
+    }
+}
+
+/// Gas sweep: every gallery program, both engines, the same tiny budgets.
+/// Exhaustion must be a typed `GasExhausted` trap (fail-closed drop) at the
+/// identical op count in both modes — the differential invariant extended
+/// to the metering layer.
+#[test]
+fn gas_exhaustion_is_identical_across_modes_on_every_gallery_program() {
+    for (name, bundle) in gallery() {
+        for gas in [1u64, 3, 7, 19, 47] {
+            let pkts = packet_stream(0x9a5 ^ gas ^ name.len() as u64, 40);
+            assert_modes_agree_sandboxed(
+                name,
+                &bundle,
+                &pkts,
+                SandboxConfig {
+                    gas_limit: gas,
+                    ..SandboxConfig::default()
+                },
+            );
+        }
+    }
+}
+
+fn bundle_of(src: &str) -> ProgramBundle {
+    let file = parse_source(src).expect("trap program parses");
+    ProgramBundle {
+        headers: file.headers,
+        program: file.programs.into_iter().next().expect("one program"),
+    }
+}
+
+/// Trapping inputs: programs built to hit each typed-trap path on real
+/// packets. Both engines must trap with the same variant, the same op
+/// count, and the same fail-closed drop — on streams that mix trapping
+/// and clean packets.
+#[test]
+fn trapping_inputs_trap_identically_in_both_modes() {
+    let cases: [(&str, &str, &str); 3] = [
+        (
+            "div_zero",
+            "program p kind any {
+               map d : map<u32, u32>[16];
+               handler ingress(pkt) {
+                 let x = 1000 / map_get(d, ipv4.src);
+                 forward(1);
+               }
+             }",
+            "div-by-zero",
+        ),
+        (
+            "mod_zero",
+            "program p kind any {
+               register r : u64[4];
+               handler ingress(pkt) {
+                 let x = 7 % reg_read(r, 0);
+                 forward(1);
+               }
+             }",
+            "div-by-zero",
+        ),
+        (
+            "reg_oob",
+            // The verifier proves the modulo bound at install time; a
+            // runtime `ModifyState` shrink (applied below) then moves the
+            // bound out from under the proof — the state-bomb vector.
+            "program p kind any {
+               register r : u64[8];
+               handler ingress(pkt) {
+                 reg_write(r, ipv4.src % 8, 1);
+                 forward(1);
+               }
+             }",
+            "state-oob",
+        ),
+    ];
+    for (name, src, want) in cases {
+        let bundle = bundle_of(src);
+        let mut interp = dev(ExecMode::Interpreter, bundle.program.kind);
+        let mut byte = dev(ExecMode::Bytecode, bundle.program.kind);
+        interp.install(bundle.clone()).expect("installs");
+        byte.install(bundle).expect("installs");
+        if name == "reg_oob" {
+            use flexnet_lang::ast::{StateDecl, StateKind};
+            let shrink = flexnet_lang::diff::ReconfigOp::ModifyState(StateDecl {
+                name: "r".into(),
+                kind: StateKind::Register { width: 64 },
+                size: 2,
+            });
+            for d in [&mut interp, &mut byte] {
+                d.program_mut().unwrap().apply_op(&shrink).expect("shrinks");
+            }
+        }
+        let mut trapped = 0usize;
+        for (i, pkt) in packet_stream(0x7a9 ^ name.len() as u64, 80).iter().enumerate() {
+            let now = SimTime::from_millis(i as u64);
+            let ra = interp.process(&mut pkt.clone(), now).expect("processes");
+            let rb = byte.process(&mut pkt.clone(), now).expect("processes");
+            assert_eq!(ra.verdict, rb.verdict, "{name}: verdict, pkt {i}");
+            assert_eq!(ra.ops, rb.ops, "{name}: ops, pkt {i}");
+            assert_eq!(ra.trap, rb.trap, "{name}: trap, pkt {i}");
+            if let Some(t) = &ra.trap {
+                trapped += 1;
+                assert_eq!(t.label(), want, "{name}: trap kind, pkt {i}");
+                assert_eq!(ra.verdict, Verdict::Drop, "{name}: traps fail closed");
+            }
+        }
+        assert!(trapped > 0, "{name}: the stream never hit the trap path");
+        assert_eq!(interp.stats(), byte.stats(), "{name}: device stats");
     }
 }
 
