@@ -299,8 +299,9 @@ fn part_b() {
                 // A partition heal resumes the same incarnation: no flap.
                 // Silence faults never carry a bad data path, so the
                 // gray grade and the sandbox quarantine cannot appear in
-                // this experiment.
-                HealthEvent::Graded(Health::Healthy | Health::Degraded)
+                // this experiment; nothing feeds liveness hints here, so
+                // neither can the one-way-partition grade.
+                HealthEvent::Graded(Health::Healthy | Health::Degraded | Health::Unreachable)
                 | HealthEvent::Flapped { .. }
                 | HealthEvent::Quarantined { .. } => {}
             }

@@ -1,0 +1,1035 @@
+//! Adversarial-fabric chaos: end-to-end integrity and exactly-once
+//! control semantics under corruption, duplication, reordering, and
+//! asymmetric partitions (experiment E20, `DESIGN.md` §14).
+//!
+//! Where E14 restarts devices and E17 overloads the controller, E20
+//! attacks the *network between them*. The fabric (`LossyFabric` with
+//! its adversary armed) corrupts command frames in flight, delivers
+//! commands two or three times over, delays heartbeat copies by several
+//! slots, and severs one direction of a victim's link while the other
+//! keeps working. Four defenses — each independently toggleable through
+//! [`AdversaryProtections`] so the protections-off arm can demonstrate
+//! the damage — keep the control plane exactly-once and the fleet
+//! digest-convergent:
+//!
+//! 1. **Frame checksums** ([`flexnet_dataplane::seal_frame`] /
+//!    [`flexnet_dataplane::open_frame`]): a corrupted frame dies at the
+//!    integrity check as a retryable [`FlexError::ChecksumMismatch`] —
+//!    a transport failure that feeds the retry/breaker machinery and
+//!    never reaches config logic, program execution, or any tenant's
+//!    trap accounting.
+//! 2. **Idempotency tokens** ([`flexnet_dataplane::Device::absorb_command`]):
+//!    every config command carries a token; a device that has already
+//!    absorbed it re-acknowledges without reapplying. The window is
+//!    bounded ([`flexnet_dataplane::DEDUP_WINDOW`]) and survives
+//!    restarts with the program image. 2PC verbs are idempotent by
+//!    construction (duplicate prepare re-acks the existing shadow,
+//!    duplicate commit returns `Ok(false)`).
+//! 3. **Heartbeat monotonicity** ([`FailureDetector::observe_heartbeat`]):
+//!    a reordered pre-restart beat can never regress `boot_id` or the
+//!    reported digest — stale beats are rejected wholesale.
+//! 4. **`Unreachable` ≠ `Dead`** ([`Health::Unreachable`]): a one-way
+//!    partitioned device goes heartbeat-silent while indirect liveness
+//!    evidence (data-plane counters, relayed traffic) stays fresh. The
+//!    detector grades it `Unreachable`, and remedial reprovisioning is
+//!    suppressed — repaving a device that is still serving traffic is
+//!    how split brain happens.
+//!
+//! [`run_adversarial_seed`] expands one seed into an
+//! [`flexnet_sim::AdversarySchedule`] and checks every invariant;
+//! [`run_adversarial_seed_with`] runs the same schedule with chosen
+//! protections so the E20 bench can pin protections-off divergence
+//! seeds as regression oracles.
+
+use crate::core::{FailureDetector, Health, HealthEvent};
+use crate::resync::{IntendedStore, ProgramClass};
+use crate::retry::{Delivery, LossyFabric};
+use crate::wal::ReplicatedIntentLog;
+use flexnet_dataplane::{flip_bits, seal_frame, TableEntry, TxnTag};
+use flexnet_lang::ast::ActionCall;
+use flexnet_lang::diff::ProgramBundle;
+use flexnet_lang::parser::parse_source;
+use flexnet_sim::{
+    diverged, generate, AdversarySchedule, AdversaryScenario, FlowSpec, Simulation, Topology,
+};
+use flexnet_types::{FlexError, NodeId, Result, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Raft replicas backing the intent log (same shape as E14).
+const CONTROLLERS: usize = 3;
+/// Heartbeat cadence (one fabric delivery chance per device per period).
+const HEARTBEAT_PERIOD: SimDuration = SimDuration::from_millis(50);
+/// Extra post-heal ticks the harness runs so retried commands land and
+/// the detector's hysteresis clears before invariants are judged.
+const DRAIN_TICKS: usize = 200;
+/// Corrupted sealed frames thrown at the victim's wire path each run —
+/// the in-harness proof that corruption is billed to the transport, not
+/// to any program.
+const WIRE_PROBES: u64 = 8;
+
+/// splitmix64 — private copy, same constants as the fabric schedules.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Which of E20's four defenses are armed. The sweep runs every seed
+/// with all four on (must converge) and pins seeds that demonstrably
+/// diverge with all four off (must keep diverging — the regression
+/// oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryProtections {
+    /// Frame checksums on the command path: corrupted frames are
+    /// rejected as typed transport failures instead of applied as-is.
+    pub checksum_verify: bool,
+    /// Device-side idempotency tokens: duplicated/retried commands are
+    /// re-acknowledged, not reapplied.
+    pub dedup_window: bool,
+    /// Heartbeat monotonicity guard: stale reordered beats can never
+    /// regress `boot_id` or the reported digest.
+    pub monotone_heartbeats: bool,
+    /// One-way partitions grade [`Health::Unreachable`], suppressing the
+    /// remedial repave that would split-brain a device still serving.
+    pub unreachable_grade: bool,
+}
+
+impl AdversaryProtections {
+    /// All defenses armed — the production configuration.
+    pub fn on() -> AdversaryProtections {
+        AdversaryProtections {
+            checksum_verify: true,
+            dedup_window: true,
+            monotone_heartbeats: true,
+            unreachable_grade: true,
+        }
+    }
+
+    /// All defenses ablated — the divergence-oracle configuration.
+    pub fn off() -> AdversaryProtections {
+        AdversaryProtections {
+            checksum_verify: false,
+            dedup_window: false,
+            monotone_heartbeats: false,
+            unreachable_grade: false,
+        }
+    }
+
+    /// Whether every defense is armed (invariants are only *enforced*
+    /// in this configuration; ablated runs report, they don't judge).
+    pub fn enabled(&self) -> bool {
+        self.checksum_verify
+            && self.dedup_window
+            && self.monotone_heartbeats
+            && self.unreachable_grade
+    }
+
+    /// Stable label for tables and summaries.
+    pub fn label(&self) -> &'static str {
+        if self.enabled() {
+            "on"
+        } else {
+            "off"
+        }
+    }
+}
+
+/// Everything one adversarial run produced, protections on or off.
+#[derive(Debug, Clone)]
+pub struct AdversaryReport {
+    /// The seed-expanded schedule this run executed.
+    pub schedule: AdversarySchedule,
+    /// Which defenses were armed.
+    pub protections: AdversaryProtections,
+    /// Config commands the controller issued (excluding 2PC verbs).
+    pub commands: u32,
+    /// Commands whose ack reached the controller.
+    pub acked: u32,
+    /// Duplicate deliveries the device-side idempotency machinery
+    /// absorbed (token window hits + idempotent 2PC re-acks).
+    pub duplicates_absorbed: u64,
+    /// Corrupted command frames rejected by the checksum (protections
+    /// on): each fed the retry machinery as a typed transport failure.
+    pub corrupt_rejected: u64,
+    /// Corrupted command frames *applied as-is* (protections off): each
+    /// is a divergence seed.
+    pub corrupt_applied: u64,
+    /// Stale reordered heartbeats the monotonicity guard rejected.
+    pub stale_beats_rejected: u64,
+    /// Stale heartbeats applied unguarded (protections off).
+    pub stale_beats_accepted: u64,
+    /// Polls at which the partition victim was graded
+    /// [`Health::Unreachable`] — each one a suppressed repave.
+    pub unreachable_polls: u64,
+    /// Remedial repaves executed against a live device (protections
+    /// off: the victim was graded `Dead` behind a one-way partition).
+    pub repaves: u32,
+    /// Control messages swallowed by the severed link direction.
+    pub partition_drops: u64,
+    /// Fabric adversary counters: frames corrupted in flight.
+    pub corrupted: u64,
+    /// Fabric adversary counters: commands duplicated.
+    pub duplicated: u64,
+    /// Fabric adversary counters: heartbeats reorder-delayed.
+    pub reordered: u64,
+    /// Wire-level checksum drops on the probed device (the sealed-frame
+    /// corruption probe; protections-on runs only).
+    pub checksum_drops: u64,
+    /// Data-plane packets delivered end-to-end during the run.
+    pub delivered: u64,
+    /// Data-plane packets lost.
+    pub lost: u64,
+    /// Devices the detector reported as flapped (must be empty: nothing
+    /// restarts in E20 — any flap is reorder damage).
+    pub flapped: Vec<NodeId>,
+    /// Devices whose final digest differs from intended state. Empty on
+    /// every protections-on run; non-empty on oracle seeds off.
+    pub diverged_nodes: Vec<NodeId>,
+    /// Fault start → last command ack.
+    pub converge_latency: SimDuration,
+    /// Invariant violations (protections-on runs only; ablated runs
+    /// report damage through the counters and `diverged_nodes`).
+    pub violations: Vec<String>,
+}
+
+impl AdversaryReport {
+    /// Pass criterion for benches, CI smoke, and property tests.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Whether the run ended digest-divergent (the oracle signal).
+    pub fn diverged_end(&self) -> bool {
+        !self.diverged_nodes.is_empty()
+    }
+}
+
+fn bundle(src: &str) -> ProgramBundle {
+    let file = parse_source(src).expect("harness program parses");
+    ProgramBundle {
+        headers: file.headers,
+        program: file.programs.into_iter().next().expect("one program"),
+    }
+}
+
+/// The switch's critical program (ACL in front of line forwarding).
+fn critical_v1() -> ProgramBundle {
+    bundle(
+        "program gate kind any {
+           table acl {
+             key { ipv4.src : exact; }
+             action deny() { drop(); }
+             action allow() { forward(1); }
+             default allow();
+             size 32;
+           }
+           handler ingress(pkt) { apply acl; }
+         }",
+    )
+}
+
+/// The critical program's upgrade target (the mid-rollout partition
+/// schedules drive a 2PC toward this).
+fn critical_v2() -> ProgramBundle {
+    bundle(
+        "program gate kind any {
+           counter gated;
+           table acl {
+             key { ipv4.src : exact; }
+             action deny() { drop(); }
+             action allow() { forward(1); }
+             default allow();
+             size 32;
+           }
+           handler ingress(pkt) { count(gated); apply acl; }
+         }",
+    )
+}
+
+/// The NICs' telemetry program: a watch table, forwarding either way.
+fn telemetry_v1() -> ProgramBundle {
+    bundle(
+        "program tap kind any {
+           counter seen;
+           table watch {
+             key { ipv4.src : exact; }
+             action mark() { count(seen); forward(1); }
+             action pass() { forward(1); }
+             default pass();
+             size 32;
+           }
+           handler ingress(pkt) { apply watch; }
+         }",
+    )
+}
+
+/// The telemetry program's upgrade target.
+fn telemetry_v2() -> ProgramBundle {
+    bundle(
+        "program tap kind any {
+           counter seen;
+           counter sampled;
+           table watch {
+             key { ipv4.src : exact; }
+             action mark() { count(seen); forward(1); }
+             action pass() { forward(1); }
+             default pass();
+             size 32;
+           }
+           handler ingress(pkt) { count(sampled); apply watch; }
+         }",
+    )
+}
+
+/// Source addresses never present in generated traffic: the intended
+/// entries are behaviorally benign, so divergence is a digest fact, not
+/// a traffic change.
+const BASE_KEY: u64 = 0xDEAD_BEEF;
+const CMD_KEY_BASE: u64 = 0xE20_0000;
+
+fn entry_for(node_is_switch: bool, key: u64) -> TableEntry {
+    TableEntry::exact(
+        &[key],
+        ActionCall {
+            action: if node_is_switch { "deny" } else { "mark" }.into(),
+            args: vec![],
+        },
+    )
+}
+
+/// One in-flight control command and its delivery state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmdKind {
+    /// An out-of-band `add_entry` with this exact-match key.
+    AddEntry(u64),
+    /// 2PC phase 1 toward the v2 target.
+    Prepare,
+    /// 2PC phase 2 (commit) for the prepared shadow.
+    Commit,
+}
+
+#[derive(Debug, Clone)]
+struct Cmd {
+    node: NodeId,
+    kind: CmdKind,
+    token: u64,
+    eligible_tick: usize,
+    acked: bool,
+}
+
+/// A heartbeat copy the fabric is holding back.
+#[derive(Debug, Clone, Copy)]
+struct DelayedBeat {
+    due_tick: usize,
+    node: NodeId,
+    sent_at: SimTime,
+    boot_id: u64,
+    digest: u64,
+}
+
+/// Runs one adversarial seed with every protection armed.
+pub fn run_adversarial_seed(seed: u64) -> Result<AdversaryReport> {
+    run_adversarial_seed_with(seed, AdversaryProtections::on())
+}
+
+/// Runs the full adversarial scenario for one seed under `protections`.
+///
+/// Errors only on harness plumbing failures; protocol misbehaviour is
+/// reported as violations (protections on) or surfaces through the
+/// damage counters and `diverged_nodes` (protections off).
+#[allow(clippy::too_many_lines)]
+pub fn run_adversarial_seed_with(
+    seed: u64,
+    protections: AdversaryProtections,
+) -> Result<AdversaryReport> {
+    // -- setup: line topology, intended state committed + journaled ------
+    let (topo, nodes) = Topology::host_nic_switch_line();
+    let devices = [nodes[1], nodes[2], nodes[3]];
+    let (src_host, dst_host) = (nodes[0], nodes[4]);
+    let sw = nodes[2];
+    let mut sim = Simulation::new(topo);
+    let schedule = AdversarySchedule::from_seed(seed, devices.len());
+    let victim = devices[schedule.victim];
+    let mut log = ReplicatedIntentLog::new(CONTROLLERS, schedule.raft_seed)?;
+    let mut fabric = LossyFabric::new(schedule.fabric_loss, seed);
+    fabric.enable_adversary(
+        schedule.corrupt_prob,
+        schedule.dup_prob,
+        schedule.reorder_prob,
+        schedule.reorder_depth,
+        seed,
+    );
+    let mut violations: Vec<String> = Vec::new();
+    let judge = protections.enabled();
+
+    let mut store = IntendedStore::new();
+    store.set_class(sw, ProgramClass::Critical);
+    for nic in [devices[0], devices[2]] {
+        store.set_class(nic, ProgramClass::Telemetry);
+    }
+    // Harness-side copy of each device's intended entries — what a
+    // protections-off remedial repave blindly reinstalls.
+    let mut intended_entries: BTreeMap<NodeId, Vec<(&'static str, u64)>> = BTreeMap::new();
+    for d in devices {
+        let is_sw = d == sw;
+        let v1 = if is_sw { critical_v1() } else { telemetry_v1() };
+        let table = if is_sw { "acl" } else { "watch" };
+        let entry = entry_for(is_sw, BASE_KEY);
+        let dev = &mut sim.topo.node_mut(d).expect("line node exists").device;
+        dev.install(v1.clone())
+            .map_err(|e| FlexError::Sim(format!("seed {seed}: install on {d}: {e}")))?;
+        dev.add_entry(table, entry.clone())
+            .map_err(|e| FlexError::Sim(format!("seed {seed}: entry on {d}: {e}")))?;
+        store.commit_target(&mut log, 0, d, v1)?;
+        store.record_entry(&mut log, d, table, entry)?;
+        intended_entries.insert(d, vec![(table, BASE_KEY)]);
+    }
+    if !diverged(&sim, &store.intended_digests()).is_empty() {
+        violations.push("baseline diverged before any fault".into());
+    }
+
+    // Detector baseline (see run_resync_seed: the pre-fault incarnation
+    // must be known before anything interesting happens). Baselined at
+    // the loop start so the first poll judges real silence, not the
+    // setup gap.
+    let mut detector = FailureDetector::default();
+    detector.monotone_guard = protections.monotone_heartbeats;
+    let t_baseline = SimTime::from_secs(1);
+    for id in sim.topo.node_ids() {
+        let node = sim.topo.node(id).expect("listed node exists");
+        detector.observe_heartbeat(
+            id,
+            t_baseline,
+            node.device.boot_id(),
+            node.device.config_digest(),
+        );
+    }
+    detector.poll(t_baseline);
+
+    // -- wire-integrity probe: corrupted sealed frames at the victim ----
+    // Proves end-to-end that in-flight corruption is a *transport* event:
+    // checksum drops increment, parse/program traps and quarantine don't.
+    let mut checksum_drops = 0;
+    if protections.checksum_verify {
+        let dev = &mut sim.topo.node_mut(victim).expect("victim exists").device;
+        let traps_before = dev.stats().parse_traps;
+        for k in 0..WIRE_PROBES {
+            let mut frame = seal_frame(b"e20 wire probe: not a real packet");
+            flip_bits(&mut frame, mix(seed ^ (0xF1A8 + k)), 1 + (k % 8) as u32);
+            match dev.process_sealed_bytes(&frame, k, t_baseline) {
+                Err(FlexError::ChecksumMismatch { .. }) => {}
+                other => violations.push(format!(
+                    "corrupted sealed frame {k} returned {other:?}, expected ChecksumMismatch"
+                )),
+            }
+        }
+        let stats = dev.stats();
+        checksum_drops = stats.checksum_drops;
+        if stats.checksum_drops != WIRE_PROBES {
+            violations.push(format!(
+                "{WIRE_PROBES} corrupted frames but {} checksum drops",
+                stats.checksum_drops
+            ));
+        }
+        if stats.parse_traps != traps_before {
+            violations.push("in-flight corruption was billed as parse traps".into());
+        }
+        if dev.quarantined() {
+            violations.push("in-flight corruption quarantined an innocent program".into());
+        }
+    }
+
+    // -- fault plan ------------------------------------------------------
+    let t_base = SimTime::from_secs(1);
+    let partitioned = matches!(
+        schedule.scenario,
+        AdversaryScenario::OneWayPartition | AdversaryScenario::PartitionMidRollout
+    );
+    let partition_start = t_base + SimDuration::from_millis(150);
+    let heal_at = t_base + SimDuration::from_millis(schedule.heal_after_ms);
+    let mut partition_active = false;
+
+    // Mid-rollout schedules run a full 2PC toward v2 through the
+    // adversarial fabric; the partition lands between prepare and commit.
+    let midrollout = schedule.scenario == AdversaryScenario::PartitionMidRollout;
+    let txn_id = mix(seed ^ 0x7C7C) | 1;
+    let tag = TxnTag { txn_id, epoch: 1 };
+    let mut cmds: Vec<Cmd> = Vec::new();
+    if midrollout {
+        for (i, d) in devices.iter().enumerate() {
+            cmds.push(Cmd {
+                node: *d,
+                kind: CmdKind::Prepare,
+                token: mix(seed ^ (0x9E9E_0000 + i as u64)),
+                eligible_tick: 0,
+                acked: false,
+            });
+        }
+    }
+    // Out-of-band entry commands, round-robin over the fleet, staggered
+    // two ticks apart. Mid-rollout runs gate them on rollout completion
+    // (entries added between prepare and flip would miss the shadow).
+    let mut entry_cmds: Vec<Cmd> = (0..schedule.commands)
+        .map(|i| {
+            let d = devices[(i as usize) % devices.len()];
+            Cmd {
+                node: d,
+                kind: CmdKind::AddEntry(CMD_KEY_BASE + u64::from(i)),
+                token: mix(seed ^ (0x70AD_0000 + u64::from(i))),
+                eligible_tick: 2 * i as usize,
+                acked: false,
+            }
+        })
+        .collect();
+    if !midrollout {
+        cmds.append(&mut entry_cmds);
+    }
+
+    // -- live traffic ----------------------------------------------------
+    let traffic_dur = SimDuration::from_secs(3);
+    sim.load(generate(
+        &[FlowSpec::udp_cbr(
+            src_host,
+            dst_host,
+            1000,
+            t_base + SimDuration::from_millis(1),
+            traffic_dur,
+        )],
+        seed,
+    ));
+
+    // -- the adversarial loop --------------------------------------------
+    let mut report = AdversaryReport {
+        schedule: schedule.clone(),
+        protections,
+        commands: schedule.commands,
+        acked: 0,
+        duplicates_absorbed: 0,
+        corrupt_rejected: 0,
+        corrupt_applied: 0,
+        stale_beats_rejected: 0,
+        stale_beats_accepted: 0,
+        unreachable_polls: 0,
+        repaves: 0,
+        partition_drops: 0,
+        corrupted: 0,
+        duplicated: 0,
+        reordered: 0,
+        checksum_drops,
+        delivered: 0,
+        lost: 0,
+        flapped: Vec::new(),
+        diverged_nodes: Vec::new(),
+        converge_latency: SimDuration::ZERO,
+        violations: Vec::new(),
+    };
+    let mut delayed: Vec<DelayedBeat> = Vec::new();
+    let mut prepares_done = false;
+    let mut commits_issued = false;
+    let mut rollout_recorded = false;
+    let mut repaved: BTreeMap<NodeId, bool> = BTreeMap::new();
+    let mut last_ack = t_base;
+
+    let main_ticks =
+        (traffic_dur.as_nanos() / HEARTBEAT_PERIOD.as_nanos()) as usize + 20;
+    let mut t = t_base;
+    let mut tick = 0usize;
+    loop {
+        let draining = tick >= main_ticks;
+        let pending = cmds.iter().any(|c| !c.acked);
+        if draining && !pending && delayed.is_empty() && !partition_active {
+            break;
+        }
+        if tick >= main_ticks + DRAIN_TICKS {
+            if judge && pending {
+                let stuck: Vec<String> = cmds
+                    .iter()
+                    .filter(|c| !c.acked)
+                    .map(|c| format!("{:?}@{}", c.kind, c.node))
+                    .collect();
+                violations.push(format!("commands never acknowledged: {stuck:?}"));
+            }
+            break;
+        }
+        t += HEARTBEAT_PERIOD;
+        tick += 1;
+
+        // Partition lifecycle (no randomness drawn by blocked paths).
+        if partitioned && !partition_active && t >= partition_start && t < heal_at {
+            if schedule.partition_up {
+                fabric.block_up(victim);
+            } else {
+                fabric.block_down(victim);
+            }
+            partition_active = true;
+        }
+        if partition_active && t >= heal_at {
+            fabric.heal(victim);
+            partition_active = false;
+        }
+
+        sim.run(t);
+        for d in devices {
+            sim.topo.node_mut(d).expect("device exists").device.tick(t);
+        }
+
+        // 2PC phase transitions: commits go out once every prepare is
+        // acked; the entry phase starts once every flip has executed.
+        if midrollout && !prepares_done && cmds.iter().all(|c| c.acked) {
+            prepares_done = true;
+        }
+        if midrollout && prepares_done && !commits_issued {
+            for (i, d) in devices.iter().enumerate() {
+                cmds.push(Cmd {
+                    node: *d,
+                    kind: CmdKind::Commit,
+                    token: mix(seed ^ (0xC0_0000 + i as u64)),
+                    eligible_tick: tick,
+                    acked: false,
+                });
+            }
+            commits_issued = true;
+        }
+        if midrollout && commits_issued && !rollout_recorded {
+            let commits_acked = cmds
+                .iter()
+                .filter(|c| c.kind == CmdKind::Commit)
+                .all(|c| c.acked);
+            let flips_done = devices.iter().all(|d| {
+                !sim.topo
+                    .node(*d)
+                    .expect("device exists")
+                    .device
+                    .reconfig_in_progress()
+            });
+            if commits_acked && flips_done {
+                for d in devices {
+                    let v2 = if d == sw { critical_v2() } else { telemetry_v2() };
+                    store.commit_target(&mut log, txn_id, d, v2)?;
+                }
+                // Release the held-back entry commands.
+                for (j, mut c) in entry_cmds.drain(..).enumerate() {
+                    c.eligible_tick = tick + 2 * j;
+                    cmds.push(c);
+                }
+                rollout_recorded = true;
+            }
+        }
+
+        // One delivery attempt per unacked eligible command per tick.
+        for c in cmds.iter_mut() {
+            if c.acked || c.eligible_tick > tick {
+                continue;
+            }
+            match fabric.deliver_cmd(c.node) {
+                Delivery::Lost => {}
+                Delivery::Corrupted { mask_seed } => {
+                    if protections.checksum_verify {
+                        // Integrity check killed the frame; the typed
+                        // NACK (ChecksumMismatch) rides the up path and
+                        // feeds the retry machinery. Either way: retry.
+                        report.corrupt_rejected += 1;
+                        let _ = fabric.deliver_up(c.node);
+                    } else if let CmdKind::AddEntry(key) = c.kind {
+                        // Unsealed fabric: a payload bit-flip slips
+                        // through and the device applies a mangled
+                        // entry as-is — the divergence seed.
+                        let mangled = key ^ (mix(mask_seed) | 1);
+                        let is_sw = c.node == sw;
+                        let table = if is_sw { "acl" } else { "watch" };
+                        let dev =
+                            &mut sim.topo.node_mut(c.node).expect("device exists").device;
+                        let _ = dev.add_entry(table, entry_for(is_sw, mangled));
+                        report.corrupt_applied += 1;
+                        if fabric.deliver_up(c.node) {
+                            c.acked = true;
+                            last_ack = t;
+                        }
+                    }
+                    // Corrupted 2PC frames fail to even parse: dropped.
+                }
+                delivery @ (Delivery::Arrived | Delivery::Duplicated { .. }) => {
+                    let copies = match delivery {
+                        Delivery::Duplicated { extra } => 1 + u32::from(extra),
+                        _ => 1,
+                    };
+                    for _ in 0..copies {
+                        let is_sw = c.node == sw;
+                        let table = if is_sw { "acl" } else { "watch" };
+                        let dev =
+                            &mut sim.topo.node_mut(c.node).expect("device exists").device;
+                        match c.kind {
+                            CmdKind::AddEntry(key) => {
+                                if protections.dedup_window {
+                                    match dev.absorb_command(c.token) {
+                                        Ok(()) => {
+                                            if let Err(e) =
+                                                dev.add_entry(table, entry_for(is_sw, key))
+                                            {
+                                                if judge {
+                                                    violations.push(format!(
+                                                        "add_entry({key:#x}) on {}: {e}",
+                                                        c.node
+                                                    ));
+                                                }
+                                            }
+                                        }
+                                        Err(FlexError::StaleDuplicate { .. }) => {
+                                            report.duplicates_absorbed += 1;
+                                        }
+                                        Err(e) => {
+                                            if judge {
+                                                violations.push(format!(
+                                                    "absorb_command on {}: {e}",
+                                                    c.node
+                                                ));
+                                            }
+                                        }
+                                    }
+                                } else {
+                                    // No dedup: every copy (and every
+                                    // retry after a lost ack) reapplies.
+                                    let _ = dev.add_entry(table, entry_for(is_sw, key));
+                                }
+                            }
+                            CmdKind::Prepare => {
+                                let was_pending = dev.reconfig_in_progress();
+                                let v2 = if is_sw { critical_v2() } else { telemetry_v2() };
+                                match dev.prepare_txn_reconfig(v2, t, tag) {
+                                    Ok(_) => {
+                                        if was_pending {
+                                            report.duplicates_absorbed += 1;
+                                        }
+                                    }
+                                    Err(e) => {
+                                        if judge {
+                                            violations.push(format!(
+                                                "prepare on {}: {e}",
+                                                c.node
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                            CmdKind::Commit => match dev.commit_txn(tag, t) {
+                                Ok(true) => {}
+                                Ok(false) => report.duplicates_absorbed += 1,
+                                Err(e) => {
+                                    if judge {
+                                        violations
+                                            .push(format!("commit on {}: {e}", c.node));
+                                    }
+                                }
+                            },
+                        }
+                    }
+                    if fabric.deliver_up(c.node) {
+                        c.acked = true;
+                        last_ack = t;
+                    }
+                }
+            }
+        }
+
+        // Delayed (reordered) heartbeat copies due this tick: stale by
+        // construction — newer beats arrived while they sat in flight.
+        let (due, still): (Vec<DelayedBeat>, Vec<DelayedBeat>) =
+            delayed.into_iter().partition(|b| b.due_tick <= tick);
+        delayed = still;
+        for b in due {
+            if detector.observe_heartbeat(b.node, b.sent_at, b.boot_id, b.digest) {
+                report.stale_beats_accepted += 1;
+            } else {
+                report.stale_beats_rejected += 1;
+            }
+        }
+
+        // Fresh heartbeats (the up path; a severed up direction kills
+        // them without drawing randomness).
+        for id in sim.topo.node_ids() {
+            let node = sim.topo.node(id).expect("listed node exists");
+            if !node.device.is_up() {
+                continue;
+            }
+            let (boot_id, digest) = (node.device.boot_id(), node.device.config_digest());
+            if !fabric.deliver_up(id) {
+                continue;
+            }
+            let delay = fabric.reorder_delay();
+            if delay == 0 {
+                detector.observe_heartbeat(id, t, boot_id, digest);
+            } else {
+                delayed.push(DelayedBeat {
+                    due_tick: tick + delay,
+                    node: id,
+                    sent_at: t,
+                    boot_id,
+                    digest,
+                });
+            }
+        }
+
+        // Indirect liveness evidence: the data plane keeps forwarding
+        // through a one-way-partitioned device, and the controller sees
+        // it (downstream receipts, relayed counters). The legacy
+        // detector (protections off) has no such channel.
+        if protections.unreachable_grade {
+            for id in sim.topo.node_ids() {
+                if sim.topo.node(id).expect("listed node exists").device.is_up() {
+                    detector.note_liveness_hint(id, t);
+                }
+            }
+        }
+
+        // Grade and react.
+        for (node, event) in detector.poll(t) {
+            match event {
+                HealthEvent::Flapped { .. } => report.flapped.push(node),
+                HealthEvent::Graded(Health::Dead) => {
+                    let alive = sim
+                        .topo
+                        .node(node)
+                        .map(|n| n.device.is_up())
+                        .unwrap_or(false);
+                    if !alive {
+                        continue;
+                    }
+                    if judge {
+                        violations.push(format!(
+                            "{node} graded dead behind a one-way partition (split-brain risk)"
+                        ));
+                    } else if !repaved.get(&node).copied().unwrap_or(false) {
+                        // The legacy controller believes the device is
+                        // gone and repaves it from intended state with a
+                        // fresh provisioning epoch — but the device is
+                        // alive and already configured. Split brain.
+                        repaved.insert(node, true);
+                        report.repaves += 1;
+                        let entries = intended_entries.get(&node).cloned().unwrap_or_default();
+                        let is_sw = node == sw;
+                        let dev =
+                            &mut sim.topo.node_mut(node).expect("device exists").device;
+                        for (table, key) in entries {
+                            let _ = dev.add_entry(table, entry_for(is_sw, key));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if detector.health(victim) == Some(Health::Unreachable) {
+            report.unreachable_polls += 1;
+            if detector.admit(victim).is_ok() {
+                violations.push(format!(
+                    "{victim} admitted to new work while graded unreachable"
+                ));
+            }
+        }
+    }
+
+    // Intended state for the out-of-band entries (recorded exactly once
+    // per command, however many times the fabric delivered it).
+    for c in cmds.iter().chain(entry_cmds.iter()) {
+        if let CmdKind::AddEntry(key) = c.kind {
+            let is_sw = c.node == sw;
+            let table = if is_sw { "acl" } else { "watch" };
+            store.record_entry(&mut log, c.node, table, entry_for(is_sw, key))?;
+            intended_entries
+                .entry(c.node)
+                .or_default()
+                .push((table, key));
+        }
+        if c.acked {
+            if let CmdKind::AddEntry(_) = c.kind {
+                report.acked += 1;
+            }
+        }
+    }
+
+    // -- settle + invariants ---------------------------------------------
+    let settle = t + SimDuration::from_secs(1);
+    sim.run_to_completion();
+    for d in devices {
+        let dev = &mut sim.topo.node_mut(d).expect("device exists").device;
+        dev.tick(settle);
+        if judge {
+            if let Some(tag) = dev.txn_in_doubt() {
+                violations.push(format!("orphan in-doubt shadow on {d}: {tag:?}"));
+            }
+            if dev.reconfig_in_progress() {
+                violations.push(format!("{d} still mid-reconfiguration after settling"));
+            }
+        }
+    }
+
+    report.diverged_nodes = diverged(&sim, &store.intended_digests());
+    if judge {
+        if !report.diverged_nodes.is_empty() {
+            violations.push(format!(
+                "diverged after heal: {:?}",
+                report.diverged_nodes
+            ));
+        }
+        if IntendedStore::digests_from_log(&log)? != store.intended_digests() {
+            violations.push("log-replayed intended digests differ from the store".into());
+        }
+        if !report.flapped.is_empty() {
+            violations.push(format!(
+                "nothing restarted, yet the detector flapped {:?}",
+                report.flapped
+            ));
+        }
+        if partitioned
+            && schedule.partition_up
+            && heal_at.saturating_since(partition_start) > SimDuration::from_millis(650)
+            && report.unreachable_polls == 0
+        {
+            violations.push(format!(
+                "{victim} was one-way partitioned for {} but never graded unreachable",
+                heal_at.saturating_since(partition_start)
+            ));
+        }
+        // Post-heal the victim must have shed the partition grades (as
+        // of the loop's final poll — transient Suspect under a still-
+        // reordering fabric is honest detector behavior, a lingering
+        // Unreachable/Dead is not).
+        if let Some(h @ (Health::Unreachable | Health::Dead)) = detector.health(victim) {
+            violations.push(format!(
+                "victim {victim} still graded {} after heal + drain",
+                h.label()
+            ));
+        }
+        // No device downtime in E20: data-plane loss must be noise-level.
+        if sim.metrics.total_lost() > 50 {
+            violations.push(format!(
+                "lost {} packets with no device ever down",
+                sim.metrics.total_lost()
+            ));
+        }
+        if sim.metrics.delivered == 0 {
+            violations.push("no traffic delivered at all".into());
+        }
+        // Corruption is transport-billed: no parse traps, no quarantine
+        // anywhere (traffic is valid; corrupted control frames must not
+        // leak into any program-accountable path).
+        for d in devices {
+            let dev = &sim.topo.node(d).expect("device exists").device;
+            if dev.stats().parse_traps != 0 {
+                violations.push(format!(
+                    "{d} billed {} parse traps under pure fabric corruption",
+                    dev.stats().parse_traps
+                ));
+            }
+            if dev.quarantined() {
+                violations.push(format!("{d} quarantined under pure fabric corruption"));
+            }
+        }
+    }
+
+    if let Some(adv) = fabric.adversary() {
+        report.corrupted = adv.corrupted;
+        report.duplicated = adv.duplicated;
+        report.reordered = adv.reordered;
+    }
+    report.partition_drops = fabric.partition_drops;
+    report.delivered = sim.metrics.delivered;
+    report.lost = sim.metrics.total_lost();
+    report.converge_latency = last_ack.saturating_since(t_base);
+    report.violations = violations;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protections_on_converges_across_scenarios() {
+        // One seed per scenario class; the full 120-seed sweep is the
+        // E20 bench's job.
+        for seed in 0..5 {
+            let r = run_adversarial_seed(seed).expect("harness runs");
+            assert!(
+                r.passed(),
+                "seed {seed} ({}) violations: {:?}",
+                r.schedule.scenario.label(),
+                r.violations
+            );
+            assert!(!r.diverged_end(), "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_adversarial_seed(7).expect("run");
+        let b = run_adversarial_seed(7).expect("run");
+        assert_eq!(a.acked, b.acked);
+        assert_eq!(a.duplicates_absorbed, b.duplicates_absorbed);
+        assert_eq!(a.corrupt_rejected, b.corrupt_rejected);
+        assert_eq!(a.stale_beats_rejected, b.stale_beats_rejected);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.diverged_nodes, b.diverged_nodes);
+    }
+
+    #[test]
+    fn corrupt_storm_exercises_the_checksum_path() {
+        // Seed 0 is a corrupt-storm by construction (seed % 5 == 0).
+        let r = run_adversarial_seed(0).expect("run");
+        assert_eq!(r.schedule.scenario, AdversaryScenario::CorruptStorm);
+        assert!(r.corrupted > 0, "the storm corrupted nothing");
+        assert!(r.corrupt_rejected > 0, "no corrupted frame was rejected");
+        assert_eq!(r.corrupt_applied, 0, "protections on: nothing applied");
+        assert_eq!(r.checksum_drops, super::WIRE_PROBES);
+    }
+
+    #[test]
+    fn dup_flood_is_absorbed_exactly_once() {
+        // Seed 1 is a dup-flood (seed % 5 == 1).
+        let r = run_adversarial_seed(1).expect("run");
+        assert_eq!(r.schedule.scenario, AdversaryScenario::DupFlood);
+        assert!(r.duplicated > 0, "the flood duplicated nothing");
+        assert!(
+            r.duplicates_absorbed > 0,
+            "no duplicate was absorbed by the dedup machinery"
+        );
+        assert!(r.passed(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn protections_off_diverges_on_oracle_seeds() {
+        // Oracle seeds: heavy corruption (0) and duplication (1) with
+        // every defense ablated must leave the fleet digest-divergent —
+        // this is the regression oracle the CI smoke pins.
+        for seed in [0u64, 1] {
+            let r = run_adversarial_seed_with(seed, AdversaryProtections::off())
+                .expect("harness runs");
+            assert!(
+                r.diverged_end(),
+                "seed {seed} protections-off converged — the defenses are not load-bearing"
+            );
+            assert!(
+                r.corrupt_applied > 0 || r.duplicated > 0,
+                "seed {seed} off-arm saw no damage at all"
+            );
+        }
+    }
+
+    #[test]
+    fn one_way_partition_grades_unreachable_and_heals() {
+        // Find a one-way-partition seed whose severed direction is "up"
+        // (heartbeats die) — that is where Unreachable-vs-Dead matters.
+        let seed = (0..200u64)
+            .find(|s| {
+                let sch = AdversarySchedule::from_seed(*s, 3);
+                sch.scenario == AdversaryScenario::OneWayPartition && sch.partition_up
+            })
+            .expect("an up-partition seed exists in 0..200");
+        let r = run_adversarial_seed(seed).expect("run");
+        assert!(r.passed(), "seed {seed} violations: {:?}", r.violations);
+        assert!(
+            r.unreachable_polls > 0,
+            "seed {seed}: the victim was never graded unreachable"
+        );
+    }
+}

@@ -36,6 +36,15 @@ pub enum Health {
     Degraded,
     /// Heartbeats overdue; the device may be down or partitioned.
     Suspect,
+    /// Heartbeats long overdue, but *indirect* evidence (data-plane
+    /// counters advancing, peers relaying its traffic) says the device
+    /// is alive and forwarding: the one-way-partition grade. We cannot
+    /// hear it; the network still can. Excluded from admission like
+    /// `Dead`, but — critically — **not** remediated: re-provisioning a
+    /// device that is still serving traffic from state we can no longer
+    /// observe would split-brain it. The partition heals, the next
+    /// heartbeat lands, and the grade clears.
+    Unreachable,
     /// Heartbeats long overdue; the controller routes around the device.
     Dead,
 }
@@ -47,6 +56,7 @@ impl Health {
             Health::Healthy => "healthy",
             Health::Degraded => "degraded",
             Health::Suspect => "suspect",
+            Health::Unreachable => "unreachable",
             Health::Dead => "dead",
         }
     }
@@ -161,6 +171,17 @@ pub struct FailureDetector {
     acked_quarantine: BTreeMap<NodeId, bool>,
     /// Cumulative trap count from the latest heartbeat, per node.
     reported_traps: BTreeMap<NodeId, u64>,
+    /// Latest *indirect* liveness evidence per node (data-plane counters
+    /// advancing, a peer relaying the node's traffic). Distinguishes a
+    /// one-way-partitioned device ([`Health::Unreachable`]) from a dead
+    /// one: heartbeats silent in both cases, but only the former keeps
+    /// producing hints.
+    liveness_hints: BTreeMap<NodeId, SimTime>,
+    /// Ablation hook for the E20 chaos suite: `false` disables the
+    /// heartbeat monotonicity guard so the protections-off arm can
+    /// demonstrate the damage reordered beats do. Always `true` in
+    /// production paths.
+    pub monotone_guard: bool,
 }
 
 impl FailureDetector {
@@ -184,6 +205,8 @@ impl FailureDetector {
             reported_quarantine: BTreeMap::new(),
             acked_quarantine: BTreeMap::new(),
             reported_traps: BTreeMap::new(),
+            liveness_hints: BTreeMap::new(),
+            monotone_guard: true,
         }
     }
 
@@ -223,16 +246,37 @@ impl FailureDetector {
 
     /// Records a full heartbeat: liveness plus the device's monotone
     /// `boot_id` and configuration `digest`.
-    pub fn observe_heartbeat(&mut self, node: NodeId, now: SimTime, boot_id: u64, digest: u64) {
-        self.observe(node, now);
-        let reported = self.reported_boot.entry(node).or_insert(boot_id);
-        if boot_id > *reported {
-            *reported = boot_id;
+    ///
+    /// Monotonicity guard: a beat that is *stale* — older in send time
+    /// than one already recorded, or carrying a `boot_id` below the
+    /// highest this node has reported — is rejected **wholesale** and
+    /// `false` is returned. A reordering fabric can deliver a
+    /// pre-restart beat after post-restart ones; accepting any part of
+    /// it (the old digest especially) would regress the cached digest to
+    /// a dead incarnation's configuration, flag false divergence, and
+    /// trigger a needless resync. Fresh beats return `true`.
+    pub fn observe_heartbeat(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        boot_id: u64,
+        digest: u64,
+    ) -> bool {
+        let stale_time = self.last_seen.get(&node).is_some_and(|&seen| now < seen);
+        let stale_boot = self
+            .reported_boot
+            .get(&node)
+            .is_some_and(|&reported| boot_id < reported);
+        if self.monotone_guard && (stale_time || stale_boot) {
+            return false;
         }
+        self.observe(node, now);
+        self.reported_boot.insert(node, boot_id);
         // The first heartbeat establishes the baseline incarnation: a
         // device the controller has never seen cannot have flapped.
         self.acked_boot.entry(node).or_insert(boot_id);
         self.digests.insert(node, digest);
+        true
     }
 
     /// Records a full heartbeat that additionally carries the device's
@@ -251,7 +295,11 @@ impl FailureDetector {
         digest: u64,
         health: DataPathHealth,
     ) {
-        self.observe_heartbeat(node, now, boot_id, digest);
+        if !self.observe_heartbeat(node, now, boot_id, digest) {
+            // Stale (reordered) beat: its counters describe a past the
+            // detector has already moved beyond — judge nothing from it.
+            return;
+        }
         // The quarantine flag is authoritative, not a slope: the device
         // itself judged its program and swapped it out. Record it before
         // any sampling-floor early return, and clear the episode edge
@@ -289,6 +337,25 @@ impl FailureDetector {
         self.reported_quarantine.get(&node) == Some(&true)
     }
 
+    /// Records *indirect* liveness evidence for `node` at `now`: its
+    /// data-plane counters advanced, a downstream device kept receiving
+    /// its traffic, a peer relayed its digest — anything proving the
+    /// device is alive that did not arrive on its own control channel.
+    ///
+    /// Hints never feed the silence clock (`last_seen`) — they are not
+    /// heartbeats and must not mask a genuinely failing control channel.
+    /// Their only effect is in [`FailureDetector::poll`]: a device past
+    /// `dead_after` of heartbeat silence whose freshest hint is younger
+    /// than `dead_after` grades [`Health::Unreachable`] (one-way
+    /// partition — suppress remediation) instead of [`Health::Dead`]
+    /// (route around and reprovision).
+    pub fn note_liveness_hint(&mut self, node: NodeId, now: SimTime) {
+        let hint = self.liveness_hints.entry(node).or_insert(now);
+        if now > *hint {
+            *hint = now;
+        }
+    }
+
     /// Re-grades every known device at `now` and returns the typed
     /// transitions since the last poll: grade changes as
     /// [`HealthEvent::Graded`], plus one [`HealthEvent::Flapped`] for
@@ -305,7 +372,20 @@ impl FailureDetector {
             let silence = now.saturating_since(seen);
             let prev_grade = self.status.get(&node).copied();
             let health = if silence >= dead_after {
-                Health::Dead
+                // Heartbeat-dead. Before declaring the device gone,
+                // consult indirect evidence: a fresh liveness hint means
+                // the device is alive and forwarding — we just cannot
+                // hear it (one-way partition). Grade it Unreachable so
+                // admission refuses it but nothing *remediates* it.
+                let hint_fresh = self
+                    .liveness_hints
+                    .get(&node)
+                    .is_some_and(|&h| now.saturating_since(h) < dead_after);
+                if hint_fresh {
+                    Health::Unreachable
+                } else {
+                    Health::Dead
+                }
             } else if silence >= suspect_after {
                 Health::Suspect
             } else if silence >= recover_after && prev_grade >= Some(Health::Suspect) {
@@ -392,9 +472,14 @@ impl FailureDetector {
     /// The admission gate for new transactions, waves, and resyncs: only
     /// a device whose current grade is [`Health::Healthy`] (or that the
     /// detector has never heard of — nothing is known against it) may
-    /// participate. `Degraded`/`Suspect`/`Dead` devices are refused with
-    /// the typed, retryable [`FlexError::DegradedDevice`] *before* a
-    /// two-phase commit starts, instead of failing mid-prepare.
+    /// participate. `Degraded`/`Suspect`/`Unreachable`/`Dead` devices are
+    /// refused with the typed, retryable [`FlexError::DegradedDevice`]
+    /// *before* a two-phase commit starts, instead of failing
+    /// mid-prepare. For [`Health::Unreachable`] this refusal is the
+    /// split-brain guard: the device is still serving traffic behind a
+    /// one-way partition, so remedial reprovisioning must wait for the
+    /// partition to heal (and the grade to clear) rather than rewrite a
+    /// configuration the device is actively using.
     pub fn admit(&self, node: NodeId) -> Result<()> {
         match self.status.get(&node) {
             None | Some(Health::Healthy) => Ok(()),
@@ -1179,6 +1264,124 @@ mod tests {
         // The flap is edge-triggered: it is reported exactly once.
         fd.observe_heartbeat(n, SimTime::from_millis(750), 2, 0xBBBB);
         assert!(fd.poll(SimTime::from_millis(760)).is_empty());
+    }
+
+    #[test]
+    fn reordered_stale_heartbeat_is_rejected_wholesale() {
+        // Regression: a reordering fabric delivers a pre-restart beat
+        // *after* post-restart ones. Before the monotonicity guard, the
+        // stale beat's digest overwrote the cached one (spurious
+        // divergence → needless resync) even though its boot id was
+        // silently ignored.
+        let mut fd = FailureDetector::default();
+        let n = NodeId(7);
+        fd.observe_heartbeat(n, SimTime::from_millis(100), 1, 0xAAAA);
+        fd.poll(SimTime::from_millis(110));
+        // The device restarts; beats resume under boot 2.
+        assert!(fd.observe_heartbeat(n, SimTime::from_millis(200), 2, 0xBBBB));
+        let events = fd.poll(SimTime::from_millis(210));
+        assert!(events
+            .iter()
+            .any(|(_, e)| matches!(e, HealthEvent::Flapped { .. })));
+        // A manually reordered beat: sent at t=150 under boot 1, delivered
+        // only now. Both its time and its boot id are stale.
+        assert!(
+            !fd.observe_heartbeat(n, SimTime::from_millis(150), 1, 0xAAAA),
+            "stale beat must be rejected"
+        );
+        assert_eq!(fd.digest(n), Some(0xBBBB), "digest must not regress");
+        assert_eq!(fd.boot_id(n), Some(2), "boot id must not regress");
+        assert!(
+            fd.poll(SimTime::from_millis(220)).is_empty(),
+            "no spurious flap or grade change from the stale beat"
+        );
+        // Stale-boot-only (fresh timestamp, old incarnation) is equally
+        // rejected — a duplicated pre-restart beat delivered late.
+        assert!(!fd.observe_heartbeat(n, SimTime::from_millis(230), 1, 0xAAAA));
+        assert_eq!(fd.digest(n), Some(0xBBBB));
+        assert!(fd.poll(SimTime::from_millis(240)).is_empty());
+    }
+
+    #[test]
+    fn stale_heartbeat_health_judges_nothing() {
+        // The counters on a reordered beat describe a dead incarnation;
+        // they must not re-baseline or grade the data path.
+        let mut fd = FailureDetector::default();
+        let n = NodeId(8);
+        let clean = DataPathHealth {
+            processed: 1000,
+            dropped: 0,
+            traps: 0,
+            quarantined: false,
+        };
+        fd.observe_heartbeat_health(n, SimTime::from_millis(100), 2, 0xBBBB, clean);
+        fd.poll(SimTime::from_millis(110));
+        // Stale beat claiming a quarantine from the old incarnation.
+        let poisoned = DataPathHealth {
+            processed: 500,
+            dropped: 400,
+            traps: 400,
+            quarantined: true,
+        };
+        fd.observe_heartbeat_health(n, SimTime::from_millis(50), 1, 0xAAAA, poisoned);
+        assert!(!fd.quarantine_reported(n), "stale quarantine flag ignored");
+        assert!(
+            fd.poll(SimTime::from_millis(120)).is_empty(),
+            "no Degraded/Quarantined events from a stale beat"
+        );
+    }
+
+    #[test]
+    fn one_way_partition_grades_unreachable_not_dead() {
+        let mut fd = FailureDetector::default();
+        let n = NodeId(9);
+        fd.observe_heartbeat(n, SimTime::ZERO, 1, 0xAAAA);
+        fd.poll(SimTime::from_millis(10));
+        // Heartbeats go silent (device→controller direction severed), but
+        // the device's traffic keeps arriving downstream: liveness hints.
+        fd.note_liveness_hint(n, SimTime::from_millis(550));
+        let events = fd.poll(SimTime::from_millis(600));
+        assert_eq!(
+            events,
+            vec![(n, HealthEvent::Graded(Health::Unreachable))],
+            "fresh hints + dead-level silence = one-way partition"
+        );
+        assert_eq!(fd.health(n), Some(Health::Unreachable));
+        // Admission refuses it (split-brain guard), retryably, with the
+        // stable grade token.
+        match fd.admit(n) {
+            Err(FlexError::DegradedDevice { node, grade }) => {
+                assert_eq!(node, 9);
+                assert_eq!(grade, "unreachable");
+            }
+            other => panic!("expected DegradedDevice, got {other:?}"),
+        }
+        assert!(fd.admit(n).unwrap_err().is_retryable());
+        // Hints age out: with no fresh evidence the grade hardens to Dead.
+        let events = fd.poll(SimTime::from_millis(1200));
+        assert_eq!(events, vec![(n, HealthEvent::Graded(Health::Dead))]);
+        // The partition heals: a punctual beat restores Healthy.
+        fd.observe_heartbeat(n, SimTime::from_millis(1250), 1, 0xAAAA);
+        assert_eq!(
+            fd.poll(SimTime::from_millis(1260)),
+            vec![(n, HealthEvent::Graded(Health::Healthy))]
+        );
+    }
+
+    #[test]
+    fn liveness_hints_never_feed_the_silence_clock() {
+        // A hint is not a heartbeat: a device whose control channel is
+        // merely *slow* (Suspect) must not be kept Healthy by hints.
+        let mut fd = FailureDetector::default();
+        let n = NodeId(10);
+        fd.observe(n, SimTime::ZERO);
+        fd.poll(SimTime::from_millis(10));
+        fd.note_liveness_hint(n, SimTime::from_millis(190));
+        assert_eq!(
+            fd.poll(SimTime::from_millis(200)),
+            vec![(n, HealthEvent::Graded(Health::Suspect))],
+            "hints only soften Dead into Unreachable, nothing else"
+        );
     }
 
     #[test]

@@ -202,10 +202,23 @@ impl BreakerSet {
 
     /// Whether `e` counts against the breaker (the device could not be
     /// reached or did not answer in time) rather than as contact.
+    ///
+    /// The adversarial-fabric errors classify with the transport family:
+    /// a [`FlexError::ChecksumMismatch`] means the fabric mangled the
+    /// exchange (the payload never validly arrived), and
+    /// [`FlexError::Unreachable`] means replies cannot cross a one-way
+    /// partition — both are fabric faults, not device answers. A
+    /// [`FlexError::StaleDuplicate`] is the opposite: the device not
+    /// only answered, it had *already done the work* — unambiguous
+    /// contact.
     pub fn counts_as_failure(e: &FlexError) -> bool {
         matches!(
             e,
-            FlexError::Timeout(_) | FlexError::Unavailable(_) | FlexError::NoLeader { .. }
+            FlexError::Timeout(_)
+                | FlexError::Unavailable(_)
+                | FlexError::NoLeader { .. }
+                | FlexError::ChecksumMismatch { .. }
+                | FlexError::Unreachable { .. }
         )
     }
 
@@ -524,6 +537,41 @@ mod tests {
         let t2 = t + SimDuration::from_millis(120);
         assert_eq!(set.guarded(n, t2, || Ok(1)).unwrap(), 1);
         assert_eq!(set.state(n, t2), BreakerState::Closed);
+    }
+
+    #[test]
+    fn adversarial_errors_classify_like_transport() {
+        // Fabric faults count against the breaker…
+        assert!(BreakerSet::counts_as_failure(&FlexError::ChecksumMismatch {
+            want: 1,
+            got: 2
+        }));
+        assert!(BreakerSet::counts_as_failure(&FlexError::Unreachable { node: 3 }));
+        // …but an absorbed duplicate is unambiguous contact.
+        assert!(!BreakerSet::counts_as_failure(&FlexError::StaleDuplicate {
+            token: 7
+        }));
+
+        // Three consecutive corrupted exchanges trip the breaker exactly
+        // like three timeouts would.
+        let mut set = BreakerSet::default();
+        let n = NodeId(4);
+        let t = SimTime::from_secs(1);
+        for _ in 0..3 {
+            let r: Result<()> = set.guarded(n, t, || {
+                Err(FlexError::ChecksumMismatch { want: 1, got: 2 })
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(set.state(n, t), BreakerState::Open);
+        // A stream of stale duplicates never trips anything.
+        let mut set2 = BreakerSet::default();
+        for _ in 0..10 {
+            let r: Result<()> =
+                set2.guarded(n, t, || Err(FlexError::StaleDuplicate { token: 9 }));
+            assert!(r.is_err());
+        }
+        assert_eq!(set2.state(n, t), BreakerState::Closed);
     }
 
     #[test]

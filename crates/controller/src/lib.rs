@@ -33,10 +33,15 @@
 //!   budgets + jitter + circuit breakers + priority load shedding +
 //!   graceful degradation, exercised by the seeded metastability chaos
 //!   harness (experiment E17).
+//! - [`adversary`] — the adversarial fabric end to end: frame checksums,
+//!   idempotency-token dedup, heartbeat monotonicity, and the
+//!   `Unreachable`-vs-`Dead` split-brain guard under corruption,
+//!   duplication, reordering, and one-way partitions (experiment E20).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adversary;
 pub mod apps;
 pub mod chaos;
 pub mod core;
@@ -55,6 +60,9 @@ pub mod tenant;
 pub mod txn;
 pub mod wal;
 
+pub use adversary::{
+    run_adversarial_seed, run_adversarial_seed_with, AdversaryProtections, AdversaryReport,
+};
 pub use crate::core::{
     AdmissionQueue, Controller, ControllerMode, FailureDetector, Health, HealthEvent,
     OverloadGovernor, QueueStats, TokenBucket, WorkClass, WorkItem,
@@ -66,8 +74,8 @@ pub use overload::{run_overload_seed, OverloadReport, OverloadScenario, Protecti
 pub use raft::{RaftCluster, Role};
 pub use replicate::{FailoverReport, ReplicationGroup};
 pub use retry::{
-    invoke_with_retry, with_retry, with_retry_budgeted, Jitter, LossyFabric, RetryBudget,
-    RetryOutcome, RetryPolicy,
+    invoke_with_retry, with_retry, with_retry_adversarial, with_retry_budgeted, Adversary,
+    Delivery, Jitter, LossyFabric, RetryBudget, RetryOutcome, RetryPolicy,
 };
 pub use scale::{ElasticScaler, ScaleDecision, ScalingPolicy};
 pub use chaos::{run_chaos_seed, ChaosReport};

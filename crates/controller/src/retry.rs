@@ -14,7 +14,7 @@ use crate::drpc::{ServiceRegistry, CONTROLLER_RTT, DRPC_HOP_LATENCY};
 use flexnet_types::{FlexError, NodeId, Result, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How backoff intervals are spread to decorrelate concurrent retriers.
 ///
@@ -210,8 +210,89 @@ impl RetryBudget {
     }
 }
 
+/// What the adversarial fabric did to one command in flight
+/// ([`LossyFabric::deliver_cmd`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Dropped: plain loss, or a severed partition direction.
+    Lost,
+    /// Arrived exactly once, intact.
+    Arrived,
+    /// Arrived intact — `extra` additional duplicate copies arrive right
+    /// behind it (the receiver's dedup window must absorb them).
+    Duplicated {
+        /// Number of duplicate copies beyond the first.
+        extra: u8,
+    },
+    /// Arrived with bits flipped in flight; `mask_seed` deterministically
+    /// selects which bits (see [`flexnet_dataplane::wire::open_frame`] —
+    /// the receiver's checksum rejects the frame before parsing it).
+    Corrupted {
+        /// Seed for the bit-flip mask applied to the frame.
+        mask_seed: u64,
+    },
+}
+
+/// The seeded adversary riding on a [`LossyFabric`]: per-message
+/// corruption, duplication, and bounded reordering.
+///
+/// Draws from its **own** RNG stream, independently seeded from the
+/// fabric's loss stream — enabling the adversary must not perturb a
+/// single loss draw, or every pinned seed in E12–E18 would change
+/// meaning.
+#[derive(Debug, Clone)]
+pub struct Adversary {
+    /// Probability a delivered command arrives with flipped bits.
+    pub corrupt_prob: f64,
+    /// Probability a delivered command is duplicated in flight.
+    pub dup_prob: f64,
+    /// Probability a message is held back and delivered out of order.
+    pub reorder_prob: f64,
+    /// Maximum messages a held-back message can be overtaken by.
+    pub reorder_depth: usize,
+    rng: StdRng,
+    /// Commands corrupted in flight.
+    pub corrupted: u64,
+    /// Commands duplicated in flight.
+    pub duplicated: u64,
+    /// Messages delivered out of order.
+    pub reordered: u64,
+}
+
+impl Adversary {
+    /// An adversary with the given per-message probabilities, drawing
+    /// from its own stream seeded by `seed`.
+    pub fn new(
+        corrupt_prob: f64,
+        dup_prob: f64,
+        reorder_prob: f64,
+        reorder_depth: usize,
+        seed: u64,
+    ) -> Adversary {
+        Adversary {
+            corrupt_prob: corrupt_prob.clamp(0.0, 1.0),
+            dup_prob: dup_prob.clamp(0.0, 1.0),
+            reorder_prob: reorder_prob.clamp(0.0, 1.0),
+            reorder_depth,
+            rng: StdRng::seed_from_u64(mix(seed ^ 0xAD5E_7ACE_F1A8_0001)),
+            corrupted: 0,
+            duplicated: 0,
+            reordered: 0,
+        }
+    }
+}
+
 /// A message channel that drops each message with probability
 /// `drop_prob`, deterministically in its seed.
+///
+/// Beyond loss, the fabric can be made *adversarial*:
+/// [`LossyFabric::enable_adversary`] arms seeded corruption,
+/// duplication, and bounded reordering (drawn from a separate RNG stream
+/// so the legacy loss stream is untouched), and
+/// [`LossyFabric::block_up`]/[`LossyFabric::block_down`] sever one
+/// *direction* of a node's control channel — the asymmetric-partition
+/// model (A hears B while B never hears A) that symmetric link-state
+/// flips cannot express. Partition checks draw no randomness.
 #[derive(Debug, Clone)]
 pub struct LossyFabric {
     drop_prob: f64,
@@ -220,6 +301,16 @@ pub struct LossyFabric {
     pub delivered: u64,
     /// Messages lost in flight.
     pub dropped: u64,
+    /// Nodes whose *up* direction (device → controller: heartbeats,
+    /// acks, responses) is severed.
+    blocked_up: BTreeSet<NodeId>,
+    /// Nodes whose *down* direction (controller → device: commands) is
+    /// severed.
+    blocked_down: BTreeSet<NodeId>,
+    /// Messages swallowed by a severed partition direction.
+    pub partition_drops: u64,
+    /// The armed adversary, if any.
+    adversary: Option<Adversary>,
 }
 
 impl LossyFabric {
@@ -230,6 +321,10 @@ impl LossyFabric {
             rng: StdRng::seed_from_u64(seed),
             delivered: 0,
             dropped: 0,
+            blocked_up: BTreeSet::new(),
+            blocked_down: BTreeSet::new(),
+            partition_drops: 0,
+            adversary: None,
         }
     }
 
@@ -259,6 +354,142 @@ impl LossyFabric {
         } else {
             self.delivered += 1;
             true
+        }
+    }
+
+    // -- adversarial extensions (corruption, duplication, reordering,
+    //    asymmetric partitions) ---------------------------------------------
+
+    /// Arms the adversary: delivered messages may additionally be
+    /// corrupted, duplicated, or reordered, with the given per-message
+    /// probabilities, drawn from a **separate** RNG stream seeded by
+    /// `seed`. The legacy loss stream ([`LossyFabric::deliver`]) is
+    /// byte-identical whether or not an adversary is armed.
+    pub fn enable_adversary(
+        &mut self,
+        corrupt_prob: f64,
+        dup_prob: f64,
+        reorder_prob: f64,
+        reorder_depth: usize,
+        seed: u64,
+    ) {
+        self.adversary = Some(Adversary::new(
+            corrupt_prob,
+            dup_prob,
+            reorder_prob,
+            reorder_depth,
+            seed,
+        ));
+    }
+
+    /// The armed adversary's counters, if any.
+    pub fn adversary(&self) -> Option<&Adversary> {
+        self.adversary.as_ref()
+    }
+
+    /// Severs `node`'s *up* direction: its heartbeats, acks, and
+    /// responses stop arriving at the controller, while commands still
+    /// reach it — the one-way partition where we cannot hear a device
+    /// that hears us fine. Draws no randomness.
+    pub fn block_up(&mut self, node: NodeId) {
+        self.blocked_up.insert(node);
+    }
+
+    /// Severs `node`'s *down* direction: controller commands stop
+    /// reaching it, while its own heartbeats still arrive.
+    pub fn block_down(&mut self, node: NodeId) {
+        self.blocked_down.insert(node);
+    }
+
+    /// Heals both directions of `node`'s partition.
+    pub fn heal(&mut self, node: NodeId) {
+        self.blocked_up.remove(&node);
+        self.blocked_down.remove(&node);
+    }
+
+    /// Heals every partition.
+    pub fn heal_all(&mut self) {
+        self.blocked_up.clear();
+        self.blocked_down.clear();
+    }
+
+    /// Whether `node`'s up (device → controller) direction is severed.
+    pub fn is_blocked_up(&self, node: NodeId) -> bool {
+        self.blocked_up.contains(&node)
+    }
+
+    /// Whether `node`'s down (controller → device) direction is severed.
+    pub fn is_blocked_down(&self, node: NodeId) -> bool {
+        self.blocked_down.contains(&node)
+    }
+
+    /// Sends one device → controller message (heartbeat, ack, response)
+    /// from `node`; `true` when it arrives. A severed up direction
+    /// swallows it *without* consuming a loss draw, so partition windows
+    /// leave the seeded loss stream untouched.
+    pub fn deliver_up(&mut self, node: NodeId) -> bool {
+        if self.blocked_up.contains(&node) {
+            self.partition_drops += 1;
+            return false;
+        }
+        self.deliver()
+    }
+
+    /// Sends one controller → device message to `node`; `true` when it
+    /// arrives. The down-direction twin of [`LossyFabric::deliver_up`].
+    pub fn deliver_down(&mut self, node: NodeId) -> bool {
+        if self.blocked_down.contains(&node) {
+            self.partition_drops += 1;
+            return false;
+        }
+        self.deliver()
+    }
+
+    /// Sends one command to `node` through the full adversary: partition
+    /// check (no randomness), then the legacy loss draw, then — only for
+    /// messages that survived both — the adversary's corruption and
+    /// duplication draws from its own stream.
+    pub fn deliver_cmd(&mut self, node: NodeId) -> Delivery {
+        if self.blocked_down.contains(&node) {
+            self.partition_drops += 1;
+            return Delivery::Lost;
+        }
+        if !self.deliver() {
+            return Delivery::Lost;
+        }
+        let Some(adv) = self.adversary.as_mut() else {
+            return Delivery::Arrived;
+        };
+        if adv.corrupt_prob > 0.0 && adv.rng.gen_bool(adv.corrupt_prob) {
+            adv.corrupted += 1;
+            return Delivery::Corrupted {
+                mask_seed: adv.rng.gen(),
+            };
+        }
+        if adv.dup_prob > 0.0 && adv.rng.gen_bool(adv.dup_prob) {
+            adv.duplicated += 1;
+            // 1–3 duplicate copies, weighted toward one.
+            let extra = 1 + (adv.rng.gen_range(0u8..4) / 3);
+            return Delivery::Duplicated { extra };
+        }
+        Delivery::Arrived
+    }
+
+    /// Draws the adversary's reorder decision for one message: `0` means
+    /// deliver in order; `k > 0` means hold it back until `k` later
+    /// messages have overtaken it (bounded by the configured depth). The
+    /// caller owns the holding buffer — heartbeat loops use this to
+    /// replay stale beats after newer ones.
+    pub fn reorder_delay(&mut self) -> usize {
+        let Some(adv) = self.adversary.as_mut() else {
+            return 0;
+        };
+        if adv.reorder_prob > 0.0 && adv.reorder_depth > 0 && adv.rng.gen_bool(adv.reorder_prob)
+        {
+            adv.reordered += 1;
+            adv.rng.gen_range(1..=adv.reorder_depth)
+        } else {
+            0
         }
     }
 }
@@ -338,6 +569,121 @@ pub fn with_retry<T>(
                         result: Err(e),
                         attempts: attempt + 1,
                         finished_at: t,
+                    }
+                }
+            }
+        }
+        prev_backoff = policy.next_backoff(attempt, prev_backoff, &mut jitter_rng);
+        t += prev_backoff;
+        if t > deadline {
+            return RetryOutcome {
+                result: Err(give_up(
+                    last_retryable,
+                    FlexError::Timeout(format!(
+                        "deadline {} exceeded after {} attempts",
+                        policy.deadline,
+                        attempt + 1
+                    )),
+                )),
+                attempts: attempt + 1,
+                finished_at: t,
+            };
+        }
+    }
+    RetryOutcome {
+        result: Err(give_up(
+            last_retryable,
+            FlexError::Timeout(format!(
+                "gave up after {} attempts",
+                policy.max_attempts.max(1)
+            )),
+        )),
+        attempts: policy.max_attempts.max(1),
+        finished_at: t,
+    }
+}
+
+/// Runs `op` against `node` like [`with_retry`], but through the **full
+/// adversarial fabric**: every attempt's command crosses
+/// [`LossyFabric::deliver_cmd`] and every ack crosses
+/// [`LossyFabric::deliver_up`].
+///
+/// - A *corrupted* command never reaches `op` — the receiver's frame
+///   checksum rejects it and (fabric permitting) a typed
+///   [`FlexError::ChecksumMismatch`] NACK comes back, which is retryable
+///   and counts against the destination's breaker exactly like a
+///   timeout. Corruption is therefore a transport event: no program, no
+///   trap accounting, no quarantine pressure.
+/// - A *duplicated* command invokes `op` once per copy. The extra
+///   invocations model the fabric hammering the receiver; their
+///   outcomes never reach the caller (their acks are redundant), so
+///   exactly-once semantics rest entirely on the receiver's idempotency
+///   — which is precisely what the E20 suite verifies.
+/// - A severed down direction swallows commands silently (the caller
+///   sees timeouts); a severed up direction swallows acks, turning every
+///   exchange into a retry against an already-applied command — the
+///   dedup window's reason to exist.
+pub fn with_retry_adversarial<T>(
+    policy: &RetryPolicy,
+    fabric: &mut LossyFabric,
+    node: NodeId,
+    start: SimTime,
+    rtt: SimDuration,
+    mut op: impl FnMut(SimTime) -> Result<T>,
+) -> RetryOutcome<T> {
+    let deadline = start + policy.deadline;
+    let mut t = start;
+    let mut last_retryable: Option<FlexError> = None;
+    let give_up = |last: Option<FlexError>, fallback: FlexError| last.unwrap_or(fallback);
+    let mut jitter_rng = StdRng::seed_from_u64(mix(start.as_nanos() ^ 0x4A17_7E2D));
+    let mut prev_backoff = policy.base_backoff;
+    for attempt in 0..policy.max_attempts.max(1) {
+        let delivery = fabric.deliver_cmd(node);
+        t += rtt;
+        match delivery {
+            Delivery::Lost => {}
+            Delivery::Corrupted { mask_seed } => {
+                // The receiver's integrity check caught the mangled
+                // frame before any payload logic ran. Its NACK carries
+                // the checksums (synthesized here from the mask seed —
+                // the simulation transports outcomes, not bytes).
+                let want = mix(mask_seed);
+                let nack = FlexError::ChecksumMismatch {
+                    want,
+                    got: want ^ (mask_seed | 1),
+                };
+                if fabric.deliver_up(node) {
+                    last_retryable = Some(nack);
+                }
+            }
+            Delivery::Arrived | Delivery::Duplicated { .. } => {
+                let result = op(t);
+                if let Delivery::Duplicated { extra } = delivery {
+                    // Duplicate copies hammer the receiver; whatever they
+                    // return is discarded (their acks are redundant).
+                    for _ in 0..extra {
+                        let _ = op(t);
+                    }
+                }
+                match result {
+                    Ok(v) => {
+                        if fabric.deliver_up(node) {
+                            return RetryOutcome {
+                                result: Ok(v),
+                                attempts: attempt + 1,
+                                finished_at: t,
+                            };
+                        }
+                        // Ack lost: the op took effect but we cannot
+                        // know; retry — the receiver's dedup absorbs it.
+                    }
+                    Err(e) if e.is_retryable() => last_retryable = Some(e),
+                    Err(e) => {
+                        return RetryOutcome {
+                            result: Err(e),
+                            attempts: attempt + 1,
+                            finished_at: t,
+                        }
                     }
                 }
             }
@@ -921,5 +1267,144 @@ mod tests {
         }
         assert_eq!(ok, 200, "every call eventually succeeds under 30% loss");
         assert!(attempts > 200, "some calls needed retries");
+    }
+
+    #[test]
+    fn arming_the_adversary_leaves_the_legacy_stream_untouched() {
+        // E12–E18 pin seeds against the exact deliver() sequence; the
+        // adversary must draw only from its own rng. Each deliver_cmd
+        // consumes exactly one legacy loss sample (the command still
+        // crosses the lossy link) whether or not the adversary is armed,
+        // so arming it must not shift the legacy stream at all.
+        let run = |seed, arm: bool| {
+            let mut f = LossyFabric::new(0.3, seed);
+            if arm {
+                f.enable_adversary(0.5, 0.5, 0.5, 8, seed);
+            }
+            (0..500)
+                .map(|i| {
+                    if i % 7 == 0 {
+                        // interleave adversarial draws between legacy ones
+                        let _ = f.deliver_cmd(NodeId(1));
+                        let _ = f.reorder_delay();
+                    }
+                    f.deliver()
+                })
+                .collect::<Vec<_>>()
+        };
+        for seed in [1u64, 42, 0xDEAD] {
+            assert_eq!(run(seed, false), run(seed, true), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn partition_blocks_consume_no_randomness() {
+        let mut open = LossyFabric::new(0.3, 11);
+        let mut cut = LossyFabric::new(0.3, 11);
+        cut.block_down(NodeId(5));
+        cut.block_up(NodeId(5));
+        for _ in 0..100 {
+            // Blocked sends return early; the loss rng never advances.
+            assert_eq!(cut.deliver_cmd(NodeId(5)), Delivery::Lost);
+            assert!(!cut.deliver_up(NodeId(5)));
+        }
+        assert_eq!(cut.partition_drops, 200);
+        let a: Vec<bool> = (0..200).map(|_| open.deliver()).collect();
+        let b: Vec<bool> = (0..200).map(|_| cut.deliver()).collect();
+        assert_eq!(a, b, "blocked traffic drew no randomness");
+        cut.heal(NodeId(5));
+        assert!(!cut.is_blocked_up(NodeId(5)) && !cut.is_blocked_down(NodeId(5)));
+    }
+
+    #[test]
+    fn adversary_draws_are_deterministic_and_counted() {
+        let run = |seed| {
+            let mut f = LossyFabric::reliable();
+            f.enable_adversary(0.2, 0.2, 0.3, 6, seed);
+            let events: Vec<Delivery> = (0..400).map(|_| f.deliver_cmd(NodeId(2))).collect();
+            let delays: Vec<usize> = (0..200).map(|_| f.reorder_delay()).collect();
+            let adv = f.adversary().unwrap();
+            (events, delays, adv.corrupted, adv.duplicated, adv.reordered)
+        };
+        assert_eq!(run(9), run(9), "same seed, same adversarial schedule");
+        let (events, delays, corrupted, duplicated, reordered) = run(9);
+        assert!(corrupted > 0 && duplicated > 0 && reordered > 0);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Delivery::Corrupted { .. }))
+                .count() as u64,
+            corrupted
+        );
+        assert!(delays.iter().all(|&d| d <= 6), "reorder depth bounded");
+        assert!(delays.iter().any(|&d| d > 0));
+    }
+
+    #[test]
+    fn adversarial_retry_reports_corruption_as_checksum_mismatch() {
+        let mut f = LossyFabric::reliable();
+        f.enable_adversary(1.0, 0.0, 0.0, 4, 3); // every command corrupted
+        let out = with_retry_adversarial(
+            &RetryPolicy::default(),
+            &mut f,
+            NodeId(4),
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            |_| Ok(()),
+        );
+        match out.result {
+            Err(FlexError::ChecksumMismatch { want, got }) => {
+                assert_ne!(want, got, "the mismatch must actually mismatch")
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adversarial_retry_invokes_op_once_per_duplicate_copy() {
+        let mut f = LossyFabric::reliable();
+        f.enable_adversary(0.0, 1.0, 0.0, 4, 17); // every command duplicated
+        let mut calls = 0u32;
+        let out = with_retry_adversarial(
+            &RetryPolicy::default(),
+            &mut f,
+            NodeId(4),
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            |_| {
+                calls += 1;
+                Ok(calls)
+            },
+        );
+        assert_eq!(out.result.unwrap(), 1, "the first copy's result wins");
+        assert_eq!(out.attempts, 1);
+        assert!(calls >= 2, "duplicate copies hammered the receiver");
+    }
+
+    #[test]
+    fn one_way_up_partition_forces_retries_into_the_receiver() {
+        // Commands arrive; acks never come back. The caller retries until
+        // the deadline, invoking op once per attempt — the receiver-side
+        // dedup window is what makes this safe.
+        let mut f = LossyFabric::reliable();
+        f.block_up(NodeId(8));
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0u32;
+        let out = with_retry_adversarial(
+            &policy,
+            &mut f,
+            NodeId(8),
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            |_| {
+                calls += 1;
+                Ok(())
+            },
+        );
+        assert!(matches!(out.result, Err(FlexError::Timeout(_))));
+        assert_eq!(calls, 5, "op ran every attempt; only the acks died");
     }
 }

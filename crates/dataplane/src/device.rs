@@ -39,6 +39,17 @@ pub const MAX_RECIRCULATIONS: u32 = 4;
 /// provisioned one.
 pub const EMPTY_CONFIG_DIGEST: u64 = 0;
 
+/// Capacity of the per-device idempotency-token dedup window
+/// ([`Device::absorb_command`]).
+///
+/// Sizing: the window must cover every command that can still be in
+/// flight when its duplicate arrives. With the retry policy's 16
+/// attempts, the fabric's bounded reorder depth (≤8), and one command
+/// outstanding per coordinator, 64 tokens is an order of magnitude
+/// beyond the deepest replay the chaos fabric can produce, while
+/// keeping the memory fixed (512 bytes) under any dup-flood.
+pub const DEDUP_WINDOW: usize = 64;
+
 /// FNV-1a 64-bit fold of `bytes` into `h`.
 fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
@@ -464,6 +475,12 @@ pub struct DeviceStats {
     /// active program for its last-known-good image (or the
     /// transparent-forward default).
     pub quarantines: u64,
+    /// Sealed frames dropped because their end-to-end checksum failed
+    /// ([`crate::wire::open_frame`]): the fabric corrupted them in
+    /// flight. Counted apart from both `parse_traps` and program traps —
+    /// a corrupted frame indicts the *fabric*, so it never feeds any
+    /// program's quarantine rate and never reaches the parser at all.
+    pub checksum_drops: u64,
 }
 
 /// A runtime-programmable network device.
@@ -494,6 +511,11 @@ pub struct Device {
     /// survives crashes — a zombie coordinator stays fenced across the
     /// device's own restarts.
     pub(crate) fence: u64,
+    /// Bounded record of recently absorbed control-command idempotency
+    /// tokens (exactly-once semantics under a duplicating fabric).
+    /// Stored with the program image, like `fence` and `boot_id`, so a
+    /// duplicate delivered *after* a restart is still absorbed.
+    recent_cmds: std::collections::VecDeque<u64>,
     stats: DeviceStats,
     invocations: Vec<(String, Vec<u64>)>,
     default_port: u16,
@@ -534,6 +556,7 @@ impl Device {
             up: true,
             boot_id: 1,
             fence: 0,
+            recent_cmds: std::collections::VecDeque::new(),
             stats: DeviceStats::default(),
             invocations: Vec::new(),
             default_port: 0,
@@ -668,6 +691,41 @@ impl Device {
     /// Aggregate statistics.
     pub fn stats(&self) -> DeviceStats {
         self.stats
+    }
+
+    // -- exactly-once command absorption --------------------------------------
+
+    /// Absorbs a control command's idempotency `token`: the first
+    /// delivery records it and returns `Ok(())` (apply the command); any
+    /// replay within the window returns [`FlexError::StaleDuplicate`]
+    /// (acknowledge, do **not** reapply).
+    ///
+    /// The window is bounded at [`DEDUP_WINDOW`] tokens — a dup-flood
+    /// cannot grow device memory — and persists across crash/restart
+    /// like `fence` and `boot_id`, so a duplicate that arrives after the
+    /// device rebooted is still absorbed exactly once.
+    pub fn absorb_command(&mut self, token: u64) -> Result<()> {
+        self.ensure_up()?;
+        if self.recent_cmds.contains(&token) {
+            return Err(FlexError::StaleDuplicate { token });
+        }
+        if self.recent_cmds.len() >= DEDUP_WINDOW {
+            self.recent_cmds.pop_front();
+        }
+        self.recent_cmds.push_back(token);
+        Ok(())
+    }
+
+    /// Whether `token` is inside the dedup window (a replay would be
+    /// absorbed rather than reapplied).
+    pub fn seen_command(&self, token: u64) -> bool {
+        self.recent_cmds.contains(&token)
+    }
+
+    /// Tokens currently held by the dedup window (bounded by
+    /// [`DEDUP_WINDOW`]).
+    pub fn dedup_len(&self) -> usize {
+        self.recent_cmds.len()
     }
 
     /// Drains recorded dRPC invocations.
@@ -1088,6 +1146,33 @@ impl Device {
                 })
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// Verifies a sealed frame's end-to-end checksum, then parses and
+    /// processes the body.
+    ///
+    /// The adversarial-fabric entry point: a frame corrupted in flight
+    /// fails [`crate::wire::open_frame`] *before* the parser or any
+    /// program sees a byte. The drop is counted in
+    /// [`DeviceStats::checksum_drops`] only — it is neither a parse trap
+    /// nor a program trap, touches no trap window, and can never push
+    /// any tenant's program toward quarantine. The caller sees the typed
+    /// [`FlexError::ChecksumMismatch`] so transport-layer retry/breaker
+    /// machinery reacts, not program-fault accounting.
+    pub fn process_sealed_bytes(
+        &mut self,
+        sealed: &[u8],
+        id: u64,
+        now: SimTime,
+    ) -> Result<ProcessResult> {
+        self.ensure_up()?;
+        match crate::wire::open_frame(sealed) {
+            Ok(body) => self.process_bytes(body, id, now),
+            Err(e) => {
+                self.stats.checksum_drops += 1;
+                Err(e)
+            }
         }
     }
 

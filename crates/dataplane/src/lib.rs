@@ -38,10 +38,10 @@ pub use baseline::{Hyper4Device, MantisDevice};
 pub use cost::CostModel;
 pub use device::{
     config_digest_of, Device, DeviceStats, ExecMode, InstalledProgram, ProcessResult,
-    SandboxConfig, EMPTY_CONFIG_DIGEST,
+    SandboxConfig, DEDUP_WINDOW, EMPTY_CONFIG_DIGEST,
 };
 pub use parser::ParserGraph;
 pub use reconfig::{ReconfigMode, ReconfigOutcome, ReconfigReport, TxnTag};
 pub use state::{DeviceState, LogicalState, StateEncoding};
 pub use table::{KeyMatch, TableEntry, TableInstance, TableSet};
-pub use wire::{encode_wire, parse_wire};
+pub use wire::{encode_wire, flip_bits, frame_checksum, open_frame, parse_wire, seal_frame};

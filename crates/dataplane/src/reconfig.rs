@@ -240,6 +240,11 @@ impl Device {
     /// empty device still installs immediately (there is no old program to
     /// keep serving), which the returned report's `Committed` outcome
     /// makes visible to the coordinator.
+    /// Prepare is idempotent per transaction: a duplicate prepare for
+    /// the transaction that already owns the in-flight shadow (a
+    /// duplicated fabric delivery, or a coordinator retry after a lost
+    /// ack) is re-acknowledged — the shadow is **not** rebuilt and the
+    /// transition clock does not restart.
     pub fn prepare_txn_reconfig(
         &mut self,
         target: ProgramBundle,
@@ -247,6 +252,21 @@ impl Device {
         tag: TxnTag,
     ) -> Result<ReconfigReport> {
         self.observe_epoch(tag.epoch)?;
+        if let Some(p) = self.pending.as_ref() {
+            if let Some(t) = p.txn {
+                if t.txn_id == tag.txn_id {
+                    // Duplicate delivery of our own prepare: ack the
+                    // existing shadow as-is (exactly-once application).
+                    return Ok(ReconfigReport {
+                        mode: p.mode,
+                        ops: p.ops,
+                        duration: p.ready_at.saturating_since(p.started_at),
+                        ready_at: p.ready_at,
+                        outcome: ReconfigOutcome::InFlight,
+                    });
+                }
+            }
+        }
         let report = self.begin_runtime_reconfig(target, now)?;
         if let Some(p) = self.pending.as_mut() {
             p.txn = Some(tag);
@@ -1003,6 +1023,64 @@ mod tests {
         assert_eq!(r2.verdict, Verdict::Forward(2), "flip happened at commit");
         // A duplicate commit (lost ack) is an idempotent no-op.
         assert!(!d.commit_txn(tag, commit_at).unwrap());
+    }
+
+    #[test]
+    fn duplicate_prepare_is_reacked_not_reapplied() {
+        let mut d = dev();
+        let tag = TxnTag { txn_id: 7, epoch: 1 };
+        let first = d.prepare_txn_reconfig(v2(), SimTime::ZERO, tag).unwrap();
+        let v_before = d.version();
+        // A duplicated fabric delivery of the same prepare, arbitrarily
+        // later: acknowledged with the existing shadow's schedule, the
+        // transition clock does not restart.
+        let dup = d
+            .prepare_txn_reconfig(v2(), SimTime::from_millis(40), tag)
+            .unwrap();
+        assert_eq!(dup.ready_at, first.ready_at, "clock not restarted");
+        assert_eq!(dup.ops, first.ops);
+        assert_eq!(dup.outcome, ReconfigOutcome::InFlight);
+        assert_eq!(d.version(), v_before, "no second shadow was built");
+        assert_eq!(d.pending_txn(), Some(tag));
+        // The shadow still commits exactly once.
+        assert!(d.commit_txn(tag, first.ready_at).unwrap());
+        d.tick(first.ready_at);
+        assert!(!d.reconfig_in_progress());
+        // A *different* transaction's prepare still conflicts.
+        let other = TxnTag { txn_id: 8, epoch: 1 };
+        d.prepare_txn_reconfig(v1(), SimTime::from_secs(1), other)
+            .unwrap();
+        assert!(d
+            .prepare_txn_reconfig(v2(), SimTime::from_secs(1), tag)
+            .is_err());
+    }
+
+    #[test]
+    fn dedup_window_absorbs_replays_bounded_and_persistent() {
+        let mut d = dev();
+        d.absorb_command(0xA1).unwrap();
+        assert!(matches!(
+            d.absorb_command(0xA1),
+            Err(FlexError::StaleDuplicate { token: 0xA1 })
+        ));
+        assert!(d.seen_command(0xA1));
+        // Bounded: a dup-flood of distinct tokens never grows past the
+        // window, evicting oldest-first.
+        for t in 0..(3 * crate::device::DEDUP_WINDOW as u64) {
+            let _ = d.absorb_command(0x1000 + t);
+        }
+        assert_eq!(d.dedup_len(), crate::device::DEDUP_WINDOW);
+        assert!(!d.seen_command(0xA1), "oldest token evicted");
+        // Persistent: the window survives crash + restart, so a replay
+        // delivered after the reboot is still absorbed.
+        d.absorb_command(0xB2).unwrap();
+        d.crash(SimTime::from_millis(1));
+        assert!(d.absorb_command(0xB2).is_err(), "down devices refuse");
+        d.restart(SimTime::from_millis(2)).unwrap();
+        assert!(matches!(
+            d.absorb_command(0xB2),
+            Err(FlexError::StaleDuplicate { token: 0xB2 })
+        ));
     }
 
     #[test]

@@ -14,11 +14,100 @@
 //! round-tripping is pinned by tests and exploited by the fuzz harness
 //! (valid frames must parse; arbitrary bytes must parse-or-trap).
 
-use flexnet_types::{Header, Packet, Result, Trap};
+use flexnet_types::{FlexError, Header, Packet, Result, Trap};
 
 /// Maximum 802.1Q tags the parser will walk before declaring the frame
 /// malformed (real pipelines bound VLAN stacking the same way).
 pub const MAX_VLAN_DEPTH: usize = 4;
+
+/// Length of the integrity trailer appended by [`seal_frame`]: a
+/// big-endian FNV-1a checksum of everything before it.
+pub const FRAME_CHECKSUM_LEN: usize = 8;
+
+/// FNV-1a over the frame bytes — the end-to-end integrity check for
+/// links that can corrupt in flight.
+///
+/// FNV is not cryptographic; the threat model is a *faulty* fabric
+/// (bit flips, truncation), not a malicious one, and a 64-bit FNV
+/// catches any burst the chaos fabric can inject while staying cheap
+/// enough for the per-frame hot path.
+pub fn frame_checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the integrity trailer: `bytes ++ BE64(frame_checksum(bytes))`.
+///
+/// Sealed frames travel links modeled by the adversarial fabric;
+/// [`open_frame`] verifies and strips the trailer at the receiver.
+pub fn seal_frame(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() + FRAME_CHECKSUM_LEN);
+    out.extend_from_slice(bytes);
+    out.extend_from_slice(&frame_checksum(bytes).to_be_bytes());
+    out
+}
+
+/// Verifies and strips the integrity trailer sealed by [`seal_frame`].
+///
+/// Returns the original frame bytes, or [`FlexError::ChecksumMismatch`]
+/// if any bit of the frame (or the trailer itself) changed in flight.
+/// The error is a typed *transport* failure — it feeds the retry/breaker
+/// machinery and is never billed to a program as a parse trap, so
+/// corruption can never push a tenant toward quarantine.
+pub fn open_frame(bytes: &[u8]) -> Result<&[u8]> {
+    if bytes.len() < FRAME_CHECKSUM_LEN {
+        // Too short to even carry a trailer: treat as a zero-want
+        // mismatch so the caller still sees a transport failure.
+        return Err(FlexError::ChecksumMismatch {
+            want: 0,
+            got: frame_checksum(bytes),
+        });
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - FRAME_CHECKSUM_LEN);
+    let want = u64::from_be_bytes(trailer.try_into().expect("8-byte trailer"));
+    let got = frame_checksum(body);
+    if want != got {
+        return Err(FlexError::ChecksumMismatch { want, got });
+    }
+    Ok(body)
+}
+
+/// Flips `flips` pseudo-randomly chosen bits of `bytes` in place, seeded
+/// by `seed` — the chaos harness's in-flight corruption primitive.
+///
+/// Deterministic: the same `(len, seed, flips)` always mangles the same
+/// bits, so E20 corruption schedules replay exactly. Distinct flip
+/// positions are chosen (a bit is never flipped back by a later draw),
+/// guaranteeing the frame genuinely differs from the original whenever
+/// `flips > 0` and the buffer is non-empty.
+pub fn flip_bits(bytes: &mut [u8], seed: u64, flips: u32) {
+    if bytes.is_empty() {
+        return;
+    }
+    let total_bits = bytes.len() as u64 * 8;
+    let mut state = seed;
+    let mut chosen = Vec::with_capacity(flips as usize);
+    for _ in 0..flips.min(total_bits as u32) {
+        // splitmix64 step — same generator the fabric schedules use.
+        let mut pos;
+        loop {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            pos = (z ^ (z >> 31)) % total_bits;
+            if !chosen.contains(&pos) {
+                break;
+            }
+        }
+        chosen.push(pos);
+        bytes[(pos / 8) as usize] ^= 1 << (pos % 8);
+    }
+}
 
 fn trap(reason: impl Into<String>) -> flexnet_types::FlexError {
     Trap::MalformedPacket {
@@ -435,6 +524,73 @@ mod tests {
             b.extend_from_slice(&[0x00, 0x01, 0x81, 0x00]);
         }
         assert!(parse_trap(&b).contains("vlan stack deeper"));
+    }
+
+    #[test]
+    fn sealed_frames_open_clean_and_catch_any_flip() {
+        let mut pkt = Packet::tcp(7, 0x0a000001, 0x0a000002, 1234, 80, 0x12);
+        pkt.payload = vec![0xde, 0xad, 0xbe, 0xef].into();
+        pkt.payload_len = 4;
+        let bytes = encode_wire(&pkt);
+        let sealed = seal_frame(&bytes);
+        assert_eq!(sealed.len(), bytes.len() + FRAME_CHECKSUM_LEN);
+        assert_eq!(open_frame(&sealed).unwrap(), &bytes[..]);
+
+        // Every single-bit flip anywhere in the sealed frame — body or
+        // trailer — is caught as a typed transport failure.
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut corrupt = sealed.clone();
+                corrupt[byte] ^= 1 << bit;
+                match open_frame(&corrupt) {
+                    Err(FlexError::ChecksumMismatch { want, got }) => assert_ne!(want, got),
+                    other => panic!(
+                        "flip at byte {byte} bit {bit}: expected ChecksumMismatch, got {other:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runt_sealed_frames_are_transport_failures_not_traps() {
+        for len in 0..FRAME_CHECKSUM_LEN {
+            let junk = vec![0xAB; len];
+            match open_frame(&junk) {
+                Err(FlexError::ChecksumMismatch { .. }) => {}
+                other => panic!("runt of {len} bytes: expected ChecksumMismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_checksum_is_order_sensitive() {
+        // FNV-1a must distinguish reorderings, not just byte multisets.
+        assert_ne!(frame_checksum(&[1, 2, 3]), frame_checksum(&[3, 2, 1]));
+        assert_ne!(frame_checksum(&[]), frame_checksum(&[0]));
+    }
+
+    #[test]
+    fn flip_bits_is_deterministic_and_always_mutates() {
+        let original: Vec<u8> = (0u8..64).collect();
+        for seed in [0u64, 1, 0xAD5E, u64::MAX] {
+            for flips in 1..=8u32 {
+                let mut a = original.clone();
+                let mut b = original.clone();
+                flip_bits(&mut a, seed, flips);
+                flip_bits(&mut b, seed, flips);
+                assert_eq!(a, b, "same seed, same damage");
+                assert_ne!(a, original, "flips must actually flip");
+                let changed: u32 = a
+                    .iter()
+                    .zip(&original)
+                    .map(|(x, y)| (x ^ y).count_ones())
+                    .sum();
+                assert_eq!(changed, flips, "distinct positions: {flips} bits differ");
+            }
+        }
+        let mut empty: Vec<u8> = vec![];
+        flip_bits(&mut empty, 7, 8); // no panic on empty buffers
     }
 
     #[test]

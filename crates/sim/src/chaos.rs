@@ -577,6 +577,155 @@ pub fn rogue_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<Rogu
         .collect()
 }
 
+/// Where [`RogueScenario`] attacks a device from *inside* its packet
+/// path, an adversarial-fabric scenario attacks the network *between*
+/// controller and device: frames are corrupted in flight, commands are
+/// duplicated and reordered, and links fail in one direction only. Each
+/// variant stresses a different integrity/exactly-once layer — frame
+/// checksums, the device dedup window, heartbeat monotonicity, and the
+/// Unreachable-vs-Dead split-brain guard (E20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AdversaryScenario {
+    /// Heavy in-flight bit-flips on the command path: every mangled frame
+    /// must die at the checksum (a retryable transport failure), never
+    /// reach config logic, and never bill a program's trap window.
+    CorruptStorm,
+    /// Commands and heartbeats delivered two or three times over: the
+    /// device dedup window and idempotent 2PC verbs must absorb every
+    /// replay — acknowledged, not reapplied.
+    DupFlood,
+    /// Bounded reordering delays command/heartbeat copies by several
+    /// slots: stale heartbeats must never regress `boot_id` or the
+    /// reported digest, and out-of-order command replays must be absorbed.
+    ReorderChurn,
+    /// One direction of a victim's link is severed — the device keeps
+    /// serving traffic and hearing (or sending) but not both. The
+    /// detector must grade it `Unreachable`, not `Dead`, suppressing
+    /// remedial reprovisioning that would split-brain live state.
+    OneWayPartition,
+    /// The partition lands in the middle of a 2PC rollout: retried
+    /// Prepare/Flip commands after heal must be absorbed exactly-once and
+    /// the fleet must converge to a single digest.
+    PartitionMidRollout,
+}
+
+impl AdversaryScenario {
+    /// All scenarios, cycled by the sweep.
+    pub const ALL: [AdversaryScenario; 5] = [
+        AdversaryScenario::CorruptStorm,
+        AdversaryScenario::DupFlood,
+        AdversaryScenario::ReorderChurn,
+        AdversaryScenario::OneWayPartition,
+        AdversaryScenario::PartitionMidRollout,
+    ];
+
+    /// A short stable label for tables and test output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdversaryScenario::CorruptStorm => "corrupt-storm",
+            AdversaryScenario::DupFlood => "dup-flood",
+            AdversaryScenario::ReorderChurn => "reorder-churn",
+            AdversaryScenario::OneWayPartition => "one-way-partition",
+            AdversaryScenario::PartitionMidRollout => "partition-mid-rollout",
+        }
+    }
+}
+
+/// Everything an adversarial-fabric chaos run does, derived from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarySchedule {
+    /// The originating seed (kept for reproduction in reports).
+    pub seed: u64,
+    /// Which fabric fault this run leans on.
+    pub scenario: AdversaryScenario,
+    /// Fleet index of the partition victim (partition scenarios) or the
+    /// device whose command stream takes the brunt of the fault.
+    pub victim: usize,
+    /// Baseline drop probability of the controller↔device fabric, drawn
+    /// from the standard {0, 10%, 25%} tiers.
+    pub fabric_loss: f64,
+    /// Per-command in-flight corruption probability.
+    pub corrupt_prob: f64,
+    /// Per-command duplication probability.
+    pub dup_prob: f64,
+    /// Per-heartbeat reorder probability.
+    pub reorder_prob: f64,
+    /// Maximum reorder displacement in heartbeat slots (≤ 8, matching the
+    /// dedup-window sizing argument).
+    pub reorder_depth: usize,
+    /// Partition scenarios: `true` severs the device→controller (up)
+    /// direction — acks and heartbeats die, commands still land; `false`
+    /// severs controller→device — the device keeps heartbeating but
+    /// hears nothing.
+    pub partition_up: bool,
+    /// Partition scenarios: milliseconds after the run starts at which
+    /// the severed direction heals.
+    pub heal_after_ms: u64,
+    /// How many config commands the controller pushes through the
+    /// adversarial fabric during the run.
+    pub commands: u32,
+    /// Seed for the controller Raft cluster.
+    pub raft_seed: u64,
+}
+
+impl AdversarySchedule {
+    /// Expands `seed` into an adversarial-fabric schedule over
+    /// `participants` devices.
+    ///
+    /// The scenario cycles with the seed (any contiguous run of ≥5 seeds
+    /// covers every fault class; seeds ≡ 4 mod 5 are the partition-mid-
+    /// rollout runs), severity knobs come from the mixed seed, and the
+    /// scenario decides which fault dominates — the others idle at
+    /// background levels so every run still exercises all defenses.
+    pub fn from_seed(seed: u64, participants: usize) -> AdversarySchedule {
+        let h = mix(seed ^ 0xAD5E_7ACE);
+        let scenario = AdversaryScenario::ALL[(seed % 5) as usize];
+        let victim = if participants > 0 {
+            ((h >> 3) as usize) % participants
+        } else {
+            0
+        };
+        let tier = |lo: f64, mid: f64, hi: f64| match (h >> 5) % 3 {
+            0 => lo,
+            1 => mid,
+            _ => hi,
+        };
+        let (corrupt_prob, dup_prob, reorder_prob) = match scenario {
+            AdversaryScenario::CorruptStorm => (tier(0.30, 0.50, 0.70), 0.05, 0.05),
+            AdversaryScenario::DupFlood => (0.02, tier(0.40, 0.60, 0.80), 0.10),
+            AdversaryScenario::ReorderChurn => (0.02, 0.10, tier(0.40, 0.60, 0.80)),
+            AdversaryScenario::OneWayPartition
+            | AdversaryScenario::PartitionMidRollout => (0.05, 0.10, 0.10),
+        };
+        AdversarySchedule {
+            seed,
+            scenario,
+            victim,
+            fabric_loss: match (h >> 8) % 3 {
+                0 => 0.0,
+                1 => 0.10,
+                _ => 0.25,
+            },
+            corrupt_prob,
+            dup_prob,
+            reorder_prob,
+            reorder_depth: 2 + ((h >> 14) % 7) as usize,
+            partition_up: (h >> 16) & 1 == 1,
+            heal_after_ms: 800 + ((h >> 18) % 5) * 400,
+            commands: 8 + ((h >> 24) % 9) as u32,
+            raft_seed: mix(seed ^ 0x0DD_5EED),
+        }
+    }
+}
+
+/// The adversary schedules for a contiguous seed range (E20's sweep
+/// shape).
+pub fn adversary_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<AdversarySchedule> {
+    (first_seed..first_seed.saturating_add(count))
+        .map(|s| AdversarySchedule::from_seed(s, participants))
+        .collect()
+}
+
 /// The convergence check at the heart of anti-entropy: which of the
 /// devices in `intended` report a configuration digest different from
 /// their intended-state digest? An empty return means the network is
@@ -798,6 +947,52 @@ mod tests {
             }
         }
         for s in rogue_sweep(0, 16, 0) {
+            assert_eq!(s.victim, 0, "empty fleets pin the victim index");
+        }
+    }
+
+    #[test]
+    fn adversary_schedules_cover_scenarios_and_stay_in_bounds() {
+        for start in [0u64, 2, 997] {
+            let mut scenarios: Vec<AdversaryScenario> = adversary_sweep(start, 5, 16)
+                .iter()
+                .map(|s| s.scenario)
+                .collect();
+            scenarios.sort();
+            scenarios.dedup();
+            assert_eq!(
+                scenarios.len(),
+                5,
+                "seeds {start}..{} miss a scenario",
+                start + 5
+            );
+        }
+        for s in adversary_sweep(0, 120, 16) {
+            assert_eq!(s, AdversarySchedule::from_seed(s.seed, 16), "deterministic");
+            assert!(s.victim < 16, "seed {}", s.seed);
+            assert!((0.0..=0.25).contains(&s.fabric_loss));
+            assert!((0.0..=0.70).contains(&s.corrupt_prob));
+            assert!((0.0..=0.80).contains(&s.dup_prob));
+            assert!((0.0..=0.80).contains(&s.reorder_prob));
+            assert!((2..=8).contains(&s.reorder_depth));
+            assert!((800..=2400).contains(&s.heal_after_ms));
+            assert!((8..=16).contains(&s.commands));
+            match s.scenario {
+                AdversaryScenario::CorruptStorm => assert!(s.corrupt_prob >= 0.30),
+                AdversaryScenario::DupFlood => assert!(s.dup_prob >= 0.40),
+                AdversaryScenario::ReorderChurn => assert!(s.reorder_prob >= 0.40),
+                _ => {}
+            }
+            if s.seed % 5 == 4 {
+                assert_eq!(
+                    s.scenario,
+                    AdversaryScenario::PartitionMidRollout,
+                    "seeds ≡ 4 mod 5 are the mid-rollout partitions (seed {})",
+                    s.seed
+                );
+            }
+        }
+        for s in adversary_sweep(0, 16, 0) {
             assert_eq!(s.victim, 0, "empty fleets pin the victim index");
         }
     }

@@ -28,9 +28,9 @@ pub mod topology;
 pub mod workload;
 
 pub use chaos::{
-    diverged, overload_sweep, restart_sweep, rogue_sweep, rollout_sweep, sweep, ChaosSchedule,
-    CrashPhase, OverloadSchedule, OverloadScenario, RestartSchedule, RogueScenario, RogueSchedule,
-    RolloutFault, RolloutSchedule,
+    adversary_sweep, diverged, overload_sweep, restart_sweep, rogue_sweep, rollout_sweep, sweep,
+    AdversarySchedule, AdversaryScenario, ChaosSchedule, CrashPhase, OverloadSchedule,
+    OverloadScenario, RestartSchedule, RogueScenario, RogueSchedule, RolloutFault, RolloutSchedule,
 };
 pub use engine::{Command, LogBuffer, Simulation, DEFAULT_LOG_CAP};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};

@@ -301,6 +301,41 @@ pub enum FlexError {
     /// re-executing the same packet against the same program reproduces
     /// the trap.
     Trap(Trap),
+    /// A frame failed its end-to-end integrity check: the checksum the
+    /// sender sealed into the frame does not match what the receiver
+    /// computed over the bytes that arrived. Indicts the *fabric*, not
+    /// the payload's author — a corrupted control command or wire frame
+    /// is a transport failure (retransmission gets a fresh copy), never
+    /// a parse trap billed to a program. Retryable by design: it feeds
+    /// the same breaker/retry machinery as `Timeout`/`Unavailable`.
+    ChecksumMismatch {
+        /// The checksum sealed into the frame by the sender.
+        want: u64,
+        /// The checksum the receiver computed over the received bytes.
+        got: u64,
+    },
+    /// A command carried an idempotency token the receiver has already
+    /// absorbed: this is a duplicate delivery (fabric duplication, or a
+    /// retry of a command whose ack was lost) of work that is already
+    /// done. *Not* retryable — retrying a duplicate just produces
+    /// another duplicate; the caller should treat it as success-shaped
+    /// ("already applied") and consult device state if it needs the
+    /// original outcome.
+    StaleDuplicate {
+        /// The idempotency token that was replayed.
+        token: u64,
+    },
+    /// A one-way partition: the node is alive and serving traffic (we
+    /// have indirect evidence — data-plane counters advancing, peers
+    /// relaying its liveness) but its control-channel replies never
+    /// reach us. Distinct from `Unavailable` (which means *down*):
+    /// remedial reprovisioning of an `Unreachable` device would
+    /// split-brain a device that is still forwarding. Retryable — the
+    /// partition heals, after which the same call succeeds.
+    Unreachable {
+        /// The node we cannot hear from.
+        node: u64,
+    },
     /// Bytecode lowering could not resolve a name to a slot index.
     ///
     /// Surfaced at install/compile time — a program that references a
@@ -387,6 +422,18 @@ impl fmt::Display for FlexError {
                 f,
                 "backpressure from {what}: requeue and retry after {retry_after}"
             ),
+            FlexError::ChecksumMismatch { want, got } => write!(
+                f,
+                "frame checksum mismatch: sealed {want:#018x}, computed {got:#018x} (corrupted in flight)"
+            ),
+            FlexError::StaleDuplicate { token } => write!(
+                f,
+                "stale duplicate: idempotency token {token:#x} already absorbed"
+            ),
+            FlexError::Unreachable { node } => write!(
+                f,
+                "node {node} unreachable: alive but its replies never arrive (one-way partition)"
+            ),
             FlexError::Trap(t) => write!(f, "data-plane trap: {t}"),
             FlexError::UnresolvedSymbol { kind, name } => {
                 write!(f, "unresolved {kind} `{name}` during bytecode lowering")
@@ -422,6 +469,13 @@ impl FlexError {
     /// retryable (the breaker cools down, the queue drains), while
     /// [`FlexError::RetryBudgetExhausted`] is *not* — the budget is the
     /// layer that stops retries; retrying on it would defeat it.
+    ///
+    /// The adversarial-fabric errors split the same way:
+    /// [`FlexError::ChecksumMismatch`] is retryable (a retransmission
+    /// gets an uncorrupted copy), [`FlexError::Unreachable`] is
+    /// retryable (the partition heals), but
+    /// [`FlexError::StaleDuplicate`] is *not* — the work is already
+    /// done; retrying manufactures more duplicates.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -430,7 +484,48 @@ impl FlexError {
                 | FlexError::DegradedDevice { .. }
                 | FlexError::CircuitOpen { .. }
                 | FlexError::Backpressure { .. }
+                | FlexError::ChecksumMismatch { .. }
+                | FlexError::Unreachable { .. }
         )
+    }
+
+    /// Single-token label for accounting, metrics, and log lines.
+    ///
+    /// Stable: these tokens are written into experiment summaries and
+    /// matched by CI smoke checks, so renaming one is a breaking change.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlexError::Parse { .. } => "parse",
+            FlexError::Type(_) => "type",
+            FlexError::Verify(_) => "verify",
+            FlexError::Compile(_) => "compile",
+            FlexError::ResourceExhausted { .. } => "resource-exhausted",
+            FlexError::Reconfig(_) => "reconfig",
+            FlexError::NotFound(_) => "not-found",
+            FlexError::Denied(_) => "denied",
+            FlexError::Patch(_) => "patch",
+            FlexError::Conflict(_) => "conflict",
+            FlexError::Consensus(_) => "consensus",
+            FlexError::Sim(_) => "sim",
+            FlexError::SlaViolation(_) => "sla-violation",
+            FlexError::Timeout(_) => "timeout",
+            FlexError::Unavailable(_) => "unavailable",
+            FlexError::Fenced { .. } => "fenced",
+            FlexError::NoLeader { .. } => "no-leader",
+            FlexError::DigestMismatch { .. } => "digest-mismatch",
+            FlexError::ResyncInProgress { .. } => "resync-in-progress",
+            FlexError::SloViolation { .. } => "slo-violation",
+            FlexError::RolloutAborted { .. } => "rollout-aborted",
+            FlexError::DegradedDevice { .. } => "degraded-device",
+            FlexError::CircuitOpen { .. } => "circuit-open",
+            FlexError::RetryBudgetExhausted { .. } => "retry-budget-exhausted",
+            FlexError::Backpressure { .. } => "backpressure",
+            FlexError::ChecksumMismatch { .. } => "checksum-mismatch",
+            FlexError::StaleDuplicate { .. } => "stale-duplicate",
+            FlexError::Unreachable { .. } => "unreachable",
+            FlexError::Trap(t) => t.label(),
+            FlexError::UnresolvedSymbol { .. } => "unresolved-symbol",
+        }
     }
 
     /// Shorthand for a parse error.
@@ -610,6 +705,69 @@ mod tests {
             bp.is_retryable(),
             "admission pressure clears as the queue drains"
         );
+    }
+
+    #[test]
+    fn adversarial_fabric_errors_format_label_and_classify() {
+        let bad = FlexError::ChecksumMismatch {
+            want: 0xABCD,
+            got: 0x1234,
+        };
+        let s = bad.to_string();
+        assert!(s.contains("0x000000000000abcd"), "{s}");
+        assert!(s.contains("0x0000000000001234"), "{s}");
+        assert_eq!(bad.label(), "checksum-mismatch");
+        assert!(
+            bad.is_retryable(),
+            "a retransmission gets an uncorrupted copy; retrying helps"
+        );
+
+        let dup = FlexError::StaleDuplicate { token: 0xBEEF };
+        assert!(dup.to_string().contains("0xbeef"));
+        assert_eq!(dup.label(), "stale-duplicate");
+        assert!(
+            !dup.is_retryable(),
+            "the work is already done; retrying manufactures more duplicates"
+        );
+
+        let one_way = FlexError::Unreachable { node: 6 };
+        assert!(one_way.to_string().contains("node 6"));
+        assert_eq!(one_way.label(), "unreachable");
+        assert!(
+            one_way.is_retryable(),
+            "the partition heals; the same call then succeeds"
+        );
+    }
+
+    #[test]
+    fn labels_are_stable_single_tokens() {
+        let cases: Vec<(FlexError, &str)> = vec![
+            (FlexError::Timeout("x".into()), "timeout"),
+            (FlexError::Unavailable("x".into()), "unavailable"),
+            (
+                FlexError::CircuitOpen {
+                    node: 1,
+                    retry_after: SimDuration::from_millis(1),
+                },
+                "circuit-open",
+            ),
+            (FlexError::RetryBudgetExhausted { dest: 1 }, "retry-budget-exhausted"),
+            (FlexError::ChecksumMismatch { want: 1, got: 2 }, "checksum-mismatch"),
+            (FlexError::StaleDuplicate { token: 1 }, "stale-duplicate"),
+            (FlexError::Unreachable { node: 1 }, "unreachable"),
+            (
+                FlexError::Trap(Trap::MalformedPacket { reason: "x".into() }),
+                "malformed-packet",
+            ),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.label(), want);
+            assert!(
+                !e.label().contains(' '),
+                "labels are single tokens: {}",
+                e.label()
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! - interval-analysis soundness against the interpreter,
 //! - verifier-certified register safety under arbitrary traffic,
 //! - resource-vector algebra,
-//! - LPM longest-prefix-wins semantics.
+//! - LPM longest-prefix-wins semantics,
+//! - exactly-once control semantics under duplication and restart (E20).
 
 use flexnet::prelude::*;
 use flexnet_lang::ast::{
@@ -302,5 +303,125 @@ proptest! {
     fn glob_matching_total_and_star_is_universal(name in "[a-z_]{0,12}") {
         prop_assert!(flexnet_lang::patch::glob_match("*", &name));
         prop_assert!(flexnet_lang::patch::glob_match(&name, &name));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once control semantics (E20): the idempotency-token dedup
+// window and replayed two-phase-commit commands.
+// ---------------------------------------------------------------------------
+
+fn fresh_device() -> Device {
+    Device::new(
+        NodeId(1),
+        Architecture::drmt_default(),
+        StateEncoding::StatefulTable,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A dup-flood of arbitrary tokens: the window never grows past
+    /// `DEDUP_WINDOW`, and every absorb outcome matches `seen_command`
+    /// at the moment of the call — a token inside the window is a
+    /// `StaleDuplicate`, a token outside it applies.
+    #[test]
+    fn dedup_window_stays_bounded_under_dup_floods(
+        tokens in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let mut d = fresh_device();
+        for &t in &tokens {
+            let was_seen = d.seen_command(t);
+            match d.absorb_command(t) {
+                Ok(()) => prop_assert!(!was_seen, "token {t} applied while in window"),
+                Err(flexnet_types::FlexError::StaleDuplicate { token }) => {
+                    prop_assert_eq!(token, t);
+                    prop_assert!(was_seen, "token {t} rejected while outside window");
+                }
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+            prop_assert!(
+                d.dedup_len() <= flexnet_dataplane::DEDUP_WINDOW,
+                "dedup window grew to {}",
+                d.dedup_len()
+            );
+        }
+    }
+
+    /// Idempotency survives a device reboot: tokens absorbed before a
+    /// crash are still rejected as duplicates when replayed after the
+    /// restart (the window persists like `fence` and `boot_id`).
+    #[test]
+    fn command_dedup_survives_restart(
+        raw in prop::collection::vec(any::<u64>(), 1..=flexnet_dataplane::DEDUP_WINDOW),
+    ) {
+        let raw: std::collections::BTreeSet<u64> = raw.into_iter().collect();
+        let mut d = fresh_device();
+        for &t in &raw {
+            d.absorb_command(t).expect("first delivery applies");
+        }
+        d.crash(SimTime::from_millis(10));
+        d.restart(SimTime::from_millis(20)).expect("restarts");
+        for &t in &raw {
+            prop_assert!(
+                matches!(
+                    d.absorb_command(t),
+                    Err(flexnet_types::FlexError::StaleDuplicate { token }) if token == t
+                ),
+                "token {t} reapplied after restart"
+            );
+        }
+        prop_assert!(d.dedup_len() <= flexnet_dataplane::DEDUP_WINDOW);
+    }
+
+    /// Replayed two-phase-commit commands (a coordinator retrying after
+    /// a lost ack, or the fabric duplicating a frame) are absorbed
+    /// exactly once: duplicate prepares re-ack the existing shadow
+    /// without rebuilding it, duplicate commits are idempotent, and the
+    /// device ends on the same digest a single clean delivery produces.
+    #[test]
+    fn replayed_2pc_commands_are_absorbed_exactly_once(
+        prepare_dups in 1usize..4,
+        commit_dups in 1usize..4,
+        txn_id in 1u64..u64::MAX,
+    ) {
+        use flexnet_dataplane::{ReconfigOutcome, TxnTag};
+        let v1 = flexnet::apps::security::firewall(16).unwrap();
+        let v2 = flexnet::apps::security::firewall(32).unwrap();
+
+        // Reference: one clean prepare/commit, no replays.
+        let mut clean = fresh_device();
+        clean.install(v1.clone()).unwrap();
+        let tag = TxnTag { txn_id, epoch: 1 };
+        let t0 = SimTime::from_millis(100);
+        clean.prepare_txn_reconfig(v2.clone(), t0, tag).unwrap();
+        clean.commit_txn(tag, t0).unwrap();
+        clean.tick(SimTime::from_secs(30));
+        prop_assert!(!clean.reconfig_in_progress());
+
+        // Device under test: every command delivered 1 + N times.
+        let mut d = fresh_device();
+        d.install(v1).unwrap();
+        let first = d.prepare_txn_reconfig(v2.clone(), t0, tag).unwrap();
+        for _ in 0..prepare_dups {
+            let replay = d
+                .prepare_txn_reconfig(v2.clone(), SimTime::from_millis(150), tag)
+                .expect("duplicate prepare re-acks");
+            // The shadow is not rebuilt: same flip time, and the replay
+            // reports the in-flight transition rather than a new one.
+            prop_assert_eq!(replay.outcome, ReconfigOutcome::InFlight);
+            prop_assert_eq!(replay.ready_at, first.ready_at);
+        }
+        prop_assert!(d.commit_txn(tag, t0).unwrap(), "first commit releases");
+        d.tick(SimTime::from_secs(30));
+        for _ in 0..commit_dups {
+            // After the flip the shadow is gone; a replayed commit is a
+            // no-op `false`, never an error and never a second flip.
+            prop_assert!(!d.commit_txn(tag, SimTime::from_secs(31)).unwrap());
+        }
+        prop_assert!(!d.reconfig_in_progress());
+        prop_assert_eq!(d.version(), clean.version(), "flipped exactly once");
+        prop_assert_eq!(d.config_digest(), clean.config_digest());
     }
 }

@@ -13,6 +13,11 @@
 //!    single charge) in BOTH engines, with identical verdicts, op
 //!    counts, and trap variants.
 //!
+//! A third property anchors the E20 integrity story: any sealed frame
+//! corrupted in flight (1–8 flipped bits) is rejected by the checksum
+//! **before** program execution — it never panics, never parse-traps,
+//! and never counts against the program's quarantine ledger.
+//!
 //! Failures pin to `tests/sandbox_fuzz.proptest-regressions`, mirroring
 //! the existing property suites.
 
@@ -75,6 +80,45 @@ proptest! {
             frames.len() as u64,
             "every frame either parsed or parse-trapped"
         );
+    }
+
+    /// Corrupt-in-flight (E20): a *valid* frame is sealed with its FNV
+    /// checksum, then 1–8 bits flip on the wire. The device rejects it at
+    /// the integrity boundary — a typed `ChecksumMismatch`, never a
+    /// panic — and the damage is billed to the fabric (`checksum_drops`),
+    /// never to the program: no parse trap, no processed packet, no
+    /// quarantine.
+    #[test]
+    fn corrupted_sealed_frames_never_reach_the_program(
+        srcs in proptest::collection::vec(any::<u32>(), 1..16),
+        flip_seed in any::<u64>(),
+        flips in 1u32..=8,
+    ) {
+        use flexnet_dataplane::{flip_bits, seal_frame};
+        let bundle = flexnet::apps::security::firewall(16).unwrap();
+        let mut d = Device::new(
+            NodeId(1),
+            Architecture::drmt_default(),
+            StateEncoding::StatefulTable,
+        );
+        d.install(bundle).unwrap();
+        let before = d.stats();
+        for (i, &s) in srcs.iter().enumerate() {
+            let pkt = Packet::tcp(i as u64, s, s ^ 9, 1000, 80, 0);
+            let mut sealed = seal_frame(&encode_wire(&pkt));
+            flip_bits(&mut sealed, flip_seed.wrapping_add(i as u64), flips);
+            let r = d.process_sealed_bytes(&sealed, i as u64, SimTime::from_millis(i as u64));
+            prop_assert!(
+                matches!(r, Err(FlexError::ChecksumMismatch { .. })),
+                "frame {i}: corruption slipped past the checksum: {r:?}"
+            );
+        }
+        let after = d.stats();
+        prop_assert_eq!(after.checksum_drops, srcs.len() as u64, "every frame billed to the fabric");
+        prop_assert_eq!(after.parse_traps, before.parse_traps, "no parse trap for wire damage");
+        prop_assert_eq!(after.processed, before.processed, "no corrupted frame executed");
+        prop_assert_eq!(after.traps, before.traps, "no program trap for wire damage");
+        prop_assert!(!d.quarantined(), "wire corruption quarantined the program");
     }
 }
 
