@@ -211,6 +211,11 @@ impl BreakerSet {
     /// [`FlexError::StaleDuplicate`] is the opposite: the device not
     /// only answered, it had *already done the work* — unambiguous
     /// contact.
+    /// Storage errors classify the same way: a failed record checksum
+    /// ([`flexnet_types::StorageError::ChecksumFailed`]) means the medium
+    /// mangled the exchange with the platter — the storage-shaped twin
+    /// of a fabric `ChecksumMismatch` — while a typed `NoSpace` refusal
+    /// is a well-formed answer (contact).
     pub fn counts_as_failure(e: &FlexError) -> bool {
         matches!(
             e,
@@ -219,6 +224,7 @@ impl BreakerSet {
                 | FlexError::NoLeader { .. }
                 | FlexError::ChecksumMismatch { .. }
                 | FlexError::Unreachable { .. }
+                | FlexError::Storage(flexnet_types::StorageError::ChecksumFailed { .. })
         )
     }
 
@@ -537,6 +543,36 @@ mod tests {
         let t2 = t + SimDuration::from_millis(120);
         assert_eq!(set.guarded(n, t2, || Ok(1)).unwrap(), 1);
         assert_eq!(set.state(n, t2), BreakerState::Closed);
+    }
+
+    #[test]
+    fn storage_errors_classify_like_their_transport_twins() {
+        use flexnet_types::StorageError;
+        // A failed record checksum is the storage twin of a fabric
+        // ChecksumMismatch: medium fault, counts against the breaker.
+        assert!(BreakerSet::counts_as_failure(&FlexError::Storage(
+            StorageError::ChecksumFailed {
+                segment: 1,
+                want: 2,
+                got: 3
+            }
+        )));
+        // Typed refusals and recovery outcomes are well-formed answers.
+        assert!(!BreakerSet::counts_as_failure(&FlexError::Storage(
+            StorageError::NoSpace {
+                needed: 64,
+                capacity: 32
+            }
+        )));
+        assert!(!BreakerSet::counts_as_failure(&FlexError::Storage(
+            StorageError::TornRecord {
+                segment: 0,
+                offset: 12
+            }
+        )));
+        assert!(!BreakerSet::counts_as_failure(&FlexError::Storage(
+            StorageError::StaleSnapshot { generation: 2 }
+        )));
     }
 
     #[test]

@@ -37,6 +37,10 @@
 //!   idempotency-token dedup, heartbeat monotonicity, and the
 //!   `Unreachable`-vs-`Dead` split-brain guard under corruption,
 //!   duplication, reordering, and one-way partitions (experiment E20).
+//! - [`storage`] — crash-consistent durable control state: checksummed
+//!   segmented WALs and snapshot generations over simulated disks, the
+//!   recovery scrub (torn-tail truncation, mid-log-rot demotion), intent
+//!   log compaction, and the storage-chaos harness (experiment E21).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -56,6 +60,7 @@ pub mod retry;
 pub mod rollout;
 pub mod sandbox;
 pub mod scale;
+pub mod storage;
 pub mod tenant;
 pub mod txn;
 pub mod wal;
@@ -95,4 +100,9 @@ pub use txn::{
     logged_transactional_reconfig, transactional_reconfig, transactional_reconfig_over,
     LoggedTxnReport, TxnOutcome, TxnReport,
 };
-pub use wal::{IntentRecord, ReplicatedIntentLog};
+pub use storage::{
+    compact_records, replay_digest, run_storage_seed, run_storage_seed_with, state_digest,
+    NodeStorage, ScrubOutcome, SegmentedWal, SnapshotStore, StorageCounters, StorageProtections,
+    StorageReport,
+};
+pub use wal::{CompactionReport, IntentRecord, ReplicatedIntentLog};

@@ -155,6 +155,9 @@ pub fn recover(
             | IntentRecord::RolloutAborted { .. }
             | IntentRecord::RolloutCompleted { .. }
             | IntentRecord::RolledBack { .. } => continue,
+            // Compaction markers carry the id high-water mark for the
+            // allocator; they are not a transaction's phase record.
+            IntentRecord::Compacted { .. } => continue,
             _ => {}
         }
         last.insert(rec.txn(), rec.clone());
@@ -176,7 +179,8 @@ pub fn recover(
             | IntentRecord::WaveCommitted { .. }
             | IntentRecord::RolloutAborted { .. }
             | IntentRecord::RolloutCompleted { .. }
-            | IntentRecord::RolledBack { .. } => {}
+            | IntentRecord::RolledBack { .. }
+            | IntentRecord::Compacted { .. } => {}
             IntentRecord::Intent { .. } | IntentRecord::Prepared { .. } => {
                 // No flip was ever scheduled: no participant can have
                 // flipped, so rolling back restores the old program
@@ -344,16 +348,14 @@ fn commit_on(
             // Nothing pending: the device either flipped already (its
             // image matches the target) or lost the shadow in a crash —
             // then the commit decision obliges us to re-prepare it.
-            let needs = {
-                match (sim.topo.node(node).map(|n| &n.device), target) {
-                    (Some(dev), Some(want)) => {
-                        dev.program().map(|p| &p.bundle != want).unwrap_or(true)
-                    }
-                    _ => false,
+            let needs = match (sim.topo.node(node).map(|n| &n.device), target) {
+                (Some(dev), Some(want)) if dev.program().map(|p| &p.bundle != want).unwrap_or(true) => {
+                    Some(want)
                 }
+                _ => None,
             };
-            if needs {
-                let want = target.expect("needs implies a known target").clone();
+            if let Some(want) = needs {
+                let want = want.clone();
                 let mut done = false;
                 let out = with_retry(policy, fabric, t, command_rtt(), |at| {
                     if done {

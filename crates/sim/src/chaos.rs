@@ -726,6 +726,144 @@ pub fn adversary_sweep(first_seed: u64, count: u64, participants: usize) -> Vec<
         .collect()
 }
 
+/// Where every earlier schedule breaks a *process* (coordinator, device,
+/// controller) or the *fabric*, a storage scenario breaks the *medium*
+/// the control plane persists into: the crash lands mid-append, the
+/// in-flight record tears, a cold byte rots, the snapshot itself rots,
+/// the disk fills during compaction, or every fsync drags. Each variant
+/// stresses a different layer of the durable-state stack — the fsync
+/// barrier discipline, recovery scrubbing, checksum verification,
+/// snapshot generations, typed `NoSpace` containment, and latency
+/// accounting (E21).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StorageScenario {
+    /// A controller node's disk fails in the middle of a log append: the
+    /// record's bytes are in the volatile buffer, no barrier ever comes,
+    /// and recovery must scrub the torn tail away and rejoin cleanly.
+    CrashMidAppend,
+    /// The mid-append crash composes with a leader kill at a seeded 2PC
+    /// phase: failover and torn-tail recovery race, and the new leader's
+    /// log must win over the scrubbed node's truncated suffix.
+    TornTailOnFailover,
+    /// A bit rots in the *cold* region of a follower's log — bytes synced
+    /// long ago, mid-log, with valid records after them. The CRC scrub
+    /// must truncate at the rot, demote the node to catch-up-only (it
+    /// never votes with a hole), and anti-entropy must re-replicate the
+    /// suffix from the leader.
+    BitRotInColdLog,
+    /// The newest snapshot generation rots: recovery must detect the bad
+    /// checksum, fall back to the previous generation, and replay the
+    /// longer tail instead of trusting garbage.
+    RotInSnapshot,
+    /// The snapshot disk is too small for the next generation: compaction
+    /// must fail with typed `NoSpace`, leave the log intact, and the
+    /// cluster must keep operating (slower, never wrong).
+    NoSpaceDuringCompaction,
+    /// Every fsync barrier drags (a lagging disk) while the E13 crash
+    /// schedule runs: acks wait for durability, elections slow down, and
+    /// the run must still converge with the lag fully accounted.
+    LaggingFsync,
+}
+
+impl StorageScenario {
+    /// All scenarios, cycled by the sweep.
+    pub const ALL: [StorageScenario; 6] = [
+        StorageScenario::CrashMidAppend,
+        StorageScenario::TornTailOnFailover,
+        StorageScenario::BitRotInColdLog,
+        StorageScenario::RotInSnapshot,
+        StorageScenario::NoSpaceDuringCompaction,
+        StorageScenario::LaggingFsync,
+    ];
+
+    /// A short stable label for tables and test output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageScenario::CrashMidAppend => "crash-mid-append",
+            StorageScenario::TornTailOnFailover => "torn-tail-on-failover",
+            StorageScenario::BitRotInColdLog => "bit-rot-in-cold-log",
+            StorageScenario::RotInSnapshot => "rot-in-snapshot",
+            StorageScenario::NoSpaceDuringCompaction => "nospace-during-compaction",
+            StorageScenario::LaggingFsync => "lagging-fsync",
+        }
+    }
+}
+
+/// Everything a storage-chaos run does, derived from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageSchedule {
+    /// The originating seed (kept for reproduction in reports).
+    pub seed: u64,
+    /// Which layer of the durable-state stack this run attacks.
+    pub scenario: StorageScenario,
+    /// Controller-node index (0..3) whose disk takes the fault.
+    pub victim: usize,
+    /// Where in the two-phase-commit protocol the composed crash lands
+    /// (used by the failover and lagging-fsync scenarios, which run the
+    /// E13 kill schedule on top of the disk fault).
+    pub crash_phase: CrashPhase,
+    /// The 1-based write index at which the victim's WAL disk trips
+    /// (mid-append scenarios).
+    pub crash_at_write: u64,
+    /// Fsync latency in microseconds ([`StorageScenario::LaggingFsync`]).
+    pub fsync_lag_us: u64,
+    /// Snapshot-disk capacity in bytes
+    /// ([`StorageScenario::NoSpaceDuringCompaction`] pins it small).
+    pub snap_capacity: Option<u64>,
+    /// Drop probability of the controller↔device fabric.
+    pub fabric_loss: f64,
+    /// Seed for the controller Raft cluster.
+    pub raft_seed: u64,
+    /// Seed stream for the per-node disk fault plans.
+    pub disk_seed: u64,
+}
+
+impl StorageSchedule {
+    /// Expands `seed` into a storage schedule over `controllers` nodes.
+    ///
+    /// The scenario cycles with the seed (any contiguous run of ≥6 seeds
+    /// covers every storage layer; seeds ≡ 2 mod 6 are the cold-log rot
+    /// runs and seeds ≡ 3 mod 6 the snapshot rot runs — the CRC-oracle
+    /// scenarios), the crash phase cycles independently, and fabric loss
+    /// comes from the standard {0, 10%, 25%} tiers.
+    pub fn from_seed(seed: u64, controllers: usize) -> StorageSchedule {
+        let h = mix(seed ^ 0xD15C_FA17);
+        let scenario = StorageScenario::ALL[(seed % 6) as usize];
+        let victim = if controllers > 0 {
+            ((h >> 3) as usize) % controllers
+        } else {
+            0
+        };
+        StorageSchedule {
+            seed,
+            scenario,
+            victim,
+            crash_phase: CrashPhase::ALL[((h >> 6) % 4) as usize],
+            crash_at_write: 2 + (h >> 10) % 6,
+            fsync_lag_us: 200 + ((h >> 13) % 4) * 200,
+            snap_capacity: if scenario == StorageScenario::NoSpaceDuringCompaction {
+                Some(24 + (h >> 17) % 40)
+            } else {
+                None
+            },
+            fabric_loss: match (h >> 8) % 3 {
+                0 => 0.0,
+                1 => 0.10,
+                _ => 0.25,
+            },
+            raft_seed: mix(seed ^ 0xD15C_C0DE),
+            disk_seed: mix(seed ^ 0xD15C_5EED),
+        }
+    }
+}
+
+/// The storage schedules for a contiguous seed range (E21's sweep shape).
+pub fn storage_sweep(first_seed: u64, count: u64, controllers: usize) -> Vec<StorageSchedule> {
+    (first_seed..first_seed.saturating_add(count))
+        .map(|s| StorageSchedule::from_seed(s, controllers))
+        .collect()
+}
+
 /// The convergence check at the heart of anti-entropy: which of the
 /// devices in `intended` report a configuration digest different from
 /// their intended-state digest? An empty return means the network is
@@ -994,6 +1132,47 @@ mod tests {
         }
         for s in adversary_sweep(0, 16, 0) {
             assert_eq!(s.victim, 0, "empty fleets pin the victim index");
+        }
+    }
+
+    #[test]
+    fn storage_schedules_cover_scenarios_and_stay_in_bounds() {
+        for start in [0u64, 4, 997] {
+            let mut scenarios: Vec<StorageScenario> = storage_sweep(start, 6, 3)
+                .iter()
+                .map(|s| s.scenario)
+                .collect();
+            scenarios.sort();
+            scenarios.dedup();
+            assert_eq!(
+                scenarios.len(),
+                6,
+                "seeds {start}..{} miss a scenario",
+                start + 6
+            );
+        }
+        for s in storage_sweep(0, 120, 3) {
+            assert_eq!(s, StorageSchedule::from_seed(s.seed, 3), "deterministic");
+            assert!(s.victim < 3, "seed {}", s.seed);
+            assert!((0.0..=0.25).contains(&s.fabric_loss));
+            assert!((2..=7).contains(&s.crash_at_write));
+            assert!((200..=800).contains(&s.fsync_lag_us));
+            match s.scenario {
+                StorageScenario::NoSpaceDuringCompaction => {
+                    let cap = s.snap_capacity.expect("nospace runs cap the disk");
+                    assert!((24..64).contains(&cap), "seed {}", s.seed);
+                }
+                _ => assert_eq!(s.snap_capacity, None, "seed {}", s.seed),
+            }
+            if s.seed % 6 == 2 {
+                assert_eq!(s.scenario, StorageScenario::BitRotInColdLog);
+            }
+            if s.seed % 6 == 3 {
+                assert_eq!(s.scenario, StorageScenario::RotInSnapshot);
+            }
+        }
+        for s in storage_sweep(0, 16, 0) {
+            assert_eq!(s.victim, 0, "empty clusters pin the victim index");
         }
     }
 

@@ -21,6 +21,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;
+pub mod disk;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
@@ -28,10 +29,12 @@ pub mod topology;
 pub mod workload;
 
 pub use chaos::{
-    adversary_sweep, diverged, overload_sweep, restart_sweep, rogue_sweep, rollout_sweep, sweep,
-    AdversarySchedule, AdversaryScenario, ChaosSchedule, CrashPhase, OverloadSchedule,
-    OverloadScenario, RestartSchedule, RogueScenario, RogueSchedule, RolloutFault, RolloutSchedule,
+    adversary_sweep, diverged, overload_sweep, restart_sweep, rogue_sweep, rollout_sweep,
+    storage_sweep, sweep, AdversarySchedule, AdversaryScenario, ChaosSchedule, CrashPhase,
+    OverloadSchedule, OverloadScenario, RestartSchedule, RogueScenario, RogueSchedule,
+    RolloutFault, RolloutSchedule, StorageScenario, StorageSchedule,
 };
+pub use disk::{DiskFaultPlan, DiskStats, SimDisk};
 pub use engine::{Command, LogBuffer, Simulation, DEFAULT_LOG_CAP};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Bucket, LossKind, Metrics, WindowDelta, WindowStats};

@@ -136,6 +136,90 @@ impl fmt::Display for Trap {
     }
 }
 
+/// A typed durable-storage fault: what a crash, a cosmic ray, or a full
+/// disk actually does to persisted control state.
+///
+/// These are the unit of the storage layer's fail-closed contract: a
+/// control plane that cannot prove a log record intact must detect,
+/// truncate, and re-replicate — never replay garbage into the fleet.
+/// Each variant names one physical failure mode of the simulated disk
+/// ([`crate::FlexError::Storage`] carries them through the stack).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record's bytes end before its length prefix promised: the
+    /// write was in flight when the crash hit. Recovery truncates the
+    /// log at the tear — the record was never acknowledged, so nothing
+    /// durable is lost.
+    TornRecord {
+        /// 0-based segment holding the torn record.
+        segment: u64,
+        /// Byte offset of the record header within the segment.
+        offset: u64,
+    },
+    /// A record parsed structurally but its checksum does not match its
+    /// payload: bit rot landed on synced data. The suffix from this
+    /// record on is untrustworthy and must be discarded and re-fetched
+    /// from a replica.
+    ChecksumFailed {
+        /// 0-based segment holding the rotted record.
+        segment: u64,
+        /// The checksum stored in the record header.
+        want: u64,
+        /// The checksum computed over the bytes actually on disk.
+        got: u64,
+    },
+    /// The disk refused a write: capacity exhausted. The write did
+    /// *not* happen (no partial state); compaction or operator action
+    /// frees space.
+    NoSpace {
+        /// Bytes the refused write needed.
+        needed: u64,
+        /// The disk's configured capacity in bytes.
+        capacity: u64,
+    },
+    /// No usable snapshot generation: the requested (or every) snapshot
+    /// failed its checksum, so recovery must fall back to an older
+    /// generation or replay from the log's origin.
+    StaleSnapshot {
+        /// The newest generation that was tried and found rotted.
+        generation: u64,
+    },
+}
+
+impl StorageError {
+    /// Single-token label for accounting and log lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageError::TornRecord { .. } => "torn-record",
+            StorageError::ChecksumFailed { .. } => "checksum-failed",
+            StorageError::NoSpace { .. } => "no-space",
+            StorageError::StaleSnapshot { .. } => "stale-snapshot",
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TornRecord { segment, offset } => {
+                write!(f, "torn record in segment {segment} at offset {offset}")
+            }
+            StorageError::ChecksumFailed { segment, want, got } => write!(
+                f,
+                "record checksum failed in segment {segment}: stored {want:#x}, computed {got:#x} (bit rot)"
+            ),
+            StorageError::NoSpace { needed, capacity } => write!(
+                f,
+                "disk full: write of {needed} bytes refused (capacity {capacity})"
+            ),
+            StorageError::StaleSnapshot { generation } => write!(
+                f,
+                "snapshot generation {generation} unusable (checksum failed); falling back"
+            ),
+        }
+    }
+}
+
 /// Errors produced anywhere in the FlexNet stack.
 ///
 /// A single error enum (rather than one per crate) keeps cross-crate
@@ -336,6 +420,10 @@ pub enum FlexError {
         /// The node we cannot hear from.
         node: u64,
     },
+    /// A durable-storage fault surfaced by the simulated disk layer or
+    /// the crash-consistent log built on it. Retryability splits per
+    /// variant — see [`FlexError::is_retryable`].
+    Storage(StorageError),
     /// Bytecode lowering could not resolve a name to a slot index.
     ///
     /// Surfaced at install/compile time — a program that references a
@@ -435,6 +523,7 @@ impl fmt::Display for FlexError {
                 "node {node} unreachable: alive but its replies never arrive (one-way partition)"
             ),
             FlexError::Trap(t) => write!(f, "data-plane trap: {t}"),
+            FlexError::Storage(s) => write!(f, "storage fault: {s}"),
             FlexError::UnresolvedSymbol { kind, name } => {
                 write!(f, "unresolved {kind} `{name}` during bytecode lowering")
             }
@@ -476,6 +565,16 @@ impl FlexError {
     /// retryable (the partition heals), but
     /// [`FlexError::StaleDuplicate`] is *not* — the work is already
     /// done; retrying manufactures more duplicates.
+    ///
+    /// The storage faults split the same way, mirroring the fabric's
+    /// `ChecksumMismatch` treatment: [`StorageError::NoSpace`] is
+    /// retryable (compaction frees space, after which the same write
+    /// succeeds) and [`StorageError::ChecksumFailed`] is retryable at
+    /// the *caller's* level (the node re-fetches an intact copy from a
+    /// replica, exactly as a retransmission replaces a corrupted
+    /// frame). [`StorageError::TornRecord`] and
+    /// [`StorageError::StaleSnapshot`] are *not* — they are resolved by
+    /// recovery's scrub/fallback path, never by re-issuing the read.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -486,6 +585,9 @@ impl FlexError {
                 | FlexError::Backpressure { .. }
                 | FlexError::ChecksumMismatch { .. }
                 | FlexError::Unreachable { .. }
+                | FlexError::Storage(
+                    StorageError::NoSpace { .. } | StorageError::ChecksumFailed { .. }
+                )
         )
     }
 
@@ -524,6 +626,7 @@ impl FlexError {
             FlexError::StaleDuplicate { .. } => "stale-duplicate",
             FlexError::Unreachable { .. } => "unreachable",
             FlexError::Trap(t) => t.label(),
+            FlexError::Storage(s) => s.label(),
             FlexError::UnresolvedSymbol { .. } => "unresolved-symbol",
         }
     }
@@ -541,6 +644,12 @@ impl FlexError {
 impl From<Trap> for FlexError {
     fn from(t: Trap) -> FlexError {
         FlexError::Trap(t)
+    }
+}
+
+impl From<StorageError> for FlexError {
+    fn from(s: StorageError) -> FlexError {
+        FlexError::Storage(s)
     }
 }
 
@@ -842,6 +951,72 @@ mod tests {
                 !e.is_retryable(),
                 "the same packet reproduces the trap; retrying cannot help"
             );
+        }
+    }
+
+    #[test]
+    fn storage_errors_format_label_and_classify() {
+        let torn = FlexError::Storage(StorageError::TornRecord {
+            segment: 2,
+            offset: 96,
+        });
+        assert!(torn.to_string().contains("segment 2"));
+        assert_eq!(torn.label(), "torn-record");
+        assert!(
+            !torn.is_retryable(),
+            "a tear is resolved by scrub-truncation, not by re-reading"
+        );
+
+        let rot = FlexError::Storage(StorageError::ChecksumFailed {
+            segment: 1,
+            want: 0xAB,
+            got: 0xCD,
+        });
+        assert!(rot.to_string().contains("0xab"), "{rot}");
+        assert_eq!(rot.label(), "checksum-failed");
+        assert!(
+            rot.is_retryable(),
+            "mirrors ChecksumMismatch: a replica re-fetch gets an intact copy"
+        );
+
+        let full = FlexError::Storage(StorageError::NoSpace {
+            needed: 128,
+            capacity: 64,
+        });
+        assert!(full.to_string().contains("128"));
+        assert!(full.to_string().contains("64"));
+        assert_eq!(full.label(), "no-space");
+        assert!(full.is_retryable(), "compaction frees space; retry succeeds");
+
+        let stale = FlexError::Storage(StorageError::StaleSnapshot { generation: 3 });
+        assert!(stale.to_string().contains("generation 3"));
+        assert_eq!(stale.label(), "stale-snapshot");
+        assert!(
+            !stale.is_retryable(),
+            "the fallback chain is recovery's job, not the reader's"
+        );
+
+        // From impl and single-token labels.
+        let e: FlexError = StorageError::NoSpace {
+            needed: 1,
+            capacity: 0,
+        }
+        .into();
+        assert!(matches!(e, FlexError::Storage(_)));
+        for s in [
+            StorageError::TornRecord { segment: 0, offset: 0 },
+            StorageError::ChecksumFailed {
+                segment: 0,
+                want: 0,
+                got: 1,
+            },
+            StorageError::NoSpace {
+                needed: 0,
+                capacity: 0,
+            },
+            StorageError::StaleSnapshot { generation: 0 },
+        ] {
+            assert!(!s.label().contains(' '), "labels are single tokens");
         }
     }
 

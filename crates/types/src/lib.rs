@@ -20,7 +20,7 @@ pub mod packet;
 pub mod resources;
 pub mod time;
 
-pub use error::{FlexError, Result, Trap};
+pub use error::{FlexError, Result, StorageError, Trap};
 pub use id::{AppId, AppUri, LinkId, NodeId, ProgramVersion, TenantId, VlanId};
 pub use packet::{FlowKey, Header, Packet, Verdict};
 pub use resources::{ResourceKind, ResourceVec};
