@@ -104,12 +104,87 @@ fn drive_sandboxed(
         let pkt = &mut ring[(id % 251) as usize];
         ops += dev.process(pkt, SimTime::ZERO).expect("processes").ops;
     }
-    let start = Instant::now();
-    for id in 0..packets {
-        let pkt = &mut ring[(id % 251) as usize];
-        ops += dev.process(pkt, SimTime::ZERO).expect("processes").ops;
+    // Best-of-reps, for the same reason as `drive_burst`: a throttled
+    // host can halve the apparent pps of whichever side runs second, and
+    // the metering gate compares the two sides.
+    let mut best = f64::INFINITY;
+    let mut timed_ops = 0u64;
+    for _ in 0..3 {
+        timed_ops = 0;
+        let start = Instant::now();
+        for id in 0..packets {
+            let pkt = &mut ring[(id % 251) as usize];
+            timed_ops += dev.process(pkt, SimTime::ZERO).expect("processes").ops;
+        }
+        best = best.min(start.elapsed().as_secs_f64());
     }
-    (start.elapsed().as_secs_f64(), ops)
+    (best, ops + timed_ops)
+}
+
+/// Times `packets` packets at burst size `burst` on the bytecode engine:
+/// burst 1 is the legacy per-packet [`Device::process`] entry; larger
+/// bursts run [`Device::process_burst`] through the sim sweep driver
+/// ([`flexnet_sim::BurstDriver`], zero steady-state allocations). Returns
+/// (wall seconds, total ops) — the op count is the optimization black box
+/// *and* the cross-burst equivalence witness.
+fn drive_burst(workload: &ProgramBundle, entries: u64, packets: u64, burst: usize) -> (f64, u64) {
+    let mut dev = new_dev(ExecMode::Bytecode);
+    dev.install(workload.clone()).expect("workload installs");
+    for k in 0..entries {
+        dev.add_entry(
+            "acl",
+            TableEntry::exact(
+                &[1000 + k],
+                ActionCall {
+                    action: "deny".into(),
+                    args: vec![],
+                },
+            ),
+        )
+        .expect("entry fits");
+    }
+    let ring: Vec<Packet> = (0..1024u64)
+        .map(|id| Packet::tcp(id, (id % 251) as u32, 20, 1, 80, 0))
+        .collect();
+    // Best-of-reps: the timed region is repeated and the fastest rep
+    // reported. Single-shot timings on a thermally-throttled host swing
+    // +-40% between cases, which is frequency-scaling noise, not packet
+    // cost; the minimum is the honest estimate of per-packet work.
+    const REPS: usize = 5;
+    if burst <= 1 {
+        let mut ring = ring;
+        // Warm up one full ring pass (image build + state fault-in).
+        for id in 0..1024u64 {
+            let pkt = &mut ring[(id % 1024) as usize];
+            dev.process(pkt, SimTime::ZERO).expect("processes");
+            pkt.trace.clear();
+        }
+        let mut best = f64::INFINITY;
+        let mut ops = 0u64;
+        for _ in 0..REPS {
+            ops = 0;
+            let start = Instant::now();
+            for id in 0..packets {
+                let pkt = &mut ring[(id % 1024) as usize];
+                ops += dev.process(pkt, SimTime::ZERO).expect("processes").ops;
+                pkt.trace.clear();
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (best, ops)
+    } else {
+        let mut drv = flexnet_sim::BurstDriver::new(ring, burst);
+        drv.pump(&mut dev, 1024, SimTime::ZERO).expect("warmup pump");
+        let mut best = f64::INFINITY;
+        let mut ops = 0u64;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let totals = drv.pump(&mut dev, packets, SimTime::ZERO).expect("pump");
+            best = best.min(start.elapsed().as_secs_f64());
+            ops = totals.ops;
+        }
+        (best, ops)
+    }
 }
 
 /// The legacy table lookup this PR replaced: filter every entry against
@@ -349,6 +424,44 @@ fn main() {
         }
     }
 
+    // --- Part E: burst scaling (forwarding-graph packet vectors) --------
+    // The graph-structured hot path amortizes handler resolution, VM frame
+    // storage, and environment setup across each packet vector; pps must
+    // climb with burst size on every workload, and the tentpole target is
+    // >=3x on the ACL workload at burst 256 vs the per-packet entry.
+    println!("\n--- Part E: burst scaling (process_burst packet vectors) ---\n");
+    row(&["workload", "burst", "pps", "vs burst 1"]);
+    sep(4);
+    const BURSTS: [usize; 4] = [1, 16, 64, 256];
+    let mut burst_rows: Vec<(&str, Vec<(usize, f64)>)> = Vec::new();
+    for (label, workload, entries) in [
+        ("cms (E2 apps)", cms_workload(), 0u64),
+        ("acl firewall", acl_workload(), 512),
+    ] {
+        let mut rows = Vec::new();
+        let mut base_ops = None;
+        for burst in BURSTS {
+            let (t, ops) = drive_burst(&workload, entries, packets, burst);
+            match base_ops {
+                None => base_ops = Some(ops),
+                Some(o) => assert_eq!(
+                    o, ops,
+                    "burst {burst} must execute the same ops as burst 1 ({label})"
+                ),
+            }
+            let bpps = packets as f64 / t;
+            let base = rows.first().map_or(bpps, |&(_, b)| b);
+            row(&[
+                label,
+                &burst.to_string(),
+                &format!("{bpps:.0}"),
+                &times(bpps, base),
+            ]);
+            rows.push((burst, bpps));
+        }
+        burst_rows.push((label, rows));
+    }
+
     // --- BENCH_fastpath.json --------------------------------------------
     let (_, cms_ipps, cms_bpps) = pps[0];
     let cms_speedup = cms_bpps / cms_ipps;
@@ -385,6 +498,22 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"burst_scaling\": [\n");
+    for (i, (label, rows)) in burst_rows.iter().enumerate() {
+        let base = rows.first().map_or(1.0, |&(_, b)| b);
+        let last = rows.last().map_or(base, |&(_, b)| b);
+        let points: Vec<String> = rows
+            .iter()
+            .map(|(b, p)| format!("{{\"burst\": {b}, \"pps\": {p:.0}}}"))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"workload\": \"{label}\", \"points\": [{}], \"speedup_256_vs_1\": {:.2}}}{}\n",
+            points.join(", "),
+            last / base,
+            if i + 1 < burst_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"sweep\": {{\"seeds\": {sweep_seeds}, \"workers\": {workers}, \
          \"before_interp_serial_s\": {sweep_before:.3}, \"after_bytecode_parallel_s\": {sweep_after:.3}, \
@@ -413,5 +542,22 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+    // The burst-scaling gate: vectorized execution must pay for itself —
+    // burst 256 at least 2x the per-packet entry on the ACL workload (the
+    // tentpole target is 3x; the CI floor leaves headroom for noisy
+    // shared runners).
+    for (label, rows) in &burst_rows {
+        if *label != "acl firewall" {
+            continue;
+        }
+        let base = rows.first().map_or(1.0, |&(_, b)| b);
+        let last = rows.last().map_or(base, |&(_, b)| b);
+        let speedup = last / base;
+        if speedup < 2.0 {
+            eprintln!("FAIL: burst-256 speedup {speedup:.2}x < 2x vs burst-1 on {label}");
+            std::process::exit(1);
+        }
+        println!("burst gate: {label} burst-256 {speedup:.2}x vs burst-1 (floor 2x)");
     }
 }

@@ -447,6 +447,24 @@ pub struct ProcessResult {
     pub trap: Option<Trap>,
 }
 
+/// Per-frame outcome of [`Device::process_sealed_burst`], index-aligned
+/// with the input frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// Checksum and parse passed; the packet ran the installed program.
+    Processed(ProcessResult),
+    /// The end-to-end checksum failed: billed to
+    /// [`DeviceStats::checksum_drops`] only — exactly this frame, no trap
+    /// window involvement, burst neighbors untouched (the single-frame
+    /// equivalent is the [`FlexError::ChecksumMismatch`] error return of
+    /// [`Device::process_sealed_bytes`]).
+    ChecksumDrop,
+    /// Wire parse failed: a fail-closed drop billed to
+    /// [`DeviceStats::parse_traps`], indicting the packet — never the
+    /// program, so no quarantine pressure.
+    ParseDrop(ProcessResult),
+}
+
 /// Aggregate device statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
@@ -537,6 +555,13 @@ pub struct Device {
     window_traps: u64,
     /// The most recent program trap (diagnostics; heartbeat detail).
     last_trap: Option<Trap>,
+    /// Reusable VM frame storage for [`Device::process_burst`]: one set of
+    /// stack/local/key buffers shared by every packet of every burst, so
+    /// steady-state burst processing performs no heap allocations.
+    burst_vm: bytecode::VmScratch,
+    /// Run-scoped `can_parse` memo for [`Device::process_burst`]'s header
+    /// stripping; reset at each burst (the parser may change in between).
+    proto_cache: crate::parser::ProtoCache,
 }
 
 impl Device {
@@ -567,6 +592,8 @@ impl Device {
             window_packets: 0,
             window_traps: 0,
             last_trap: None,
+            burst_vm: bytecode::VmScratch::new(),
+            proto_cache: crate::parser::ProtoCache::default(),
         }
     }
 
@@ -1123,6 +1150,315 @@ impl Device {
         })
     }
 
+    /// Processes a burst of packets at simulated time `now`, writing one
+    /// [`ProcessResult`] per packet — input order, index-aligned — into
+    /// `out` (cleared first, capacity reused).
+    ///
+    /// Per-packet observable behavior is identical to calling
+    /// [`Device::process`] on each packet in order at the same `now`:
+    /// verdicts, op counts, gas traps, recirculation limits, trap-window
+    /// accounting, and quarantine (including a mid-burst quarantine
+    /// swapping the active image for the *remainder* of the burst) all
+    /// bill the exact packet that incurred them. What the burst form
+    /// amortizes is everything per-packet dispatch pays redundantly:
+    /// handler-entry resolution, environment construction, VM frame
+    /// allocation (via the device's persistent [`bytecode::VmScratch`]),
+    /// and the drain/commit preamble — the whole burst shares one `now`,
+    /// so one check covers it.
+    ///
+    /// On `Err` (device down, image corrupt) `out` holds results only for
+    /// the packets completed before the failure.
+    pub fn process_burst(
+        &mut self,
+        pkts: &mut [Packet],
+        now: SimTime,
+        out: &mut Vec<ProcessResult>,
+    ) -> Result<()> {
+        out.clear();
+        self.ensure_up()?;
+        self.commit_if_ready(now);
+
+        if let Some(until) = self.drained_until {
+            if now < until {
+                self.stats.refused += pkts.len() as u64;
+                for _ in pkts.iter() {
+                    out.push(ProcessResult {
+                        verdict: Verdict::Drop,
+                        latency: SimDuration::ZERO,
+                        version: self.version,
+                        ops: 0,
+                        refused: true,
+                        trap: None,
+                    });
+                }
+                return Ok(());
+            }
+            self.drained_until = None;
+        }
+
+        // The parser may have changed since the previous burst; within this
+        // call it is fixed, so memoized accept verdicts are sound.
+        self.proto_cache.reset();
+
+        // Move the persistent scratch out so the run loop can borrow it
+        // alongside `self`; restore it on every exit path.
+        let mut vm = std::mem::take(&mut self.burst_vm);
+        let result = self.run_burst(pkts, now, out, &mut vm);
+        self.burst_vm = vm;
+        result
+    }
+
+    /// The inner loop of [`Device::process_burst`].
+    ///
+    /// Packets execute in *runs*: maximal stretches of consecutive packets
+    /// handled by the same installed image. A program trap ends the run,
+    /// because its accounting ([`Device::note_program_trap`]) may
+    /// quarantine the image and swap in the last-known-good fallback; the
+    /// outer loop then starts a fresh run on whatever is active. This is
+    /// exactly the sequence the single-packet path produces — trap
+    /// accounting always lands between packets, never retroactively on a
+    /// neighbor.
+    fn run_burst(
+        &mut self,
+        pkts: &mut [Packet],
+        now: SimTime,
+        out: &mut Vec<ProcessResult>,
+        vm: &mut bytecode::VmScratch,
+    ) -> Result<()> {
+        let mut i = 0usize;
+        while i < pkts.len() {
+            let version = self.version;
+            let Some(active) = self.active.as_mut() else {
+                // No program: transparent default forwarding for the rest
+                // of the burst (only the control plane installs images, so
+                // none can appear mid-burst).
+                for pkt in pkts[i..].iter_mut() {
+                    self.stats.processed += 1;
+                    pkt.record_processing(self.id, version);
+                    out.push(ProcessResult {
+                        verdict: Verdict::Forward(self.default_port),
+                        latency: self.cost.base_latency,
+                        version,
+                        ops: 0,
+                        refused: false,
+                        trap: None,
+                    });
+                }
+                return Ok(());
+            };
+
+            active.state.now = now;
+            let gas = self.sandbox.gas_limit;
+            // At most one trapped packet per run — the trap ends it.
+            let mut run_trap: Option<Trap> = None;
+
+            match self.exec_mode {
+                ExecMode::Interpreter => {
+                    for pkt in pkts[i..].iter_mut() {
+                        // Fast path: when every header is visible there is
+                        // nothing to strip, so skip building (and later
+                        // reattaching) the hidden-header list entirely.
+                        let hidden = if self.parser.all_visible_cached(pkt, &mut self.proto_cache)
+                        {
+                            None
+                        } else {
+                            Some(
+                                self.parser
+                                    .strip_invisible_cached(pkt, &mut self.proto_cache),
+                            )
+                        };
+                        let mut total_ops = 0u64;
+                        let mut verdict;
+                        let mut trapped: Option<Trap> = None;
+                        let mut passes = 0u32;
+                        loop {
+                            let remaining = gas.saturating_sub(total_ops);
+                            let mut env = DeviceEnv {
+                                tables: &active.tables,
+                                state: &mut active.state,
+                                invocations: &mut self.invocations,
+                            };
+                            let outcome = execute_metered(
+                                &active.bundle.program,
+                                "ingress",
+                                pkt,
+                                &mut env,
+                                &active.registry,
+                                remaining,
+                            )?;
+                            total_ops += outcome.ops;
+                            if let Some(t) = outcome.trap {
+                                trapped = Some(t);
+                                verdict = Verdict::Drop;
+                                break;
+                            }
+                            verdict =
+                                outcome.verdict.unwrap_or(Verdict::Forward(self.default_port));
+                            if verdict != Verdict::Recirculate {
+                                break;
+                            }
+                            passes += 1;
+                            if passes > MAX_RECIRCULATIONS {
+                                self.stats.recirc_dropped += 1;
+                                verdict = Verdict::Drop;
+                                break;
+                            }
+                        }
+                        if let Some(h) = hidden {
+                            self.parser.reattach(pkt, h);
+                        }
+                        pkt.record_processing(self.id, version);
+                        self.stats.processed += 1;
+                        if verdict == Verdict::ToController {
+                            self.stats.punted += 1;
+                        }
+                        if verdict == Verdict::Drop {
+                            self.stats.dropped += 1;
+                        }
+                        i += 1;
+                        out.push(ProcessResult {
+                            verdict,
+                            latency: self.cost.packet_latency(total_ops),
+                            version,
+                            ops: total_ops,
+                            refused: false,
+                            trap: trapped.clone(),
+                        });
+                        match trapped {
+                            Some(t) => {
+                                run_trap = Some(t);
+                                break;
+                            }
+                            None => {
+                                // note_clean_packet, inlined: `self` is
+                                // partially borrowed by the run.
+                                self.window_packets += 1;
+                                if self.window_packets >= self.sandbox.trap_window {
+                                    self.window_packets = 0;
+                                    self.window_traps = 0;
+                                }
+                            }
+                        }
+                    }
+                }
+                ExecMode::Bytecode => {
+                    if active.compiled.is_none() {
+                        active.recompile()?;
+                    }
+                    let InstalledProgram {
+                        compiled,
+                        tables,
+                        state,
+                        ..
+                    } = &mut *active;
+                    let compiled = match compiled.as_ref() {
+                        Some(c) => c,
+                        None => {
+                            return Err(Trap::CorruptImage {
+                                reason: "bytecode image missing after rebuild",
+                            }
+                            .into())
+                        }
+                    };
+                    // Hoisted per run: handler resolution and environment
+                    // construction. The concrete env type monomorphizes
+                    // state access inside the VM — no vtable dispatch.
+                    let entry = compiled
+                        .handler_entry("ingress")
+                        .ok_or_else(|| FlexError::NotFound("handler `ingress`".into()))?;
+                    let mut env = SlotDeviceEnv {
+                        tables: &*tables,
+                        state,
+                        service_names: &compiled.service_names,
+                        invocations: &mut self.invocations,
+                    };
+                    for pkt in pkts[i..].iter_mut() {
+                        // Fast path: when every header is visible there is
+                        // nothing to strip, so skip building (and later
+                        // reattaching) the hidden-header list entirely.
+                        let hidden = if self.parser.all_visible_cached(pkt, &mut self.proto_cache)
+                        {
+                            None
+                        } else {
+                            Some(
+                                self.parser
+                                    .strip_invisible_cached(pkt, &mut self.proto_cache),
+                            )
+                        };
+                        let mut total_ops = 0u64;
+                        let mut verdict;
+                        let mut trapped: Option<Trap> = None;
+                        let mut passes = 0u32;
+                        loop {
+                            let remaining = gas.saturating_sub(total_ops);
+                            let outcome = bytecode::execute_compiled_vector(
+                                compiled, entry, pkt, &mut env, remaining, vm,
+                            )?;
+                            total_ops += outcome.ops;
+                            if let Some(t) = outcome.trap {
+                                trapped = Some(t);
+                                verdict = Verdict::Drop;
+                                break;
+                            }
+                            verdict =
+                                outcome.verdict.unwrap_or(Verdict::Forward(self.default_port));
+                            if verdict != Verdict::Recirculate {
+                                break;
+                            }
+                            passes += 1;
+                            if passes > MAX_RECIRCULATIONS {
+                                self.stats.recirc_dropped += 1;
+                                verdict = Verdict::Drop;
+                                break;
+                            }
+                        }
+                        if let Some(h) = hidden {
+                            self.parser.reattach(pkt, h);
+                        }
+                        pkt.record_processing(self.id, version);
+                        self.stats.processed += 1;
+                        if verdict == Verdict::ToController {
+                            self.stats.punted += 1;
+                        }
+                        if verdict == Verdict::Drop {
+                            self.stats.dropped += 1;
+                        }
+                        i += 1;
+                        out.push(ProcessResult {
+                            verdict,
+                            latency: self.cost.packet_latency(total_ops),
+                            version,
+                            ops: total_ops,
+                            refused: false,
+                            trap: trapped.clone(),
+                        });
+                        match trapped {
+                            Some(t) => {
+                                run_trap = Some(t);
+                                break;
+                            }
+                            None => {
+                                self.window_packets += 1;
+                                if self.window_packets >= self.sandbox.trap_window {
+                                    self.window_packets = 0;
+                                    self.window_traps = 0;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            if let Some(t) = run_trap {
+                // The run's borrows are released here, so trap accounting
+                // may quarantine and swap the active image before the next
+                // run begins.
+                self.note_program_trap(t, now);
+            }
+        }
+        Ok(())
+    }
+
     /// Parses raw wire bytes into a packet and processes it.
     ///
     /// The poison-packet entry point: bytes that fail wire parsing
@@ -1174,6 +1510,79 @@ impl Device {
                 Err(e)
             }
         }
+    }
+
+    /// Verifies, parses, and processes a burst of sealed frames, writing
+    /// one [`FrameOutcome`] per frame (input order, index-aligned) into
+    /// `out`; packets that survive admission are left, post-processing,
+    /// in `pkts` (in outcome order, `Processed` entries only).
+    ///
+    /// Billing is per-offender, exactly as the single-frame entry points
+    /// bill: a corrupted frame counts one `checksum_drops` and nothing
+    /// else; a malformed body counts one `parse_traps` + one `dropped`
+    /// and never feeds any trap window; neighbors in the burst are
+    /// processed as if the poison frame had arrived alone between them.
+    /// Admitted packets run in maximal sub-bursts *flushed in arrival
+    /// order around each poison frame*, so quarantine/version
+    /// interleaving matches the equivalent single-frame call sequence.
+    pub fn process_sealed_burst(
+        &mut self,
+        frames: &[Vec<u8>],
+        first_id: u64,
+        now: SimTime,
+        pkts: &mut Vec<Packet>,
+        out: &mut Vec<FrameOutcome>,
+    ) -> Result<()> {
+        out.clear();
+        pkts.clear();
+        self.ensure_up()?;
+        let mut run: Vec<Packet> = Vec::new();
+        let mut results: Vec<ProcessResult> = Vec::new();
+        macro_rules! flush {
+            () => {
+                if !run.is_empty() {
+                    self.process_burst(&mut run, now, &mut results)?;
+                    for (pkt, r) in run.drain(..).zip(results.drain(..)) {
+                        pkts.push(pkt);
+                        out.push(FrameOutcome::Processed(r));
+                    }
+                }
+            };
+        }
+        for (k, sealed) in frames.iter().enumerate() {
+            match crate::wire::open_frame(sealed) {
+                Err(_) => {
+                    flush!();
+                    self.stats.checksum_drops += 1;
+                    out.push(FrameOutcome::ChecksumDrop);
+                }
+                Ok(body) => match crate::wire::parse_wire(body, first_id + k as u64) {
+                    Ok(pkt) => run.push(pkt),
+                    Err(FlexError::Trap(t)) => {
+                        flush!();
+                        self.stats.parse_traps += 1;
+                        self.stats.dropped += 1;
+                        out.push(FrameOutcome::ParseDrop(ProcessResult {
+                            verdict: Verdict::Drop,
+                            latency: self.cost.base_latency,
+                            version: self.version,
+                            ops: 0,
+                            refused: false,
+                            trap: Some(t),
+                        }));
+                    }
+                    Err(e) => return Err(e),
+                },
+            }
+        }
+        flush!();
+        Ok(())
+    }
+
+    /// Read access to a table of the active program (used by the egress
+    /// scheduler's table classifier and diagnostics).
+    pub fn table(&self, name: &str) -> Option<&crate::table::TableInstance> {
+        self.active.as_ref()?.tables.get(name)
     }
 
     /// Trap-window accounting for one cleanly processed packet.
@@ -1265,7 +1674,7 @@ fn collect_applies(block: &[flexnet_lang::ast::Stmt], out: &mut Vec<String>) {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use flexnet_lang::parser::parse_source;
 
@@ -1858,5 +2267,207 @@ mod tests {
             }
             other => panic!("expected stage placements, got {other:?}"),
         }
+    }
+
+    /// A program that traps iff `ipv4.src` is in map `d` (division by
+    /// `1 - map_get`), so a burst can carry exactly one poisoned packet.
+    fn selective_trap_bundle() -> ProgramBundle {
+        bundle(
+            "program sel kind any {
+               map d : map<u32, u32>[64];
+               handler ingress(pkt) {
+                 let x = 1000 / (1 - map_get(d, ipv4.src));
+                 forward(1);
+               }
+             }",
+        )
+    }
+
+    #[test]
+    fn burst_bills_exactly_the_poisoned_packet() {
+        // One program-trapping packet inside a 256-burst: the trap, the
+        // drop, and the window accounting hit index 77 alone; all 255
+        // neighbors keep their verdicts, ops, and clean-window billing.
+        for mode in [ExecMode::Interpreter, ExecMode::Bytecode] {
+            let mut d = new_dev();
+            d.set_exec_mode(mode);
+            d.install(selective_trap_bundle()).unwrap();
+            d.program_mut().unwrap().state.map_put("d", 77, 1).unwrap();
+
+            let mut burst: Vec<Packet> =
+                (0..256).map(|i| Packet::tcp(i, i as u32, 9, 1, 80, 0)).collect();
+            let mut out = Vec::new();
+            d.process_burst(&mut burst, SimTime::ZERO, &mut out).unwrap();
+
+            assert_eq!(out.len(), 256);
+            for (i, r) in out.iter().enumerate() {
+                if i == 77 {
+                    assert_eq!(r.verdict, Verdict::Drop, "{mode:?}");
+                    assert!(matches!(r.trap, Some(Trap::DivisionByZero { .. })), "{mode:?}: {:?}", r.trap);
+                } else {
+                    assert_eq!(r.verdict, Verdict::Forward(1), "{mode:?} neighbor {i}");
+                    assert_eq!(r.trap, None, "{mode:?} neighbor {i}");
+                    assert_eq!(r.ops, out[0].ops, "{mode:?} neighbor {i} ops uniform");
+                }
+            }
+            let s = d.stats();
+            assert_eq!(s.processed, 256, "{mode:?}");
+            assert_eq!(s.traps, 1, "{mode:?}: exactly the poison packet");
+            assert_eq!(s.dropped, 1, "{mode:?}");
+            assert!(!d.quarantined(), "{mode:?}: one trap in 256 is no storm");
+        }
+    }
+
+    #[test]
+    fn burst_trap_storm_quarantines_at_the_same_packet_as_single() {
+        // Every packet traps: the single-packet path quarantines exactly
+        // when the window crosses threshold, swapping to transparent
+        // forwarding mid-stream. One 64-burst must produce the identical
+        // per-packet sequence — including the mid-burst image swap.
+        let mut single = new_dev();
+        single.install(trapping_bundle()).unwrap();
+        let mut burst_dev = new_dev();
+        burst_dev.install(trapping_bundle()).unwrap();
+
+        let mut singles = Vec::new();
+        for i in 0..64u64 {
+            let mut pkt = Packet::tcp(i, i as u32, 9, 1, 80, 0);
+            singles.push(single.process(&mut pkt, SimTime::ZERO).unwrap());
+        }
+        let mut burst: Vec<Packet> =
+            (0..64).map(|i| Packet::tcp(i, i as u32, 9, 1, 80, 0)).collect();
+        let mut out = Vec::new();
+        burst_dev
+            .process_burst(&mut burst, SimTime::ZERO, &mut out)
+            .unwrap();
+
+        assert_eq!(out, singles, "burst ≡ single across the quarantine flip");
+        assert!(burst_dev.quarantined());
+        assert_eq!(burst_dev.stats(), single.stats());
+        assert_eq!(burst_dev.version(), single.version());
+        // The flip really happened mid-burst: early packets trapped on the
+        // suspect image, later ones forwarded transparently.
+        assert!(out.iter().take(10).all(|r| r.trap.is_some()));
+        assert!(out.iter().rev().take(10).all(|r| r.trap.is_none()));
+    }
+
+    #[test]
+    fn burst_of_one_equals_process() {
+        let mut a = new_dev();
+        a.install(fw_bundle()).unwrap();
+        let mut b = new_dev();
+        b.install(fw_bundle()).unwrap();
+        for i in 0..32u64 {
+            let mut pa = Packet::tcp(i, (i % 5) as u32, 9, 1, 80, 0);
+            let mut pb = pa.clone();
+            let ra = a.process(&mut pa, SimTime::ZERO).unwrap();
+            let mut out = Vec::new();
+            b.process_burst(std::slice::from_mut(&mut pb), SimTime::ZERO, &mut out)
+                .unwrap();
+            assert_eq!(out.as_slice(), &[ra]);
+            assert_eq!(pa, pb);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.snapshot_state(), b.snapshot_state());
+    }
+
+    #[test]
+    fn drained_burst_refuses_every_packet_without_processing() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        d.begin_reflash(
+            bundle("program v2 kind any { handler ingress(pkt) { forward(2); } }"),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let mut burst: Vec<Packet> =
+            (0..8).map(|i| Packet::tcp(i, 1, 9, 1, 80, 0)).collect();
+        let mut out = Vec::new();
+        d.process_burst(&mut burst, SimTime::ZERO, &mut out).unwrap();
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|r| r.refused && r.verdict == Verdict::Drop));
+        assert_eq!(d.stats().refused, 8);
+        assert_eq!(d.stats().processed, 0);
+    }
+
+    #[test]
+    fn sealed_burst_checksum_poison_bills_exactly_one_frame() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        let mut frames: Vec<Vec<u8>> = (0..256u64)
+            .map(|i| {
+                crate::wire::seal_frame(&crate::wire::encode_wire(&Packet::tcp(
+                    i, 10, 20, 1, 80, 0,
+                )))
+            })
+            .collect();
+        crate::wire::flip_bits(&mut frames[100], 0xBAD5EED, 3);
+
+        let mut pkts = Vec::new();
+        let mut out = Vec::new();
+        d.process_sealed_burst(&frames, 0, SimTime::ZERO, &mut pkts, &mut out)
+            .unwrap();
+
+        assert_eq!(out.len(), 256);
+        for (i, o) in out.iter().enumerate() {
+            if i == 100 {
+                assert_eq!(*o, FrameOutcome::ChecksumDrop, "the corrupted frame");
+            } else {
+                match o {
+                    FrameOutcome::Processed(r) => {
+                        assert_eq!(r.verdict, Verdict::Forward(1), "neighbor {i}")
+                    }
+                    other => panic!("neighbor {i} mis-billed: {other:?}"),
+                }
+            }
+        }
+        let s = d.stats();
+        assert_eq!(s.checksum_drops, 1, "exactly the corrupted frame");
+        assert_eq!(s.processed, 255);
+        assert_eq!(s.parse_traps, 0);
+        assert_eq!(s.traps, 0, "fabric corruption never indicts the program");
+        assert!(!d.quarantined());
+        assert_eq!(pkts.len(), 255, "admitted packets retained for egress");
+    }
+
+    #[test]
+    fn sealed_burst_parse_poison_bills_exactly_one_frame() {
+        let mut d = new_dev();
+        d.install(fw_bundle()).unwrap();
+        let mut frames: Vec<Vec<u8>> = (0..256u64)
+            .map(|i| {
+                crate::wire::seal_frame(&crate::wire::encode_wire(&Packet::tcp(
+                    i, 10, 20, 1, 80, 0,
+                )))
+            })
+            .collect();
+        // A validly sealed frame whose *body* is garbage: passes the
+        // checksum, fails the parser.
+        frames[31] = crate::wire::seal_frame(&[0xffu8; 5]);
+
+        let mut pkts = Vec::new();
+        let mut out = Vec::new();
+        d.process_sealed_burst(&frames, 0, SimTime::ZERO, &mut pkts, &mut out)
+            .unwrap();
+
+        match &out[31] {
+            FrameOutcome::ParseDrop(r) => {
+                assert_eq!(r.verdict, Verdict::Drop);
+                assert!(matches!(r.trap, Some(Trap::MalformedPacket { .. })));
+            }
+            other => panic!("expected a parse drop, got {other:?}"),
+        }
+        assert!(out
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 31)
+            .all(|(_, o)| matches!(o, FrameOutcome::Processed(_))));
+        let s = d.stats();
+        assert_eq!(s.parse_traps, 1, "exactly the malformed frame");
+        assert_eq!(s.checksum_drops, 0);
+        assert_eq!(s.processed, 255);
+        assert_eq!(s.dropped, 1, "the parse drop and nothing else");
+        assert_eq!(s.traps, 0, "parse traps are not program traps");
+        assert!(!d.quarantined());
     }
 }

@@ -19,6 +19,11 @@
 //! - [`cost`] — per-architecture latency/reconfiguration/energy models.
 //! - [`wire`] — the raw-bytes wire codec feeding the sandbox's
 //!   poison-packet entry point ([`device::Device::process_bytes`]).
+//! - [`graph`] — the burst hot path: a forwarding graph of composable
+//!   nodes (parse → exec → sched → emit) over reusable packet vectors,
+//!   built on [`device::Device::process_burst`].
+//! - [`sched`] — the weighted (deficit) round-robin egress scheduler
+//!   behind the graph's queue stage.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,8 +32,10 @@ pub mod arch;
 pub mod baseline;
 pub mod cost;
 pub mod device;
+pub mod graph;
 pub mod parser;
 pub mod reconfig;
+pub mod sched;
 pub mod state;
 pub mod table;
 pub mod wire;
@@ -37,11 +44,15 @@ pub use arch::{ArchAllocator, ArchClass, Architecture, Location};
 pub use baseline::{Hyper4Device, MantisDevice};
 pub use cost::CostModel;
 pub use device::{
-    config_digest_of, Device, DeviceStats, ExecMode, InstalledProgram, ProcessResult,
-    SandboxConfig, DEDUP_WINDOW, EMPTY_CONFIG_DIGEST,
+    config_digest_of, Device, DeviceStats, ExecMode, FrameOutcome, InstalledProgram,
+    ProcessResult, SandboxConfig, DEDUP_WINDOW, EMPTY_CONFIG_DIGEST,
+};
+pub use graph::{
+    BurstLanes, Classifier, EmitNode, ExecNode, ForwardingGraph, GraphCtx, GraphNode, SchedNode,
 };
 pub use parser::ParserGraph;
 pub use reconfig::{ReconfigMode, ReconfigOutcome, ReconfigReport, TxnTag};
+pub use sched::EgressScheduler;
 pub use state::{DeviceState, LogicalState, StateEncoding};
-pub use table::{KeyMatch, TableEntry, TableInstance, TableSet};
+pub use table::{KeyMatch, TableEntry, TableInstance, TableSet, BURST_MISS};
 pub use wire::{encode_wire, flip_bits, frame_checksum, open_frame, parse_wire, seal_frame};

@@ -84,6 +84,7 @@ impl ParserGraph {
     }
 
     /// Whether a protocol is parseable.
+    #[inline]
     pub fn can_parse(&self, proto: &str) -> bool {
         self.builtin.iter().any(|b| b == proto) || self.user.contains_key(proto)
     }
@@ -125,12 +126,94 @@ impl ParserGraph {
         hidden
     }
 
+    /// Whether every header of `pkt` is parseable — the burst fast path:
+    /// when true, [`ParserGraph::strip_invisible`] would strip nothing, so
+    /// the caller can skip building and reattaching the hidden-header list
+    /// entirely. Membership verdicts come from the run-scoped cache.
+    #[inline]
+    pub fn all_visible_cached(&self, pkt: &Packet, cache: &mut ProtoCache) -> bool {
+        pkt.headers.iter().all(|h| cache.check(self, &h.proto))
+    }
+
+    /// [`ParserGraph::strip_invisible`] with the `can_parse` membership test
+    /// served from a run-scoped [`ProtoCache`]. The burst path uses this —
+    /// a burst shares a handful of protocol names, so the builtin scan plus
+    /// user-header map probe collapses to a short string-equality sweep over
+    /// names already ruled on this burst. The single-packet path keeps the
+    /// uncached form.
+    #[inline]
+    pub fn strip_invisible_cached(
+        &self,
+        pkt: &mut Packet,
+        cache: &mut ProtoCache,
+    ) -> Vec<(usize, flexnet_types::Header)> {
+        let mut hidden = Vec::new();
+        let mut stop = pkt.headers.len();
+        for (i, h) in pkt.headers.iter().enumerate() {
+            if !cache.check(self, &h.proto) {
+                stop = i;
+                break;
+            }
+        }
+        while pkt.headers.len() > stop {
+            let h = pkt.headers.remove(stop);
+            hidden.push((stop + hidden.len(), h));
+        }
+        hidden
+    }
+
     /// Reattaches headers previously removed by [`ParserGraph::strip_invisible`].
+    #[inline]
     pub fn reattach(&self, pkt: &mut Packet, hidden: Vec<(usize, flexnet_types::Header)>) {
         for (pos, h) in hidden {
             let idx = pos.min(pkt.headers.len());
             pkt.headers.insert(idx, h);
         }
+    }
+}
+
+/// Memoized `can_parse` verdicts for one burst.
+///
+/// The cache must be reset (not dropped) between bursts: a reconfiguration
+/// landing between two bursts can change the parser's accept set, but
+/// within one `process_burst` call the parser is fixed. String slots are
+/// reused across bursts (`clear()` + `push_str`) so the steady-state burst
+/// pump stays allocation-free.
+#[derive(Debug, Default)]
+pub struct ProtoCache {
+    names: Vec<String>,
+    verdicts: Vec<bool>,
+    live: usize,
+}
+
+impl ProtoCache {
+    /// Invalidates every memoized verdict while keeping slot capacity.
+    pub fn reset(&mut self) {
+        self.live = 0;
+    }
+
+    /// Whether `parser` accepts `proto`, memoized for this burst.
+    #[inline]
+    pub fn check(&mut self, parser: &ParserGraph, proto: &str) -> bool {
+        for (name, &verdict) in self.names[..self.live]
+            .iter()
+            .zip(&self.verdicts[..self.live])
+        {
+            if name == proto {
+                return verdict;
+            }
+        }
+        let verdict = parser.can_parse(proto);
+        if self.live < self.names.len() {
+            self.names[self.live].clear();
+            self.names[self.live].push_str(proto);
+            self.verdicts[self.live] = verdict;
+        } else {
+            self.names.push(proto.to_string());
+            self.verdicts.push(verdict);
+        }
+        self.live += 1;
+        verdict
     }
 }
 

@@ -122,6 +122,7 @@ impl MapStore {
         (h % len as u64) as usize
     }
 
+    #[inline]
     fn get(&mut self, key: u64) -> Option<u64> {
         match self {
             MapStore::Registers { slots } => {
@@ -319,10 +320,12 @@ impl<T> SlotArena<T> {
         self.items.get_mut(i).map(|(_, v)| v)
     }
 
+    #[inline]
     fn at(&self, slot: u16) -> Option<&T> {
         self.items.get(slot as usize).map(|(_, v)| v)
     }
 
+    #[inline]
     fn at_mut(&mut self, slot: u16) -> Option<&mut T> {
         self.items.get_mut(slot as usize).map(|(_, v)| v)
     }
@@ -645,12 +648,14 @@ impl DeviceState {
     // -- slot accessors (bytecode VM fast path) -------------------------------
 
     /// Reads a map by slot.
+    #[inline]
     pub fn map_get_at(&mut self, slot: u16, key: u64) -> Option<u64> {
         self.maps.at_mut(slot)?.get(key)
     }
 
     /// Writes a map by slot, with the same silent-degradation semantics as
     /// [`DeviceState::map_put`].
+    #[inline]
     pub fn map_put_at(&mut self, slot: u16, key: u64, value: u64) {
         let dropped = match self.maps.at_mut(slot) {
             Some(store) => !store.put(key, value),
@@ -687,6 +692,7 @@ impl DeviceState {
     }
 
     /// Adds to a counter by slot.
+    #[inline]
     pub fn counter_add_at(&mut self, slot: u16, pkts: u64, bytes: u64) {
         if let Some(c) = self.counters.at_mut(slot) {
             c.0 += pkts;
@@ -695,6 +701,7 @@ impl DeviceState {
     }
 
     /// Reads a counter's packet count by slot.
+    #[inline]
     pub fn counter_read_at(&self, slot: u16) -> u64 {
         self.counters.at(slot).map(|c| c.0).unwrap_or(0)
     }

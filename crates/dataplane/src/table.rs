@@ -19,6 +19,9 @@ use flexnet_types::{FlexError, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
+/// Sentinel entry index [`TableInstance::lookup_burst`] writes for a miss.
+pub const BURST_MISS: u32 = u32::MAX;
+
 /// How one key of one entry matches a value.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum KeyMatch {
@@ -273,6 +276,12 @@ impl TableInstance {
         if let Some(index) = &self.exact {
             return index.get(keys).copied();
         }
+        self.scan_winner(keys)
+    }
+
+    /// The rank-ordered scan half of [`TableInstance::winner`]; arity is
+    /// already validated by the caller.
+    fn scan_winner(&self, keys: &[u64]) -> Option<u32> {
         self.order.iter().copied().find(|&i| {
             self.entries[i as usize]
                 .matches
@@ -296,9 +305,64 @@ impl TableInstance {
     /// Like [`TableInstance::lookup`], but returns the winner's action as
     /// its `(declaration index, argument borrow)` — the form the bytecode
     /// VM dispatches on without cloning or re-resolving the action name.
+    #[inline]
     pub fn lookup_resolved(&self, keys: &[u64]) -> Option<(u16, &[u64])> {
         let i = self.winner(keys)? as usize;
         Some((self.action_slots[i], self.entries[i].action.args.as_slice()))
+    }
+
+    /// Batch lookup for the burst dataplane: resolves every key tuple in
+    /// `keys` (a flat vector of `arity` values per tuple, burst-major) in
+    /// one pass, pushing the winning entry index — or [`BURST_MISS`] — per
+    /// tuple onto `out`.
+    ///
+    /// The branch between the all-exact hash index and the rank-ordered
+    /// scan is taken once per burst instead of once per packet; per-tuple
+    /// winner selection is identical to [`TableInstance::lookup`]. An
+    /// `arity` that disagrees with the declaration marks every tuple a
+    /// miss (the same outcome `winner` gives a malformed single lookup);
+    /// `arity == 0` yields no tuples.
+    pub fn lookup_burst(&self, keys: &[u64], arity: usize, out: &mut Vec<u32>) {
+        out.clear();
+        if arity == 0 {
+            return;
+        }
+        if arity != self.decl.keys.len() {
+            out.resize(keys.len() / arity, BURST_MISS);
+            return;
+        }
+        match &self.exact {
+            Some(index) => {
+                for tuple in keys.chunks_exact(arity) {
+                    out.push(index.get(tuple).copied().unwrap_or(BURST_MISS));
+                }
+            }
+            None => {
+                for tuple in keys.chunks_exact(arity) {
+                    out.push(self.scan_winner(tuple).unwrap_or(BURST_MISS));
+                }
+            }
+        }
+    }
+
+    /// The entry behind a [`TableInstance::lookup_burst`] hit index.
+    pub fn entry_at(&self, idx: u32) -> &TableEntry {
+        &self.entries[idx as usize]
+    }
+
+    /// The `(action declaration index, argument borrow)` of a
+    /// [`TableInstance::lookup_burst`] hit — the resolved form
+    /// [`TableInstance::lookup_resolved`] returns.
+    pub fn resolved_at(&self, idx: u32) -> (u16, &[u64]) {
+        (
+            self.action_slots[idx as usize],
+            self.entries[idx as usize].action.args.as_slice(),
+        )
+    }
+
+    /// Number of key components each entry of this table matches on.
+    pub fn key_arity(&self) -> usize {
+        self.decl.keys.len()
     }
 
     /// Current occupancy.
@@ -402,6 +466,7 @@ impl TableSet {
     }
 
     /// Borrows the table at `slot` (the bytecode fast path).
+    #[inline]
     pub fn by_slot(&self, slot: u16) -> Option<&TableInstance> {
         self.tables.get(slot as usize)
     }
@@ -776,5 +841,97 @@ mod tests {
         }]);
         assert!(t.exact.is_some());
         assert_eq!(t.lookup(&[1]).unwrap().action, go(1));
+    }
+
+    #[test]
+    fn burst_lookup_matches_per_key_lookup_on_randomized_tables() {
+        // Same generator as the indexed-vs-scan oracle: the burst resolver
+        // must pick the identical winner (or miss) for every tuple, on both
+        // the hash-indexed and ordered-scan table shapes.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut hits = vec![];
+        for round in 0..40 {
+            let all_exact = round % 2 == 0;
+            let mut t = TableInstance::new(decl(
+                "t",
+                &[MatchKind::Ternary, MatchKind::Ternary],
+                64,
+            ));
+            for _ in 0..24 {
+                let m = |r: u64| -> KeyMatch {
+                    if all_exact {
+                        return KeyMatch::Exact(r % 8);
+                    }
+                    match r % 4 {
+                        0 => KeyMatch::Exact(r % 8),
+                        1 => KeyMatch::Lpm {
+                            value: r % 256,
+                            prefix_len: (r % 9) as u8,
+                            width: 8,
+                        },
+                        2 => KeyMatch::Ternary {
+                            value: r % 256,
+                            mask: (r >> 8) % 256,
+                        },
+                        _ => KeyMatch::Range {
+                            lo: r % 8,
+                            hi: r % 8 + (r >> 16) % 8,
+                        },
+                    }
+                };
+                let e = TableEntry {
+                    matches: vec![m(rng()), m(rng())],
+                    priority: (rng() % 3) as i32,
+                    action: go(rng() % 100),
+                };
+                t.insert(e).unwrap();
+            }
+            // A burst of 200 tuples, flat burst-major.
+            let flat: Vec<u64> = (0..400).map(|_| rng() % 8).collect();
+            t.lookup_burst(&flat, 2, &mut hits);
+            assert_eq!(hits.len(), 200);
+            for (i, tuple) in flat.chunks_exact(2).enumerate() {
+                let single = t.lookup(tuple);
+                match hits[i] {
+                    BURST_MISS => assert_eq!(
+                        single, None,
+                        "burst miss but single lookup hit (round {round}, {tuple:?})"
+                    ),
+                    idx => {
+                        assert_eq!(
+                            Some(t.entry_at(idx)),
+                            single,
+                            "burst winner diverged (round {round}, {tuple:?})"
+                        );
+                        assert_eq!(
+                            Some(t.resolved_at(idx)),
+                            t.lookup_resolved(tuple),
+                            "resolved form diverged (round {round}, {tuple:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn burst_lookup_arity_mismatch_is_all_misses() {
+        let mut t = TableInstance::new(decl("t", &[MatchKind::Exact], 8));
+        t.insert(TableEntry::exact(&[1], go(1))).unwrap();
+        let mut hits = vec![];
+        // Wrong arity: every tuple misses, like `winner` on a bad key vec.
+        t.lookup_burst(&[1, 1, 1, 1], 2, &mut hits);
+        assert_eq!(hits, [BURST_MISS, BURST_MISS]);
+        // Zero arity: no tuples.
+        t.lookup_burst(&[], 0, &mut hits);
+        assert!(hits.is_empty());
+        // Matching arity hits.
+        t.lookup_burst(&[1, 2], 1, &mut hits);
+        assert_eq!(hits[0], 0);
+        assert_eq!(hits[1], BURST_MISS);
     }
 }

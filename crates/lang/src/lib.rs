@@ -68,8 +68,9 @@ pub mod verifier;
 pub mod prelude {
     pub use crate::ast::{Program, ProgramKind, SourceFile};
     pub use crate::bytecode::{
-        compile, compile_with_program_slots, execute_compiled, execute_compiled_metered,
-        CompiledProgram, SlotEnv, SlotResolver, SymbolKind,
+        compile, compile_with_program_slots, execute_compiled, execute_compiled_at,
+        execute_compiled_metered, execute_compiled_vector, CompiledProgram, SlotEnv, SlotResolver,
+        SymbolKind, VmScratch,
     };
     pub use crate::compose::{compose, TenantExtension};
     pub use crate::diff::{diff_bundles, ProgramBundle, ReconfigOp};

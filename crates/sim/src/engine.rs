@@ -187,6 +187,14 @@ impl<T> LogBuffer<T> {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Empties the log, retaining its allocation, so a long-lived buffer
+    /// can serve as per-run scratch (e.g. the burst sweep driver's
+    /// per-burst records) without reallocating each run.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.dropped = 0;
+    }
 }
 
 impl<T> std::ops::Deref for LogBuffer<T> {

@@ -13,6 +13,9 @@
 //! - [`metrics`] — loss accounting by cause, latency percentiles, delivery
 //!   timeseries, disruption windows, and per-version packet counts (used to
 //!   check the paper's old-XOR-new consistency claim).
+//! - [`sweep`] — the burst sweep driver: pumps packet rings through a
+//!   device in bursts with fully reused buffers (zero steady-state
+//!   allocations in the hot loop).
 //! - [`faults`] — deterministic fault schedules ([`faults::FaultPlan`]).
 //! - [`chaos`] — seeded coordinator-crash schedules composing fault plans
 //!   with two-phase-commit crash points (experiment E13).
@@ -25,6 +28,7 @@ pub mod disk;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod sweep;
 pub mod topology;
 pub mod workload;
 
@@ -38,5 +42,6 @@ pub use disk::{DiskFaultPlan, DiskStats, SimDisk};
 pub use engine::{Command, LogBuffer, Simulation, DEFAULT_LOG_CAP};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Bucket, LossKind, Metrics, WindowDelta, WindowStats};
+pub use sweep::{BurstDriver, SweepTotals};
 pub use topology::{Link, Node, NodeKind, Topology};
 pub use workload::{generate, syn_flood, tenant_churn, ChurnEvent, Departure, FlowSpec, Pattern};

@@ -263,6 +263,7 @@ impl Packet {
 
     /// Total wire length: headers are charged a nominal encoded size plus
     /// the payload.
+    #[inline]
     pub fn wire_len(&self) -> u32 {
         let hdr: u32 = self
             .headers
@@ -280,16 +281,19 @@ impl Packet {
     }
 
     /// Finds the first header with the given protocol name.
+    #[inline]
     pub fn header(&self, proto: &str) -> Option<&Header> {
         self.headers.iter().find(|h| h.proto == proto)
     }
 
     /// Finds the first header with the given protocol name, mutably.
+    #[inline]
     pub fn header_mut(&mut self, proto: &str) -> Option<&mut Header> {
         self.headers.iter_mut().find(|h| h.proto == proto)
     }
 
     /// Whether the stack contains a header of the given protocol.
+    #[inline]
     pub fn has_header(&self, proto: &str) -> bool {
         self.header(proto).is_some()
     }
@@ -298,6 +302,15 @@ impl Packet {
     /// (the pseudo-protocol `meta` reads packet metadata).
     pub fn get_field(&self, path: &str) -> Option<u64> {
         let (proto, field) = path.split_once('.')?;
+        self.get_field_at(proto, field)
+    }
+
+    /// Reads a field by pre-split path parts — the split-free form of
+    /// [`Packet::get_field`] used when the caller already holds the
+    /// protocol and field names separately (e.g. the vector executor's
+    /// field-prefetch lane).
+    #[inline]
+    pub fn get_field_at(&self, proto: &str, field: &str) -> Option<u64> {
         if proto == "meta" {
             return self.metadata.get(field).copied();
         }

@@ -1,0 +1,86 @@
+//! Zero-allocation guarantee for the burst hot path (tentpole satellite).
+//!
+//! After warmup, one [`BurstDriver::pump`] over a device must perform
+//! **zero heap allocations**: the packet ring is mutated in place, the
+//! result vector and per-burst log reuse their capacity, and the device's
+//! VM scratch persists across bursts. A counting `#[global_allocator]`
+//! wraps the system allocator and tallies every `alloc`/`realloc` inside
+//! the measured window; the steady-state pump must tally none.
+//!
+//! This file holds exactly one test so no sibling test thread can
+//! allocate inside the counting window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use flexnet_dataplane::{Architecture, Device, StateEncoding};
+use flexnet_sim::BurstDriver;
+use flexnet_types::{NodeId, Packet, SimTime};
+
+/// Counts allocations while `COUNTING` is set; otherwise a transparent
+/// passthrough to the system allocator.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_burst_pump_performs_zero_allocations() {
+    // The bench's ACL workload: the firewall gallery program (map guard +
+    // exact-match table + counter) on the default dRMT device, bytecode
+    // engine.
+    let bundle = flexnet_apps::security::firewall(64).expect("firewall builds");
+    let mut dev = Device::new(
+        NodeId(1),
+        Architecture::drmt_default(),
+        StateEncoding::StatefulTable,
+    );
+    dev.install(bundle).expect("installs");
+
+    let ring: Vec<Packet> = (0..512u64)
+        .map(|i| Packet::tcp(i, (i % 251) as u32, (i % 17) as u32, 1, 80, 0))
+        .collect();
+    let mut drv = BurstDriver::new(ring, 256);
+
+    // Warmup: grows every reused buffer (results, log, traces, VM scratch,
+    // egress lanes) to steady-state capacity.
+    for _ in 0..3 {
+        drv.pump(&mut dev, 2048, SimTime::ZERO).expect("warmup pump");
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let totals = drv.pump(&mut dev, 2048, SimTime::ZERO).expect("measured pump");
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(totals.packets, 2048);
+    assert_eq!(
+        allocs, 0,
+        "steady-state pump must not allocate (counted {allocs} allocations \
+         across 2048 packets)"
+    );
+}

@@ -9,7 +9,7 @@
 //! records its own regressions file.
 
 use flexnet::prelude::*;
-use flexnet_dataplane::device::ExecMode;
+use flexnet_dataplane::device::{ExecMode, ProcessResult};
 use flexnet_dataplane::table::{KeyMatch, TableEntry};
 use flexnet_dataplane::SandboxConfig;
 use flexnet_lang::ast::{ActionCall, MatchKind, TableDecl};
@@ -325,6 +325,225 @@ fn trapping_inputs_trap_identically_in_both_modes() {
         }
         assert!(trapped > 0, "{name}: the stream never hit the trap path");
         assert_eq!(interp.stats(), byte.stats(), "{name}: device stats");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Burst differential: `Device::process_burst` must be observationally
+// identical to a per-packet `Device::process` loop — same per-packet
+// results (verdict, ops, latency, trap, version), same packet mutations,
+// same logical state, stats, and config digest — for every gallery
+// program, every burst size, and across bursts that straddle trap,
+// quarantine, and recirculation boundaries.
+// ---------------------------------------------------------------------------
+
+/// Burst sizes the suite sweeps: the degenerate burst, a tiny odd burst
+/// (forces mid-stream chunk boundaries), and the two bench operating
+/// points.
+const BURST_SIZES: [usize; 4] = [1, 3, 64, 256];
+
+/// Drives `packets` through two identically configured devices — one via
+/// per-packet [`Device::process`], one via [`Device::process_burst`] in
+/// chunks of `burst` — and requires identical observable behaviour. Each
+/// chunk shares one timestamp on both paths, mirroring how a burst shares
+/// its `now`.
+fn assert_burst_matches_single(
+    name: &str,
+    bundle: &ProgramBundle,
+    packets: &[Packet],
+    burst: usize,
+    mode: ExecMode,
+) {
+    let mut single = dev(mode, bundle.program.kind);
+    let mut bursty = dev(mode, bundle.program.kind);
+    single.install(bundle.clone()).expect("installs");
+    bursty.install(bundle.clone()).expect("installs");
+    let mut rng = Rng(0x5eed_0000 ^ name.len() as u64);
+    for t in &bundle.program.tables {
+        for e in synth_entries(t, &mut rng) {
+            single.add_entry(&t.name, e.clone()).expect("entry fits");
+            bursty.add_entry(&t.name, e).expect("entry fits");
+        }
+    }
+    let mut out = Vec::new();
+    for (ci, chunk) in packets.chunks(burst.max(1)).enumerate() {
+        let now = SimTime::from_millis(ci as u64 * 3);
+        let mut singles = Vec::with_capacity(chunk.len());
+        let mut single_pkts = Vec::with_capacity(chunk.len());
+        for pkt in chunk {
+            let mut p = pkt.clone();
+            singles.push(single.process(&mut p, now).expect("processes"));
+            single_pkts.push(p);
+        }
+        let mut burst_pkts: Vec<Packet> = chunk.to_vec();
+        bursty
+            .process_burst(&mut burst_pkts, now, &mut out)
+            .expect("processes");
+        assert_eq!(
+            out, singles,
+            "{name}: burst {burst} {mode:?}, chunk {ci} results"
+        );
+        assert_eq!(
+            burst_pkts, single_pkts,
+            "{name}: burst {burst} {mode:?}, chunk {ci} packet mutations"
+        );
+    }
+    assert_eq!(
+        single.snapshot_state(),
+        bursty.snapshot_state(),
+        "{name}: burst {burst} {mode:?} logical state"
+    );
+    assert_eq!(
+        single.stats(),
+        bursty.stats(),
+        "{name}: burst {burst} {mode:?} device stats"
+    );
+    assert_eq!(
+        single.config_digest(),
+        bursty.config_digest(),
+        "{name}: burst {burst} {mode:?} config digest"
+    );
+    assert_eq!(
+        single.version(),
+        bursty.version(),
+        "{name}: burst {burst} {mode:?} program version"
+    );
+    assert_eq!(
+        single.quarantined(),
+        bursty.quarantined(),
+        "{name}: burst {burst} {mode:?} quarantine flag"
+    );
+}
+
+#[test]
+fn burst_matches_single_on_every_gallery_program() {
+    for (name, bundle) in gallery() {
+        // 300 packets: burst 256 straddles into a 44-packet tail chunk.
+        let pkts = packet_stream(0xb0257 ^ name.len() as u64, 300);
+        for burst in BURST_SIZES {
+            for mode in [ExecMode::Interpreter, ExecMode::Bytecode] {
+                assert_burst_matches_single(name, &bundle, &pkts, burst, mode);
+            }
+        }
+    }
+}
+
+/// Bursts straddling the quarantine boundary: a storm of trapping packets
+/// flips the device to its transparent-forward fallback *mid-burst*; the
+/// per-packet sequence (traps before the flip, forwards at the bumped
+/// version after) must match the single-packet path exactly.
+#[test]
+fn burst_matches_single_across_trap_and_quarantine_boundaries() {
+    let storm = bundle_of(
+        "program storm kind any {
+           map d : map<u32, u32>[16];
+           handler ingress(pkt) {
+             let x = 1000 / map_get(d, ipv4.src);
+             forward(1);
+           }
+         }",
+    );
+    // Every packet traps (the map is empty ⇒ map_get = 0 ⇒ ÷0) until the
+    // quarantine flips mid-stream.
+    let pkts = packet_stream(0x57012, 100);
+    for burst in BURST_SIZES {
+        for mode in [ExecMode::Interpreter, ExecMode::Bytecode] {
+            assert_burst_matches_single("storm", &storm, &pkts, burst, mode);
+        }
+    }
+}
+
+/// Bursts straddling recirculation boundaries: a stateful program whose
+/// recirculation depth varies per packet (register-counted passes), plus
+/// one that always recirculates into the MAX_RECIRCULATIONS fail-closed
+/// drop.
+#[test]
+fn burst_matches_single_across_recirculation_boundaries() {
+    let counted = bundle_of(
+        "program spiral kind any {
+           register passes : u64[4];
+           handler ingress(pkt) {
+             let n = reg_read(passes, 0);
+             reg_write(passes, 0, n + 1);
+             if (n % 4 == 3) { forward(1); }
+             recirculate();
+           }
+         }",
+    );
+    let runaway = bundle_of(
+        "program runaway kind any {
+           handler ingress(pkt) { recirculate(); }
+         }",
+    );
+    for bundle in [&counted, &runaway] {
+        let pkts = packet_stream(0x2ec12c, 120);
+        for burst in BURST_SIZES {
+            for mode in [ExecMode::Interpreter, ExecMode::Bytecode] {
+                assert_burst_matches_single(&bundle.program.name, bundle, &pkts, burst, mode);
+            }
+        }
+    }
+}
+
+/// Gas-boundary bursts: tiny budgets make exhaustion land mid-burst; the
+/// typed `GasExhausted` trap and its op count must be chunk-invariant.
+#[test]
+fn burst_matches_single_under_tiny_gas_budgets() {
+    for (name, bundle) in [
+        ("cms", flexnet::apps::telemetry::count_min_sketch(4, 1024).unwrap()),
+        ("firewall", flexnet::apps::security::firewall(64).unwrap()),
+    ] {
+        for gas in [3u64, 19] {
+            let pkts = packet_stream(0x9a5b ^ gas, 90);
+            for burst in BURST_SIZES {
+                let mut single = dev(ExecMode::Bytecode, bundle.program.kind);
+                let mut bursty = dev(ExecMode::Bytecode, bundle.program.kind);
+                let sandbox = SandboxConfig {
+                    gas_limit: gas,
+                    ..SandboxConfig::default()
+                };
+                single.set_sandbox(sandbox);
+                bursty.set_sandbox(sandbox);
+                single.install(bundle.clone()).expect("installs");
+                bursty.install(bundle.clone()).expect("installs");
+                let mut out = Vec::new();
+                for (ci, chunk) in pkts.chunks(burst).enumerate() {
+                    let now = SimTime::from_millis(ci as u64);
+                    let singles: Vec<ProcessResult> = chunk
+                        .iter()
+                        .map(|p| single.process(&mut p.clone(), now).expect("processes"))
+                        .collect();
+                    let mut burst_pkts: Vec<Packet> = chunk.to_vec();
+                    bursty
+                        .process_burst(&mut burst_pkts, now, &mut out)
+                        .expect("processes");
+                    assert_eq!(out, singles, "{name}: gas {gas} burst {burst} chunk {ci}");
+                }
+                assert_eq!(single.stats(), bursty.stats(), "{name}: gas {gas} stats");
+            }
+        }
+    }
+}
+
+proptest! {
+    // Arbitrary packet streams and arbitrary burst sizes against the two
+    // most stateful gallery programs: the chunked burst path must be
+    // indistinguishable from the per-packet loop.
+    #[test]
+    fn burst_matches_single_on_arbitrary_streams(
+        seed in any::<u64>(),
+        n in 1usize..80,
+        burst in 1usize..300,
+    ) {
+        for bundle in [
+            flexnet::apps::telemetry::heavy_hitter(64, 3).unwrap(),
+            flexnet::apps::security::firewall(16).unwrap(),
+        ] {
+            let pkts = packet_stream(seed, n);
+            assert_burst_matches_single(
+                &bundle.program.name, &bundle, &pkts, burst, ExecMode::Bytecode,
+            );
+        }
     }
 }
 
